@@ -1,0 +1,341 @@
+package mto
+
+// One benchmark per table and figure of the paper's evaluation (§6). Each
+// bench drives the corresponding harness in internal/experiments at a small
+// scale and reports the headline quantity as a custom metric, so
+// `go test -bench=. -benchmem` regenerates every result. The mtobench CLI
+// runs the same harnesses at larger scales with full printed tables.
+
+import (
+	"math"
+	"testing"
+
+	"mto/internal/bitmap"
+	"mto/internal/experiments"
+)
+
+// benchScale keeps each iteration around a second.
+func benchScale() experiments.Scale {
+	s := experiments.DefaultScale()
+	s.SF = 0.005
+	s.PerTemplate = 2
+	return s
+}
+
+func BenchmarkFig10aSSB(b *testing.B)   { benchFig10a(b, "ssb") }
+func BenchmarkFig10aTPCH(b *testing.B)  { benchFig10a(b, "tpch") }
+func BenchmarkFig10aTPCDS(b *testing.B) { benchFig10a(b, "tpcds") }
+
+func benchFig10a(b *testing.B, bench string) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		bb, err := experiments.BenchByName(bench, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows, err := experiments.Fig10a([]*experiments.Bench{bb})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Method == experiments.MethodMTO {
+				b.ReportMetric(r.Normalized, "mto-norm-blocks")
+			}
+		}
+	}
+}
+
+func BenchmarkFig10bcSSB(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig10bc([]*experiments.Bench{experiments.SSBBench(s)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Method == experiments.MethodMTO {
+				b.ReportMetric(r.NormFraction, "mto-norm-fraction")
+				b.ReportMetric(r.NormSeconds, "mto-norm-runtime")
+			}
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2(experiments.AllBenches(s))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Bench == "TPC-H" {
+				b.ReportMetric(float64(r.JoinInducedCuts), "tpch-induced-cuts")
+				b.ReportMetric(float64(r.MaxInductionDepth), "tpch-max-depth")
+			}
+		}
+	}
+}
+
+func BenchmarkFig11SSB(b *testing.B) {
+	s := benchScale()
+	s.SF = 0.02
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig11(experiments.SSBBench(s))
+		if err != nil {
+			b.Fatal(err)
+		}
+		improved := 0
+		for _, r := range rows {
+			if r.Versus == experiments.MethodBaseline && r.Reduction > 0 {
+				improved++
+			}
+		}
+		b.ReportMetric(float64(improved)/13, "frac-queries-improved")
+	}
+}
+
+func BenchmarkFig12(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig12(experiments.TPCHBench(s))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var mtoQ5, baseQ5 float64
+		for _, r := range rows {
+			if r.Template == "q5" {
+				switch r.Method {
+				case experiments.MethodMTO:
+					mtoQ5 = r.Blocks
+				case experiments.MethodBaseline:
+					baseQ5 = r.Blocks
+				}
+			}
+		}
+		if baseQ5 > 0 {
+			b.ReportMetric(mtoQ5/baseQ5, "q5-mto-vs-baseline")
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table3([]*experiments.Bench{experiments.TPCHBench(s)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Method == experiments.MethodMTO {
+				b.ReportMetric(r.OptimizeSeconds, "mto-optimize-sec")
+			}
+		}
+	}
+}
+
+func BenchmarkFig13a(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig13a(experiments.TPCHBench(s), []float64{1, 0.25})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Method == "MTO+CA" && r.SampleRate == 0.25 {
+				b.ReportMetric(math.Abs(r.EstimatedBlocks-float64(r.MeasuredBlocks))/float64(r.MeasuredBlocks),
+					"ca-estimate-error")
+			}
+		}
+	}
+}
+
+func BenchmarkFig13b(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig13b(experiments.TPCHBench(s), []float64{0.25})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Method == experiments.MethodMTO {
+				b.ReportMetric(r.TotalSeconds, "mto-total-sec")
+			}
+		}
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table4([]*experiments.Bench{experiments.SSBBench(s)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Versus == experiments.MethodBaseline && r.QueriesToCross > 0 {
+				b.ReportMetric(float64(r.QueriesToCross), "queries-to-cross-baseline")
+			}
+		}
+	}
+}
+
+func BenchmarkFig14a(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig14a(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var partial, noReorg float64
+		for _, r := range rows {
+			switch r.Scenario {
+			case "MTO no reorg":
+				noReorg = r.AvgQuerySeconds
+			case "MTO partial reorg (q=500)":
+				partial = r.AvgQuerySeconds
+			}
+		}
+		if noReorg > 0 {
+			b.ReportMetric(partial/noReorg, "partial-reorg-speedup")
+		}
+	}
+}
+
+func BenchmarkTable5(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table5(s, []float64{200, math.Inf(1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].FracDataReorganized, "q200-frac-reorganized")
+		b.ReportMetric(rows[0].FracSubtreesConsidered, "q200-frac-subtrees")
+	}
+}
+
+func BenchmarkFig14b(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig14b(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Scenario == "MTO after insert" {
+				b.ReportMetric(r.CutUpdateSeconds, "cut-update-sec")
+			}
+		}
+	}
+}
+
+func BenchmarkFig15a(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig15a(s, []int{1, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Method == experiments.MethodMTO && r.PerTemplate == 4 {
+				b.ReportMetric(r.VsBaselineNorm, "mto-norm-at-88q")
+			}
+		}
+	}
+}
+
+func BenchmarkFig15b(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig15b(s, []float64{0.005, 0.02})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Method == experiments.MethodMTO && r.SF == 0.02 {
+				b.ReportMetric(r.VsBaselineNorm, "mto-norm-at-4x-data")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationRoaringVsSlice isolates the literal-cut representation
+// choice (§4.1.2): membership probes against a roaring bitmap vs a plain
+// sorted slice, at join-key cardinalities typical of induced cuts.
+func BenchmarkAblationRoaringVsSlice(b *testing.B) {
+	const n = 200000
+	keys := make([]uint32, n)
+	for i := range keys {
+		keys[i] = uint32(i * 3)
+	}
+	bm := bitmap.FromSlice(keys)
+	bm.Optimize()
+	b.Run("roaring", func(b *testing.B) {
+		hits := 0
+		for i := 0; i < b.N; i++ {
+			if bm.Contains(uint32(i % (3 * n))) {
+				hits++
+			}
+		}
+		_ = hits
+		b.ReportMetric(float64(bm.SizeBytes()), "bytes")
+	})
+	b.Run("sorted-slice", func(b *testing.B) {
+		hits := 0
+		for i := 0; i < b.N; i++ {
+			v := uint32(i % (3 * n))
+			lo, hi := 0, len(keys)
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if keys[mid] < v {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			if lo < len(keys) && keys[lo] == v {
+				hits++
+			}
+		}
+		_ = hits
+		b.ReportMetric(float64(4*len(keys)), "bytes")
+	})
+}
+
+// BenchmarkAblationUniqueRestriction measures the §4.1.1 policy's effect.
+func BenchmarkAblationUniqueRestriction(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Ablations(experiments.SSBBench(s))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var def, ablated float64
+		for _, r := range rows {
+			switch r.Variant {
+			case "MTO (default)":
+				def = float64(r.Blocks)
+			case "no unique-source restriction":
+				ablated = float64(r.Blocks)
+			}
+		}
+		if def > 0 {
+			b.ReportMetric(ablated/def, "ablated-vs-default-blocks")
+		}
+	}
+}
+
+// BenchmarkAblationReorgPruning measures §5.1.3's pruning payoff.
+func BenchmarkAblationReorgPruning(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ReorgPruningAblation(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows[1].FracSubtreesConsidered > 0 {
+			b.ReportMetric(rows[0].FracSubtreesConsidered/rows[1].FracSubtreesConsidered,
+				"pruned-vs-exhaustive-subtrees")
+		}
+	}
+}

@@ -1,0 +1,282 @@
+// Command mtobench regenerates the tables and figures of "Instance-
+// Optimized Data Layouts for Cloud Analytics Workloads" (SIGMOD 2021) at
+// laptop scale. Each experiment prints the same rows/series the paper
+// reports; EXPERIMENTS.md records paper-vs-measured outcomes.
+//
+// Usage:
+//
+//	mtobench -exp fig10a [-sf 0.02] [-per-template 8] [-seed 1]
+//	mtobench -exp all
+//
+// Experiments: fig10a fig10bc fig11 fig12 fig13a fig13b fig14a fig14b
+// fig15a fig15b table2 table3 table4 table5 ablations all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"mto/internal/experiments"
+)
+
+// csvDir, when set, receives one <experiment>.csv per harness run.
+var csvDir string
+
+// saveCSV writes rows for one experiment when -csv is set.
+func saveCSV(name string, rows interface{}) error {
+	if csvDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(csvDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(csvDir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return experiments.WriteRowsCSV(f, rows)
+}
+
+func main() {
+	var (
+		exp         = flag.String("exp", "all", "experiment id (fig10a, table2, ..., all)")
+		sf          = flag.Float64("sf", 0.02, "scale factor for the generated datasets")
+		perTemplate = flag.Int("per-template", 8, "TPC-H queries per template")
+		seed        = flag.Int64("seed", 1, "random seed")
+		bench       = flag.String("bench", "", "restrict to one bench (ssb, tpch, tpcds) where applicable")
+	)
+	flag.StringVar(&csvDir, "csv", "", "also write each experiment's rows as CSV into this directory")
+	flag.Parse()
+
+	scale := experiments.DefaultScale()
+	scale.SF = *sf
+	scale.PerTemplate = *perTemplate
+	scale.Seed = *seed
+
+	if err := runExperiment(*exp, *bench, scale); err != nil {
+		fmt.Fprintln(os.Stderr, "mtobench:", err)
+		os.Exit(1)
+	}
+}
+
+func benchesFor(name string, s experiments.Scale) ([]*experiments.Bench, error) {
+	if name == "" {
+		return experiments.AllBenches(s), nil
+	}
+	b, err := experiments.BenchByName(name, s)
+	if err != nil {
+		return nil, err
+	}
+	return []*experiments.Bench{b}, nil
+}
+
+func runExperiment(exp, bench string, s experiments.Scale) error {
+	out := os.Stdout
+	switch exp {
+	case "all":
+		for _, e := range []string{
+			"fig10a", "fig10bc", "table2", "fig11", "fig12", "table3",
+			"fig13a", "fig13b", "table4", "fig14a", "table5", "fig14b",
+			"fig15a", "fig15b", "ablations",
+		} {
+			if err := runExperiment(e, bench, s); err != nil {
+				return fmt.Errorf("%s: %w", e, err)
+			}
+		}
+		return nil
+	case "fig10a":
+		benches, err := benchesFor(bench, s)
+		if err != nil {
+			return err
+		}
+		rows, err := experiments.Fig10a(benches)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig10a(out, rows)
+		if err := saveCSV("fig10a", rows); err != nil {
+			return err
+		}
+	case "fig10bc":
+		benches, err := benchesFor(bench, s)
+		if err != nil {
+			return err
+		}
+		rows, err := experiments.Fig10bc(benches)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig10bc(out, rows)
+		if err := saveCSV("fig10bc", rows); err != nil {
+			return err
+		}
+	case "table2":
+		benches, err := benchesFor(bench, s)
+		if err != nil {
+			return err
+		}
+		rows, err := experiments.Table2(benches)
+		if err != nil {
+			return err
+		}
+		experiments.PrintTable2(out, rows)
+		if err := saveCSV("table2", rows); err != nil {
+			return err
+		}
+	case "fig11":
+		benches, err := benchesFor(bench, s)
+		if err != nil {
+			return err
+		}
+		for _, b := range benches {
+			rows, err := experiments.Fig11(b)
+			if err != nil {
+				return err
+			}
+			experiments.PrintFig11(out, rows)
+			if err := saveCSV("fig11-"+b.Name, rows); err != nil {
+				return err
+			}
+		}
+	case "fig12":
+		b, err := experiments.BenchByName("tpch", s)
+		if err != nil {
+			return err
+		}
+		rows, err := experiments.Fig12(b)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig12(out, rows)
+		if err := saveCSV("fig12", rows); err != nil {
+			return err
+		}
+	case "table3":
+		benches, err := benchesFor(bench, s)
+		if err != nil {
+			return err
+		}
+		rows, err := experiments.Table3(benches)
+		if err != nil {
+			return err
+		}
+		experiments.PrintTable3(out, rows)
+		if err := saveCSV("table3", rows); err != nil {
+			return err
+		}
+	case "fig13a":
+		b, err := experiments.BenchByName("tpch", s)
+		if err != nil {
+			return err
+		}
+		rows, err := experiments.Fig13a(b, []float64{1, 0.5, 0.25, 0.1, 0.05})
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig13a(out, rows)
+		if err := saveCSV("fig13a", rows); err != nil {
+			return err
+		}
+	case "fig13b":
+		b, err := experiments.BenchByName("tpch", s)
+		if err != nil {
+			return err
+		}
+		rows, err := experiments.Fig13b(b, []float64{1, 0.5, 0.25, 0.1, 0.05})
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig13b(out, rows)
+		if err := saveCSV("fig13b", rows); err != nil {
+			return err
+		}
+	case "table4":
+		benches, err := benchesFor(bench, s)
+		if err != nil {
+			return err
+		}
+		rows, err := experiments.Table4(benches)
+		if err != nil {
+			return err
+		}
+		experiments.PrintTable4(out, rows)
+		if err := saveCSV("table4", rows); err != nil {
+			return err
+		}
+	case "fig14a":
+		rows, err := experiments.Fig14a(s)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig14a(out, rows)
+		if err := saveCSV("fig14a", rows); err != nil {
+			return err
+		}
+	case "table5":
+		rows, err := experiments.Table5(s, []float64{100, 200, 500, 1000, math.Inf(1)})
+		if err != nil {
+			return err
+		}
+		experiments.PrintTable5(out, rows)
+		if err := saveCSV("table5", rows); err != nil {
+			return err
+		}
+	case "fig14b":
+		rows, err := experiments.Fig14b(s)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig14b(out, rows)
+		if err := saveCSV("fig14b", rows); err != nil {
+			return err
+		}
+	case "fig15a":
+		rows, err := experiments.Fig15a(s, []int{1, 2, 4, 8, 16})
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig15a(out, rows)
+		if err := saveCSV("fig15a", rows); err != nil {
+			return err
+		}
+	case "fig15b":
+		rows, err := experiments.Fig15b(s, []float64{0.005, 0.01, 0.02, 0.05})
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig15b(out, rows)
+		if err := saveCSV("fig15b", rows); err != nil {
+			return err
+		}
+	case "ablations":
+		benches, err := benchesFor(bench, s)
+		if err != nil {
+			return err
+		}
+		for _, b := range benches {
+			rows, err := experiments.Ablations(b)
+			if err != nil {
+				return err
+			}
+			experiments.PrintAblations(out, rows)
+			if err := saveCSV("ablations-"+b.Name, rows); err != nil {
+				return err
+			}
+		}
+		prows, err := experiments.ReorgPruningAblation(s)
+		if err != nil {
+			return err
+		}
+		experiments.PrintReorgPruning(out, prows)
+		if err := saveCSV("reorg-pruning", prows); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

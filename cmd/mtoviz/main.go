@@ -1,0 +1,62 @@
+// Command mtoviz learns an MTO (or STO) layout for one of the evaluation
+// benches and dumps the per-table qd-trees as indented text, showing the
+// cuts (simple and join-induced) each tree uses.
+//
+// Usage:
+//
+//	mtoviz -bench ssb -sf 0.005 [-table lineorder] [-sto]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mto/internal/core"
+	"mto/internal/experiments"
+)
+
+func main() {
+	var (
+		bench = flag.String("bench", "ssb", "bench: ssb, tpch, or tpcds")
+		sf    = flag.Float64("sf", 0.005, "scale factor")
+		seed  = flag.Int64("seed", 1, "random seed")
+		table = flag.String("table", "", "dump only this table's tree")
+		sto   = flag.Bool("sto", false, "disable join induction (STO)")
+	)
+	flag.Parse()
+
+	scale := experiments.DefaultScale()
+	scale.SF = *sf
+	scale.Seed = *seed
+	b, err := experiments.BenchByName(*bench, scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mtoviz:", err)
+		os.Exit(1)
+	}
+	opt, err := core.Optimize(b.Dataset, b.Workload, core.Options{
+		BlockSize:     b.BlockSize,
+		SampleRate:    b.SampleRate,
+		JoinInduction: !*sto,
+		Seed:          b.Seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mtoviz:", err)
+		os.Exit(1)
+	}
+	tables := b.Dataset.TableNames()
+	if *table != "" {
+		tables = []string{*table}
+	}
+	for _, name := range tables {
+		tree := opt.Tree(name)
+		if tree == nil {
+			fmt.Fprintf(os.Stderr, "mtoviz: no tree for table %q\n", name)
+			os.Exit(1)
+		}
+		fmt.Println(tree.Dump())
+	}
+	st := opt.Stats()
+	fmt.Printf("totals: %d cuts (%d join-induced, avg depth %.2f, max %d), ~%d bytes\n",
+		st.TotalCuts, st.InducedCuts, st.AvgInductionDepth(), st.MaxDepth, st.MemBytes)
+}

@@ -1,0 +1,73 @@
+package mto_test
+
+import (
+	"fmt"
+	"log"
+
+	"mto"
+)
+
+// Example demonstrates the end-to-end flow: build a star dataset, describe
+// the workload (filters on the dimension table only), learn the layout, and
+// execute with join-aware block skipping.
+func Example() {
+	ds := mto.NewDataset()
+	dim := mto.NewTable(mto.MustSchema("dim",
+		mto.Column{Name: "id", Type: mto.KindInt, Unique: true},
+		mto.Column{Name: "color", Type: mto.KindString},
+	))
+	colors := []string{"red", "green", "blue", "gold"}
+	for i := 0; i < 400; i++ {
+		dim.MustAppendRow(mto.Int(int64(i)), mto.String(colors[i%4]))
+	}
+	fact := mto.NewTable(mto.MustSchema("fact",
+		mto.Column{Name: "fid", Type: mto.KindInt, Unique: true},
+		mto.Column{Name: "dim_id", Type: mto.KindInt},
+	))
+	for i := 0; i < 40000; i++ {
+		fact.MustAppendRow(mto.Int(int64(i)), mto.Int(int64(i*7919%400)))
+	}
+	ds.MustAddTable(dim)
+	ds.MustAddTable(fact)
+
+	w := mto.NewWorkload()
+	for _, c := range colors {
+		q := mto.NewQuery("by-"+c, mto.TableRef{Table: "dim"}, mto.TableRef{Table: "fact"})
+		q.AddJoin("dim", "id", "fact", "dim_id")
+		q.Filter("dim", mto.Compare("color", mto.Eq, mto.String(c)))
+		w.Add(q)
+	}
+
+	sys, err := mto.Open(ds, w, mto.Config{BlockSize: 2000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Execute(w.Queries[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("by-red reads %d of %d blocks\n", res.BlocksRead, res.TotalBlocks)
+	// Output:
+	// by-red reads 6 of 21 blocks
+}
+
+// Example_sql shows the same workload written in SQL.
+func Example_sql() {
+	ds := mto.NewDataset()
+	users := mto.NewTable(mto.MustSchema("users",
+		mto.Column{Name: "uid", Type: mto.KindInt, Unique: true},
+		mto.Column{Name: "country", Type: mto.KindString},
+	))
+	for i := 0; i < 100; i++ {
+		users.MustAppendRow(mto.Int(int64(i)), mto.String([]string{"DE", "FR"}[i%2]))
+	}
+	ds.MustAddTable(users)
+
+	q, err := mto.ParseSQL(`SELECT COUNT(*) FROM users WHERE country = 'DE'`, ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(q)
+	// Output:
+	// Q[](users) σ[users: country = "DE"]
+}

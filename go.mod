@@ -1,0 +1,3 @@
+module mto
+
+go 1.22

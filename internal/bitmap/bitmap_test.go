@@ -1,0 +1,333 @@
+package bitmap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	b := New()
+	if !b.IsEmpty() || b.Cardinality() != 0 {
+		t.Error("new bitmap should be empty")
+	}
+	if b.Contains(0) || b.Contains(1<<31) {
+		t.Error("empty bitmap contains values")
+	}
+	b.Remove(42) // no-op
+	if got := b.String(); got != "{}" {
+		t.Errorf("empty String() = %q", got)
+	}
+	var zero Bitmap
+	if !zero.IsEmpty() {
+		t.Error("zero Bitmap should be usable and empty")
+	}
+}
+
+func TestAddContainsRemove(t *testing.T) {
+	b := New()
+	vals := []uint32{0, 1, 2, 65535, 65536, 65537, 1 << 20, 1<<32 - 1}
+	for _, v := range vals {
+		b.Add(v)
+		b.Add(v) // idempotent
+	}
+	if got := b.Cardinality(); got != len(vals) {
+		t.Fatalf("Cardinality = %d, want %d", got, len(vals))
+	}
+	for _, v := range vals {
+		if !b.Contains(v) {
+			t.Errorf("missing %d", v)
+		}
+	}
+	if b.Contains(3) || b.Contains(65538) {
+		t.Error("contains value never added")
+	}
+	b.Remove(65536)
+	if b.Contains(65536) || b.Cardinality() != len(vals)-1 {
+		t.Error("Remove failed")
+	}
+	// Removing the last value of a chunk drops the container.
+	b.Remove(1 << 20)
+	if b.Contains(1 << 20) {
+		t.Error("Remove of singleton chunk failed")
+	}
+}
+
+func TestArrayToBitmapPromotion(t *testing.T) {
+	b := New()
+	for i := uint32(0); i < 2*arrayMaxCard; i++ {
+		b.Add(i * 2) // non-contiguous, all in chunk 0 until 32768*2
+	}
+	if got := b.Cardinality(); got != 2*arrayMaxCard {
+		t.Fatalf("Cardinality = %d", got)
+	}
+	for i := uint32(0); i < 2*arrayMaxCard; i++ {
+		if !b.Contains(i * 2) {
+			t.Fatalf("missing %d after promotion", i*2)
+		}
+		if b.Contains(i*2 + 1) {
+			t.Fatalf("spurious %d after promotion", i*2+1)
+		}
+	}
+}
+
+func TestAddRange(t *testing.T) {
+	b := New()
+	b.AddRange(65530, 65545) // crosses a container boundary
+	if got := b.Cardinality(); got != 16 {
+		t.Fatalf("Cardinality = %d, want 16", got)
+	}
+	for v := uint32(65530); v <= 65545; v++ {
+		if !b.Contains(v) {
+			t.Errorf("missing %d", v)
+		}
+	}
+	b.AddRange(10, 5) // inverted: no-op
+	if b.Contains(10) || b.Contains(5) {
+		t.Error("inverted AddRange added values")
+	}
+	// Large range forces a bitmap container.
+	c := New()
+	c.AddRange(0, 10000)
+	if c.Cardinality() != 10001 {
+		t.Errorf("large AddRange cardinality = %d", c.Cardinality())
+	}
+}
+
+func TestForEachOrderAndEarlyStop(t *testing.T) {
+	vals := []uint32{7, 3, 1 << 17, 65536, 9, 2}
+	b := FromSlice(vals)
+	var got []uint32
+	b.ForEach(func(v uint32) bool {
+		got = append(got, v)
+		return true
+	})
+	want := append([]uint32(nil), vals...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %d values, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order: got %v, want %v", got, want)
+		}
+	}
+	n := 0
+	b.ForEach(func(uint32) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	a := FromSlice([]uint32{1, 2, 3, 100000, 200000})
+	b := FromSlice([]uint32{2, 3, 4, 200000, 300000})
+
+	and := And(a, b)
+	wantAnd := []uint32{2, 3, 200000}
+	if got := and.ToSlice(); !equalSlices(got, wantAnd) {
+		t.Errorf("And = %v, want %v", got, wantAnd)
+	}
+
+	or := Or(a, b)
+	wantOr := []uint32{1, 2, 3, 4, 100000, 200000, 300000}
+	if got := or.ToSlice(); !equalSlices(got, wantOr) {
+		t.Errorf("Or = %v, want %v", got, wantOr)
+	}
+
+	diff := AndNot(a, b)
+	wantDiff := []uint32{1, 100000}
+	if got := diff.ToSlice(); !equalSlices(got, wantDiff) {
+		t.Errorf("AndNot = %v, want %v", got, wantDiff)
+	}
+
+	if !Intersects(a, b) {
+		t.Error("Intersects(a,b) = false")
+	}
+	if Intersects(a, FromSlice([]uint32{999})) {
+		t.Error("Intersects with disjoint = true")
+	}
+	if Intersects(a, New()) {
+		t.Error("Intersects with empty = true")
+	}
+}
+
+func TestEqualAndClone(t *testing.T) {
+	a := FromSlice([]uint32{5, 10, 1 << 18})
+	c := a.Clone()
+	if !Equal(a, c) {
+		t.Error("clone not equal")
+	}
+	c.Add(11)
+	if Equal(a, c) {
+		t.Error("mutating clone affected equality")
+	}
+	if a.Contains(11) {
+		t.Error("clone shares storage with original")
+	}
+	if Equal(a, FromSlice([]uint32{5, 10, 99})) {
+		t.Error("Equal on same-cardinality different sets")
+	}
+}
+
+func TestOptimizeRunsPreservesContents(t *testing.T) {
+	b := New()
+	b.AddRange(100, 5000) // dense run — should become a run container
+	b.Add(70000)
+	before := b.ToSlice()
+	b.Optimize()
+	after := b.ToSlice()
+	if !equalSlices(before, after) {
+		t.Fatal("Optimize changed contents")
+	}
+	if b.containers[0].kind != kindRun {
+		t.Errorf("dense chunk kind = %d, want run", b.containers[0].kind)
+	}
+	// Run containers still answer membership and mutations correctly.
+	if !b.Contains(4999) || b.Contains(5001) {
+		t.Error("run membership wrong")
+	}
+	b.Add(6000)
+	if !b.Contains(6000) {
+		t.Error("Add after Optimize failed")
+	}
+	b2 := New()
+	b2.AddRange(0, 4000)
+	b2.Optimize()
+	b2.Remove(2000)
+	if b2.Contains(2000) || b2.Cardinality() != 4000 {
+		t.Error("Remove on run container failed")
+	}
+	b2.Remove(999999) // absent from run: no-op
+}
+
+func TestOptimizeSparseStaysArray(t *testing.T) {
+	b := FromSlice([]uint32{1, 100, 10000})
+	b.Optimize()
+	if b.containers[0].kind != kindArray {
+		t.Errorf("sparse chunk kind = %d, want array", b.containers[0].kind)
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	sparse := FromSlice([]uint32{1, 2, 3})
+	run := New()
+	run.AddRange(0, 60000)
+	run.Optimize()
+	if sparse.SizeBytes() <= 0 {
+		t.Error("SizeBytes must be positive")
+	}
+	if run.SizeBytes() >= 8*bitmapWords {
+		t.Errorf("run container should compress a solid range: %d bytes", run.SizeBytes())
+	}
+	dense := New()
+	for i := uint32(0); i < 60000; i += 2 {
+		dense.Add(i)
+	}
+	dense.Optimize()
+	if dense.SizeBytes() < 8*bitmapWords {
+		t.Errorf("alternating bits should be a bitmap container: %d bytes", dense.SizeBytes())
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	small := FromSlice([]uint32{3, 1})
+	if got := small.String(); got != "{1 3}" {
+		t.Errorf("String = %q", got)
+	}
+	big := New()
+	big.AddRange(0, 100)
+	if got := big.String(); got == "" || got[0] == '{' {
+		t.Errorf("large String should be a summary, got %q", got)
+	}
+}
+
+func TestRandomizedAgainstMapModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := New()
+	model := map[uint32]bool{}
+	for i := 0; i < 20000; i++ {
+		v := uint32(rng.Intn(1 << 18))
+		switch rng.Intn(3) {
+		case 0, 1:
+			b.Add(v)
+			model[v] = true
+		case 2:
+			b.Remove(v)
+			delete(model, v)
+		}
+	}
+	if b.Cardinality() != len(model) {
+		t.Fatalf("cardinality %d != model %d", b.Cardinality(), len(model))
+	}
+	for v := range model {
+		if !b.Contains(v) {
+			t.Fatalf("missing %d", v)
+		}
+	}
+	b.Optimize()
+	if b.Cardinality() != len(model) {
+		t.Fatal("Optimize changed cardinality")
+	}
+	b.ForEach(func(v uint32) bool {
+		if !model[v] {
+			t.Fatalf("spurious %d", v)
+		}
+		return true
+	})
+}
+
+// Property: And/Or/AndNot agree with set semantics on arbitrary small sets.
+func TestSetOpsProperty(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		ax := make([]uint32, len(xs))
+		for i, v := range xs {
+			ax[i] = uint32(v)
+		}
+		ay := make([]uint32, len(ys))
+		for i, v := range ys {
+			ay[i] = uint32(v)
+		}
+		a, b := FromSlice(ax), FromSlice(ay)
+		inA := map[uint32]bool{}
+		for _, v := range ax {
+			inA[v] = true
+		}
+		inB := map[uint32]bool{}
+		for _, v := range ay {
+			inB[v] = true
+		}
+		and, or, diff := And(a, b), Or(a, b), AndNot(a, b)
+		for v := uint32(0); v < 1<<16; v += 97 {
+			if and.Contains(v) != (inA[v] && inB[v]) {
+				return false
+			}
+			if or.Contains(v) != (inA[v] || inB[v]) {
+				return false
+			}
+			if diff.Contains(v) != (inA[v] && !inB[v]) {
+				return false
+			}
+		}
+		return Intersects(a, b) == !and.IsEmpty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func equalSlices(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

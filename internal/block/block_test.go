@@ -1,0 +1,249 @@
+package block
+
+import (
+	"math/rand"
+	"testing"
+
+	"mto/internal/predicate"
+	"mto/internal/relation"
+	"mto/internal/value"
+)
+
+func intTable(t *testing.T, n int) *relation.Table {
+	t.Helper()
+	tab := relation.NewTable(relation.MustSchema("t",
+		relation.Column{Name: "x", Type: value.KindInt},
+	))
+	for i := 0; i < n; i++ {
+		tab.MustAppendRow(value.Int(int64(i)))
+	}
+	return tab
+}
+
+func seqRows(lo, hi int) []int32 {
+	out := make([]int32, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, int32(i))
+	}
+	return out
+}
+
+func TestNewTableLayout(t *testing.T) {
+	tab := intTable(t, 100)
+	tl, err := NewTableLayout(tab, [][]int32{seqRows(0, 60), seqRows(60, 100)}, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 60 rows → 3 blocks (25, 25, 10); 40 rows → 2 blocks (25, 15).
+	if tl.NumBlocks() != 5 {
+		t.Fatalf("NumBlocks = %d, want 5", tl.NumBlocks())
+	}
+	if tl.Block(0).NumRows() != 25 || tl.Block(2).NumRows() != 10 || tl.Block(4).NumRows() != 15 {
+		t.Error("block sizes wrong")
+	}
+	if err := tl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tl.Table() != tab {
+		t.Error("Table() wrong")
+	}
+	// Zone maps are attached and reflect contents.
+	z := tl.Block(0).Zone
+	if z.Column("x").Min.Int() != 0 || z.Column("x").Max.Int() != 24 {
+		t.Error("block 0 zone wrong")
+	}
+	if len(tl.Blocks()) != 5 {
+		t.Error("Blocks() wrong")
+	}
+}
+
+func TestNewTableLayoutErrors(t *testing.T) {
+	tab := intTable(t, 10)
+	if _, err := NewTableLayout(tab, [][]int32{seqRows(0, 10)}, 0); err == nil {
+		t.Error("zero block size accepted")
+	}
+	if _, err := NewTableLayout(tab, [][]int32{seqRows(0, 5)}, 5); err == nil {
+		t.Error("partial coverage accepted")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	tab := intTable(t, 10)
+	tl, err := NewTableLayout(tab, [][]int32{seqRows(0, 10)}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl.blocks[0].Rows[0] = 5 // duplicate row 5, orphan row 0
+	if err := tl.Validate(); err == nil {
+		t.Error("Validate missed duplicate row")
+	}
+	tl.blocks[0].Rows[0] = 99
+	if err := tl.Validate(); err == nil {
+		t.Error("Validate missed out-of-range row")
+	}
+}
+
+func TestJitteredLayout(t *testing.T) {
+	tab := intTable(t, 10000)
+	rng := rand.New(rand.NewSource(3))
+	tl, err := NewJitteredTableLayout(tab, [][]int32{seqRows(0, 10000)}, 1000, 0.1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tl.NumBlocks() <= 10 {
+		t.Errorf("jittered layout should need more blocks than uniform: %d", tl.NumBlocks())
+	}
+	sawSmall := false
+	for _, b := range tl.Blocks() {
+		if b.NumRows() > 1000 {
+			t.Fatalf("block exceeds target size: %d", b.NumRows())
+		}
+		if b.NumRows() < 700 {
+			sawSmall = true
+		}
+	}
+	if !sawSmall {
+		t.Error("expected some underfilled blocks")
+	}
+	if _, err := NewJitteredTableLayout(tab, nil, 0, 0.5, rng); err == nil {
+		t.Error("zero block size accepted")
+	}
+	if _, err := NewJitteredTableLayout(tab, nil, 10, 0, rng); err == nil {
+		t.Error("zero minFill accepted")
+	}
+	if _, err := NewJitteredTableLayout(tab, [][]int32{seqRows(0, 5)}, 10, 0.5, rng); err == nil {
+		t.Error("partial coverage accepted")
+	}
+}
+
+func TestStoreReadAccounting(t *testing.T) {
+	tab := intTable(t, 100)
+	tl, err := NewTableLayout(tab, [][]int32{seqRows(0, 100)}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(DefaultCostModel())
+	writeSec := s.SetLayout("t", tl)
+	if writeSec <= 0 {
+		t.Error("SetLayout should cost write time")
+	}
+	if got := s.Stats(); got.BlocksWritten != 10 || got.RowsWritten != 100 {
+		t.Errorf("write stats = %+v", got)
+	}
+	b, err := s.ReadBlock("t", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ID != 3 || b.NumRows() != 10 {
+		t.Error("wrong block read")
+	}
+	if got := s.Stats(); got.BlocksRead != 1 || got.RowsRead != 10 {
+		t.Errorf("read stats = %+v", got)
+	}
+	if _, err := s.ReadBlock("t", 99); err == nil {
+		t.Error("out-of-range read accepted")
+	}
+	if _, err := s.ReadBlock("missing", 0); err == nil {
+		t.Error("missing table read accepted")
+	}
+	if s.Layout("t") != tl || s.Layout("missing") != nil {
+		t.Error("Layout lookup wrong")
+	}
+	if got := s.TotalBlocks(); got != 10 {
+		t.Errorf("TotalBlocks = %d", got)
+	}
+	if got := s.TotalBlocks("t", "missing"); got != 10 {
+		t.Errorf("TotalBlocks(named) = %d", got)
+	}
+	if names := s.Tables(); len(names) != 1 || names[0] != "t" {
+		t.Errorf("Tables = %v", names)
+	}
+	delta := s.Stats().Sub(Stats{BlocksRead: 1})
+	if delta.BlocksRead != 0 {
+		t.Error("Stats.Sub wrong")
+	}
+}
+
+func TestReplaceBlocks(t *testing.T) {
+	tab := intTable(t, 100)
+	tl, err := NewTableLayout(tab, [][]int32{seqRows(0, 100)}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(DefaultCostModel())
+	s.SetLayout("t", tl)
+	before := s.Stats()
+
+	// Reorganize blocks 0 and 1 (rows 0..19) into a new grouping.
+	newGroups := [][]int32{seqRows(10, 20), seqRows(0, 10)}
+	sec, err := s.ReplaceBlocks("t", map[int]bool{0: true, 1: true}, newGroups, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sec <= 0 {
+		t.Error("replacement should cost write time")
+	}
+	got := s.Layout("t")
+	if got.NumBlocks() != 10 {
+		t.Fatalf("NumBlocks after replace = %d", got.NumBlocks())
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().Sub(before).BlocksWritten != 2 {
+		t.Errorf("blocks written = %d, want 2", s.Stats().Sub(before).BlocksWritten)
+	}
+	// The new grouping is addressable and zone maps are correct: one of the
+	// replaced blocks should now cover exactly rows 10..19.
+	found := false
+	for _, b := range got.Blocks() {
+		iv := b.Zone.Column("x")
+		if !iv.Min.IsNull() && iv.Min.Int() == 10 && iv.Max.Int() == 19 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("replacement group not found in new layout")
+	}
+
+	// Error paths.
+	if _, err := s.ReplaceBlocks("missing", nil, nil, 10); err == nil {
+		t.Error("missing table accepted")
+	}
+	if _, err := s.ReplaceBlocks("t", map[int]bool{0: true}, nil, 10); err == nil {
+		t.Error("row-losing replacement accepted")
+	}
+}
+
+func TestCostModelDefaults(t *testing.T) {
+	cm := DefaultCostModel()
+	if cm.BlockWriteSeconds < 99*cm.BlockReadSeconds {
+		t.Errorf("write/read ratio should be ~100×: %g/%g", cm.BlockWriteSeconds, cm.BlockReadSeconds)
+	}
+	s := NewStore(cm)
+	if s.Cost() != cm {
+		t.Error("Cost() wrong")
+	}
+}
+
+func TestZoneSkipIntegration(t *testing.T) {
+	// End-to-end: a sorted layout lets range filters skip most blocks.
+	tab := intTable(t, 1000)
+	tl, err := NewTableLayout(tab, [][]int32{seqRows(0, 1000)}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := predicate.NewComparison("x", predicate.Lt, value.Int(150))
+	matched := 0
+	for _, b := range tl.Blocks() {
+		if b.Zone.MaybeMatches(p) {
+			matched++
+		}
+	}
+	if matched != 2 {
+		t.Errorf("matched %d blocks, want 2", matched)
+	}
+}

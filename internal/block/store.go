@@ -1,0 +1,219 @@
+package block
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// CostModel converts I/O and compute events into simulated wall-clock
+// seconds. The defaults are calibrated so that writing (compressing +
+// re-writing) a block is ~100× the cost of reading one, matching the
+// reorganization overhead ratio w=100 reported for the paper's evaluation
+// system (§5.1.2).
+type CostModel struct {
+	// BlockReadSeconds is the simulated cost of reading one block from
+	// cloud storage.
+	BlockReadSeconds float64
+	// BlockWriteSeconds is the simulated cost of compressing and writing
+	// one block.
+	BlockWriteSeconds float64
+	// TupleJoinSeconds is the per-tuple cost of probing a hash join.
+	TupleJoinSeconds float64
+	// TupleScanSeconds is the per-tuple cost of scanning and filtering.
+	TupleScanSeconds float64
+	// SemiJoinSetupSeconds is the fixed cost of building one semi-join
+	// reducer (bitmap) at execution time.
+	SemiJoinSetupSeconds float64
+	// QueryOverheadSeconds is the fixed per-query setup cost.
+	QueryOverheadSeconds float64
+}
+
+// DefaultCostModel returns the calibration used across the experiments.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		BlockReadSeconds:     0.05,
+		BlockWriteSeconds:    5.0, // 100× read, per §5.1.2
+		TupleJoinSeconds:     25e-9,
+		TupleScanSeconds:     4e-9,
+		SemiJoinSetupSeconds: 0.01,
+		QueryOverheadSeconds: 0.05,
+	}
+}
+
+// Stats accumulates simulated I/O counters. All counters are monotonically
+// increasing; use Snapshot/Sub to measure an interval.
+type Stats struct {
+	BlocksRead    int64
+	BlocksWritten int64
+	RowsRead      int64
+	RowsWritten   int64
+}
+
+// Sub returns s - o, for measuring deltas between snapshots.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		BlocksRead:    s.BlocksRead - o.BlocksRead,
+		BlocksWritten: s.BlocksWritten - o.BlocksWritten,
+		RowsRead:      s.RowsRead - o.RowsRead,
+		RowsWritten:   s.RowsWritten - o.RowsWritten,
+	}
+}
+
+// Store is the simulated multi-table block store ("Cloud DW" stand-in). It
+// owns one TableLayout per table and meters every block access.
+type Store struct {
+	mu      sync.Mutex
+	layouts map[string]*TableLayout
+	stats   Stats
+	cost    CostModel
+}
+
+// NewStore returns an empty store with the given cost model.
+func NewStore(cost CostModel) *Store {
+	return &Store{layouts: make(map[string]*TableLayout), cost: cost}
+}
+
+// Cost returns the store's cost model.
+func (s *Store) Cost() CostModel { return s.cost }
+
+// SetLayout installs (or replaces) a table's layout, metering the block
+// writes. Replacing a layout is what physical reorganization does (§5.1.1);
+// the write cost of the new blocks is charged to the caller via WriteSeconds.
+func (s *Store) SetLayout(table string, tl *TableLayout) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.layouts[table] = tl
+	var rows int64
+	for _, b := range tl.blocks {
+		rows += int64(len(b.Rows))
+	}
+	s.stats.BlocksWritten += int64(len(tl.blocks))
+	s.stats.RowsWritten += rows
+	return float64(len(tl.blocks)) * s.cost.BlockWriteSeconds
+}
+
+// ReplaceBlocks swaps a subset of a table's blocks for new ones (partial
+// reorganization). oldIDs are removed; newGroups are blocked at blockSize and
+// appended. Block IDs are renumbered. Returns the simulated write seconds.
+func (s *Store) ReplaceBlocks(table string, oldIDs map[int]bool, newGroups [][]int32, blockSize int) (float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tl, ok := s.layouts[table]
+	if !ok {
+		return 0, fmt.Errorf("block: no layout for table %q", table)
+	}
+	var kept []*Block
+	for _, b := range tl.blocks {
+		if !oldIDs[b.ID] {
+			kept = append(kept, b)
+		}
+	}
+	var keptRows int
+	for _, b := range kept {
+		keptRows += len(b.Rows)
+	}
+	var newRows int
+	var groups [][]int32
+	for _, b := range kept {
+		groups = append(groups, b.Rows)
+	}
+	for _, g := range newGroups {
+		newRows += len(g)
+		for off := 0; off < len(g); off += blockSize {
+			end := off + blockSize
+			if end > len(g) {
+				end = len(g)
+			}
+			groups = append(groups, g[off:end:end])
+		}
+	}
+	if keptRows+newRows != tl.table.NumRows() {
+		return 0, fmt.Errorf("block: %s: replacement covers %d rows, table has %d",
+			table, keptRows+newRows, tl.table.NumRows())
+	}
+	replaced, err := NewTableLayout(tl.table, groups, maxGroupLen(groups))
+	if err != nil {
+		return 0, err
+	}
+	s.layouts[table] = replaced
+	written := int64(replaced.NumBlocks() - len(kept))
+	if written < 0 {
+		written = 0
+	}
+	s.stats.BlocksWritten += written
+	s.stats.RowsWritten += int64(newRows)
+	return float64(written) * s.cost.BlockWriteSeconds, nil
+}
+
+func maxGroupLen(groups [][]int32) int {
+	m := 1
+	for _, g := range groups {
+		if len(g) > m {
+			m = len(g)
+		}
+	}
+	return m
+}
+
+// Layout returns the named table's layout, or nil.
+func (s *Store) Layout(table string) *TableLayout {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.layouts[table]
+}
+
+// Tables returns the stored table names, sorted.
+func (s *Store) Tables() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.layouts))
+	for t := range s.layouts {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ReadBlock meters the read of one block and returns it.
+func (s *Store) ReadBlock(table string, id int) (*Block, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tl, ok := s.layouts[table]
+	if !ok {
+		return nil, fmt.Errorf("block: no layout for table %q", table)
+	}
+	if id < 0 || id >= len(tl.blocks) {
+		return nil, fmt.Errorf("block: %s has no block %d", table, id)
+	}
+	b := tl.blocks[id]
+	s.stats.BlocksRead++
+	s.stats.RowsRead += int64(len(b.Rows))
+	return b, nil
+}
+
+// TotalBlocks returns the number of blocks across the given tables (all
+// tables when none specified).
+func (s *Store) TotalBlocks(tables ...string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(tables) == 0 {
+		for t := range s.layouts {
+			tables = append(tables, t)
+		}
+	}
+	n := 0
+	for _, t := range tables {
+		if tl := s.layouts[t]; tl != nil {
+			n += len(tl.blocks)
+		}
+	}
+	return n
+}
+
+// Stats returns a snapshot of the I/O counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}

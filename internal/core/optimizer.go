@@ -1,0 +1,353 @@
+// Package core implements MTO, the multi-table layout optimizer (§3–§5 of
+// the paper). Offline, it learns one qd-tree per table from a dataset and a
+// join-query workload, passing simple predicates through joins as
+// join-induced predicates (§3.2.1); online, the per-table trees route
+// queries to the block subsets they must read (§3.2.2). The package also
+// implements the single-table ablation STO (MTO without join induction,
+// §6.1.3), partial reorganization under workload shift (§5.1), and
+// incremental maintenance under data changes (§5.2).
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"mto/internal/induce"
+	"mto/internal/joingraph"
+	"mto/internal/layout"
+	"mto/internal/qdtree"
+	"mto/internal/relation"
+	"mto/internal/workload"
+)
+
+// Options configures offline optimization.
+type Options struct {
+	// BlockSize is the target rows per block, in full-data terms.
+	BlockSize int
+	// SampleRate is the uniform per-table sampling rate s (§4.2);
+	// 1 disables sampling.
+	SampleRate float64
+	// KeepWholeBelow keeps tables with at most this many rows unsampled
+	// (the paper keeps tables under ~1K rows whole). Default 1000.
+	KeepWholeBelow int
+	// MaxInductionDepth caps induction path length. Default 4 (the
+	// deepest the paper observes on TPC-H, Table 2).
+	MaxInductionDepth int
+	// JoinInduction distinguishes MTO (true) from STO (false).
+	JoinInduction bool
+	// DisableCA turns off cardinality adjustment (Fig. 13a ablation).
+	DisableCA bool
+	// DisableUniqueRestriction lifts the unique-source-column policy of
+	// §4.1.1 (ablation).
+	DisableUniqueRestriction bool
+	// LeafOrderKeys optionally names, per table, a column to order records
+	// by *within* each qd-tree leaf. The tree fixes which block group a
+	// record belongs to; the intra-leaf order is otherwise arbitrary, so
+	// ordering by the table's natural sort key (e.g. a date) keeps zone
+	// maps effective for range filters inside large leaves.
+	LeafOrderKeys map[string]string
+	// Seed drives sampling.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.KeepWholeBelow == 0 {
+		o.KeepWholeBelow = 1000
+	}
+	if o.MaxInductionDepth == 0 {
+		o.MaxInductionDepth = 4
+	}
+	if o.SampleRate == 0 {
+		o.SampleRate = 1
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.BlockSize <= 0 {
+		return fmt.Errorf("core: non-positive block size %d", o.BlockSize)
+	}
+	if o.SampleRate <= 0 || o.SampleRate > 1 {
+		return fmt.Errorf("core: sample rate %g out of (0, 1]", o.SampleRate)
+	}
+	return nil
+}
+
+// Timings breaks down where offline time went (Table 3).
+type Timings struct {
+	// OptimizeSeconds covers sampling, candidate generation, literal-cut
+	// evaluation on the sample, and tree construction.
+	OptimizeSeconds float64
+	// RoutingSeconds covers re-evaluating chosen literal cuts on the full
+	// data and assigning every record to a block.
+	RoutingSeconds float64
+}
+
+// Optimizer is a learned multi-table layout: one qd-tree per table.
+type Optimizer struct {
+	opts    Options
+	ds      *relation.Dataset
+	w       *workload.Workload
+	trees   map[string]*qdtree.Tree
+	unique  joingraph.UniqueFn
+	timings Timings
+}
+
+// UniqueFromDataset derives the unique-column oracle from schema metadata.
+func UniqueFromDataset(ds *relation.Dataset) joingraph.UniqueFn {
+	return func(table, column string) bool {
+		t := ds.Table(table)
+		return t != nil && t.Schema().IsUnique(column)
+	}
+}
+
+// Optimize learns the layout for ds under w (§3.2.1). The returned
+// Optimizer's induced cuts are already re-evaluated against the full
+// dataset, so records can be routed immediately.
+func Optimize(ds *relation.Dataset, w *workload.Workload, opts Options) (*Optimizer, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	o := &Optimizer{opts: opts, ds: ds, w: w, trees: map[string]*qdtree.Tree{}}
+	if opts.DisableUniqueRestriction {
+		o.unique = joingraph.AllowAll
+	} else {
+		o.unique = UniqueFromDataset(ds)
+	}
+
+	start := time.Now()
+	// Sample the dataset (§4.2).
+	rng := rand.New(rand.NewSource(opts.Seed))
+	buildDS := ds
+	if opts.SampleRate < 1 {
+		buildDS, _ = ds.Sample(opts.SampleRate, opts.KeepWholeBelow, rng)
+	}
+
+	// Step 1a: simple predicates per table.
+	simple := workload.SimplePredicates(w)
+
+	// Steps 1b–1c: join-induced predicates, evaluated on the sample.
+	var inducedByTable map[string][]*induce.Predicate
+	if opts.JoinInduction {
+		inducedByTable = induce.FromWorkload(w, o.unique, opts.MaxInductionDepth)
+		for _, ips := range inducedByTable {
+			for _, ip := range ips {
+				if err := ip.Evaluate(buildDS); err != nil {
+					return nil, err
+				}
+				// Per-hop CA rates: a hop only thins the literal if its
+				// scanned table was actually sampled (small tables are
+				// kept whole, §4.2).
+				rates := make([]float64, len(ip.Path.Hops))
+				for i, h := range ip.Path.Hops {
+					rates[i] = 1
+					bt, ft := buildDS.Table(h.FromTable), ds.Table(h.FromTable)
+					if bt != nil && ft != nil && bt.NumRows() < ft.NumRows() {
+						rates[i] = opts.SampleRate
+					}
+				}
+				ip.HopRates = rates
+			}
+		}
+	}
+
+	// Step 2: one qd-tree per table. Tables are independent (their
+	// candidate cuts are already materialized), so they build in parallel.
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+	)
+	for _, name := range ds.TableNames() {
+		var cuts []qdtree.Cut
+		for _, p := range simple[name] {
+			cuts = append(cuts, qdtree.NewSimpleCut(p))
+		}
+		for _, ip := range inducedByTable[name] {
+			cuts = append(cuts, qdtree.NewInducedCut(ip))
+		}
+		// Per-table effective sample rate: tables kept whole build at
+		// rate 1 so their row counts are not inflated.
+		rate := opts.SampleRate
+		if buildDS.Table(name).NumRows() == ds.Table(name).NumRows() {
+			rate = 1
+		}
+		wg.Add(1)
+		go func(name string, cuts []qdtree.Cut, rate float64) {
+			defer wg.Done()
+			tree, err := qdtree.Build(buildDS.Table(name), qdtree.BuildQueries(w, name), cuts, qdtree.Config{
+				Table:        name,
+				BlockSize:    opts.BlockSize,
+				SampleRate:   rate,
+				CASampleRate: opts.SampleRate,
+				DisableCA:    opts.DisableCA,
+			})
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			o.trees[name] = tree
+		}(name, cuts, rate)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	o.timings.OptimizeSeconds = time.Since(start).Seconds()
+
+	// Chosen induced cuts must hold full-data literals before routing.
+	routeStart := time.Now()
+	if opts.SampleRate < 1 && opts.JoinInduction {
+		if err := o.reevaluateInducedCuts(); err != nil {
+			return nil, err
+		}
+	}
+	o.timings.RoutingSeconds = time.Since(routeStart).Seconds()
+	return o, nil
+}
+
+// reevaluateInducedCuts re-runs every chosen cut's semi-join chain on the
+// full dataset (they were evaluated on the sample during construction).
+func (o *Optimizer) reevaluateInducedCuts() error {
+	done := map[*induce.Predicate]bool{}
+	for _, tree := range o.trees {
+		for _, ic := range tree.InducedCuts() {
+			if done[ic.Ind] {
+				continue
+			}
+			done[ic.Ind] = true
+			if err := ic.Ind.Evaluate(o.ds); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Tree returns the learned qd-tree for a table (nil if unknown).
+func (o *Optimizer) Tree(table string) *qdtree.Tree { return o.trees[table] }
+
+// Dataset returns the dataset the optimizer was built over.
+func (o *Optimizer) Dataset() *relation.Dataset { return o.ds }
+
+// Workload returns the training workload.
+func (o *Optimizer) Workload() *workload.Workload { return o.w }
+
+// Options returns the optimization options (with defaults applied).
+func (o *Optimizer) Options() Options { return o.opts }
+
+// Timings returns the offline time breakdown.
+func (o *Optimizer) Timings() Timings { return o.timings }
+
+// Name returns "MTO" or "STO" depending on join induction.
+func (o *Optimizer) Name() string {
+	if o.opts.JoinInduction {
+		return "MTO"
+	}
+	return "STO"
+}
+
+// Stats aggregates qd-tree statistics across tables (Table 2).
+func (o *Optimizer) Stats() qdtree.Stats {
+	var total qdtree.Stats
+	for _, tree := range o.trees {
+		total = total.Add(tree.Stats())
+	}
+	return total
+}
+
+// TableStats returns per-table tree statistics.
+func (o *Optimizer) TableStats() map[string]qdtree.Stats {
+	out := make(map[string]qdtree.Stats, len(o.trees))
+	for name, tree := range o.trees {
+		out[name] = tree.Stats()
+	}
+	return out
+}
+
+// BuildDesign routes every record of every table through its tree (§2.1.2)
+// and returns the resulting physical design; routing time is added to
+// Timings. Install the design into a block.Store to execute queries.
+func (o *Optimizer) BuildDesign() (*layout.Design, error) {
+	start := time.Now()
+	d := layout.NewDesign(o.Name(), o.opts.BlockSize)
+	names := o.ds.TableNames()
+	allGroups := make([][][]int32, len(names))
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for i, name := range names {
+		tree := o.trees[name]
+		if tree == nil {
+			return nil, fmt.Errorf("core: no tree for table %q", name)
+		}
+		tree.Leaves() // index leaves before concurrent routing
+		wg.Add(1)
+		go func(i int, name string, tree *qdtree.Tree) {
+			defer wg.Done()
+			tbl := o.ds.Table(name)
+			groups := tree.AssignRecords(tbl)
+			if col := o.opts.LeafOrderKeys[name]; col != "" {
+				for _, g := range groups {
+					sortRowsBy(tbl, g, col)
+				}
+			}
+			mu.Lock()
+			allGroups[i] = groups
+			mu.Unlock()
+		}(i, name, tree)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	for i, name := range names {
+		tr := o.trees[name]
+		d.SetTable(o.ds.Table(name), allGroups[i], func(q *workload.Query) []int {
+			return tr.RouteQuery(q)
+		})
+	}
+	o.timings.RoutingSeconds += time.Since(start).Seconds()
+	return d, nil
+}
+
+// sortRowsBy stably orders the row indexes by the named column; unknown
+// columns leave the order unchanged.
+func sortRowsBy(tbl *relation.Table, rows []int32, col string) {
+	ci, ok := tbl.Schema().ColumnIndex(col)
+	if !ok {
+		return
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		return tbl.Value(int(rows[i]), ci).Less(tbl.Value(int(rows[j]), ci))
+	})
+}
+
+// Clone returns an optimizer with structural copies of the qd-trees,
+// sharing the (immutable-during-reorganization) cuts, dataset, and
+// workload. Background reorganization (§5.1.1) plans and applies against a
+// clone while the original keeps serving queries, then swaps.
+func (o *Optimizer) Clone() *Optimizer {
+	c := &Optimizer{
+		opts:    o.opts,
+		ds:      o.ds,
+		w:       o.w,
+		unique:  o.unique,
+		timings: o.timings,
+		trees:   make(map[string]*qdtree.Tree, len(o.trees)),
+	}
+	for name, t := range o.trees {
+		c.trees[name] = t.Clone()
+	}
+	return c
+}

@@ -1,0 +1,404 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mto/internal/block"
+	"mto/internal/induce"
+	"mto/internal/layout"
+	"mto/internal/qdtree"
+	"mto/internal/workload"
+)
+
+// ReorgConfig parameterizes the reward function R(T,Q) = (q/w)·B(T,Q) − C(T)
+// of §5.1.2.
+type ReorgConfig struct {
+	// Q is the number of future queries expected from the observed
+	// distribution before the next workload shift. math.Inf(1) forces a
+	// full reorganization.
+	Q float64
+	// W is the relative cost of writing vs reading a block (the paper's
+	// evaluation system has w ≈ 100).
+	W float64
+	// DisablePruning turns off the §5.1.3 bound-based pruning (ablation);
+	// every subtree's benefit is computed exactly.
+	DisablePruning bool
+}
+
+func (c ReorgConfig) withDefaults() ReorgConfig {
+	if c.W == 0 {
+		c.W = 100
+	}
+	return c
+}
+
+// subtreeChoice is one selected reorganization target.
+type subtreeChoice struct {
+	node    *qdtree.Node
+	newTree *qdtree.Tree
+	reward  float64
+	blocks  int
+}
+
+// ReorgPlan is the outcome of §5.1.3's optimization for one table.
+type ReorgPlan struct {
+	Table string
+	// TotalReward is the combined reward of the chosen subtree set.
+	TotalReward float64
+	// SubtreesConsidered / SubtreesTotal report how much work pruning
+	// saved (Table 5's "fraction of subtrees considered").
+	SubtreesConsidered int
+	SubtreesTotal      int
+	// BlocksToRewrite counts the blocks under the chosen subtrees.
+	BlocksToRewrite int
+	// RowsToRewrite counts the records that will move.
+	RowsToRewrite int
+	// PlanSeconds is the wall-clock time spent planning (re-optimization
+	// time in Table 5).
+	PlanSeconds float64
+
+	choices []subtreeChoice
+}
+
+// PlanReorg evaluates, for every table, which qd-tree subtrees are worth
+// reorganizing for the observed workload (§5.1.2–5.1.3). design must be the
+// installed design produced by this optimizer (its group→block mapping
+// gives C(T)). The plan does not modify any state; pass it to ApplyReorg.
+func (o *Optimizer) PlanReorg(observed *workload.Workload, cfg ReorgConfig, design *layout.Design) (map[string]*ReorgPlan, error) {
+	cfg = cfg.withDefaults()
+	if err := observed.Validate(); err != nil {
+		return nil, err
+	}
+	// Candidate cuts from the observed workload, with literals on the full
+	// dataset (reorganization always runs on full records, §5.1.2).
+	simple := workload.SimplePredicates(observed)
+	var inducedByTable map[string][]*induce.Predicate
+	if o.opts.JoinInduction {
+		inducedByTable = induce.FromWorkload(observed, o.unique, o.opts.MaxInductionDepth)
+		for _, ips := range inducedByTable {
+			for _, ip := range ips {
+				if err := ip.Evaluate(o.ds); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	plans := map[string]*ReorgPlan{}
+	for _, name := range o.ds.TableNames() {
+		var cuts []qdtree.Cut
+		for _, p := range simple[name] {
+			cuts = append(cuts, qdtree.NewSimpleCut(p))
+		}
+		for _, ip := range inducedByTable[name] {
+			cuts = append(cuts, qdtree.NewInducedCut(ip))
+		}
+		plan, err := o.planTableReorg(name, observed, cfg, design, cuts)
+		if err != nil {
+			return nil, err
+		}
+		plans[name] = plan
+	}
+	return plans, nil
+}
+
+// planTableReorg runs the reward computation and DP for one table.
+func (o *Optimizer) planTableReorg(table string, observed *workload.Workload,
+	cfg ReorgConfig, design *layout.Design, cuts []qdtree.Cut) (*ReorgPlan, error) {
+
+	start := time.Now()
+	tree := o.trees[table]
+	tbl := o.ds.Table(table)
+	groups := design.Table(table).Groups()
+	groupBlocks := design.GroupBlocks(table)
+	if groupBlocks == nil {
+		return nil, fmt.Errorf("core: design not installed for table %q", table)
+	}
+	plan := &ReorgPlan{Table: table}
+
+	// Route each observed query once; record the leaf sets.
+	qLeaves := make([]map[int]bool, observed.Len())
+	for qi, q := range observed.Queries {
+		set := map[int]bool{}
+		for _, li := range tree.RouteQuery(q) {
+			set[li] = true
+		}
+		qLeaves[qi] = set
+	}
+	nQueries := float64(observed.Len())
+	if nQueries == 0 {
+		return plan, nil
+	}
+
+	// curAccesses(T): average blocks accessed under T per observed query —
+	// both the benefit's upper bound (property 1) and the input to B.
+	blocksUnderLeaf := func(li int) int { return len(groupBlocks[li]) }
+	curAvgAccess := func(n *qdtree.Node) float64 {
+		total := 0.0
+		for qi := range qLeaves {
+			for _, lf := range qdtree.SubtreeLeaves(n) {
+				if qLeaves[qi][lf.LeafIndex] {
+					total += float64(blocksUnderLeaf(lf.LeafIndex))
+				}
+			}
+		}
+		return total / nQueries
+	}
+
+	nodes := tree.Nodes()
+	plan.SubtreesTotal = len(nodes)
+
+	type nodeInfo struct {
+		bound    float64 // upper bound on B(T,Q)
+		benefit  float64 // true B(T,Q), valid when computed
+		computed bool
+		pruned   bool
+		reward   float64
+		newTree  *qdtree.Tree
+		blocks   int
+		rows     int
+	}
+	info := map[*qdtree.Node]*nodeInfo{}
+
+	// Property 1: B(T,Q) is bounded by current average accesses under T.
+	for _, n := range nodes {
+		ni := &nodeInfo{bound: curAvgAccess(n), reward: math.Inf(-1)}
+		blocks, rows := 0, 0
+		for _, lf := range qdtree.SubtreeLeaves(n) {
+			blocks += blocksUnderLeaf(lf.LeafIndex)
+			rows += len(groups[lf.LeafIndex])
+		}
+		ni.blocks, ni.rows = blocks, rows
+		info[n] = ni
+	}
+
+	qw := cfg.Q / cfg.W
+	// BFS order (nodes already is BFS): compute rewards with pruning.
+	for _, n := range nodes {
+		ni := info[n]
+		if ni.pruned {
+			continue
+		}
+		if !cfg.DisablePruning && qw*ni.bound-float64(ni.blocks) <= 0 {
+			continue // cannot have positive reward
+		}
+		// Compute the true benefit: rebuild a tree over T's records and
+		// measure the drop in block accesses for the observed queries.
+		rows := qdtree.CollectRows(qdtree.SubtreeLeaves(n), groups)
+		if len(rows) == 0 {
+			continue
+		}
+		sub := tbl.SelectRows(intsOf(rows))
+		newTree, err := qdtree.Build(sub, qdtree.BuildQueries(observed, table), cuts, qdtree.Config{
+			Table:      table,
+			BlockSize:  o.opts.BlockSize,
+			SampleRate: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		plan.SubtreesConsidered++
+		newAccess := 0.0
+		for _, q := range observed.Queries {
+			for _, li := range newTree.RouteQuery(q) {
+				leafRows := newTree.Leaves()[li].SampleRows
+				newAccess += float64(blocksFor(leafRows, o.opts.BlockSize))
+			}
+		}
+		ni.benefit = ni.bound - newAccess/nQueries
+		if ni.benefit < 0 {
+			ni.benefit = 0
+		}
+		ni.computed = true
+		ni.newTree = newTree
+		ni.reward = qw*ni.benefit - float64(ni.blocks)
+
+		if n.IsLeaf() || cfg.DisablePruning {
+			continue
+		}
+		// Property 2: children's benefits are bounded by B(T,Q).
+		for _, child := range []*qdtree.Node{n.Left, n.Right} {
+			ci := info[child]
+			if ni.benefit < ci.bound {
+				ci.bound = ni.benefit
+			}
+			// ...and the bound propagates to all descendants.
+			for _, d := range descendants(child) {
+				if ni.benefit < info[d].bound {
+					info[d].bound = ni.benefit
+				}
+			}
+		}
+		// Sibling bound: B(S) ≤ B(P) − B(T).
+		if p := n.Parent; p != nil && info[p].computed {
+			sib := p.Left
+			if sib == n {
+				sib = p.Right
+			}
+			rem := info[p].benefit - ni.benefit
+			if rem < 0 {
+				rem = 0
+			}
+			for _, d := range append(descendants(sib), sib) {
+				if rem < info[d].bound {
+					info[d].bound = rem
+				}
+			}
+		}
+		// Property 3: if R(T) ≥ B(T_L)+B(T_R), no descendant set beats {T}.
+		childSum := info[n.Left].bound + info[n.Right].bound
+		if info[n.Left].computed {
+			childSum = info[n.Left].benefit + info[n.Right].bound
+		}
+		if ni.reward >= childSum {
+			for _, d := range descendants(n) {
+				info[d].pruned = true
+			}
+		}
+	}
+
+	// DP for the optimal non-overlapping subtree set (§5.1.3).
+	type dpResult struct {
+		reward  float64
+		choices []subtreeChoice
+	}
+	var dp func(n *qdtree.Node) dpResult
+	dp = func(n *qdtree.Node) dpResult {
+		ni := info[n]
+		self := dpResult{reward: 0}
+		if ni.computed && ni.reward > 0 {
+			self = dpResult{reward: ni.reward, choices: []subtreeChoice{{
+				node: n, newTree: ni.newTree, reward: ni.reward, blocks: ni.blocks,
+			}}}
+		}
+		if n.IsLeaf() {
+			return self
+		}
+		l, r := dp(n.Left), dp(n.Right)
+		if l.reward+r.reward > self.reward {
+			return dpResult{reward: l.reward + r.reward, choices: append(l.choices, r.choices...)}
+		}
+		return self
+	}
+	best := dp(tree.Root)
+	plan.TotalReward = best.reward
+	plan.choices = best.choices
+	for _, c := range best.choices {
+		plan.BlocksToRewrite += c.blocks
+		plan.RowsToRewrite += info[c.node].rows
+	}
+	plan.PlanSeconds = time.Since(start).Seconds()
+	return plan, nil
+}
+
+func descendants(n *qdtree.Node) []*qdtree.Node {
+	var out []*qdtree.Node
+	var walk func(m *qdtree.Node)
+	walk = func(m *qdtree.Node) {
+		if m == nil {
+			return
+		}
+		if m != n {
+			out = append(out, m)
+		}
+		if !m.IsLeaf() {
+			walk(m.Left)
+			walk(m.Right)
+		}
+	}
+	walk(n)
+	return out
+}
+
+func intsOf(rows []int32) []int {
+	out := make([]int, len(rows))
+	for i, r := range rows {
+		out[i] = int(r)
+	}
+	return out
+}
+
+func blocksFor(rows, blockSize int) int {
+	if rows == 0 {
+		return 0
+	}
+	return (rows + blockSize - 1) / blockSize
+}
+
+// ReorgStats summarizes an applied reorganization.
+type ReorgStats struct {
+	// BlocksRewritten counts the physical block writes.
+	BlocksRewritten int
+	// RowsMoved counts the records re-routed into new blocks.
+	RowsMoved int
+	// FracDataReorganized is RowsMoved over total dataset rows.
+	FracDataReorganized float64
+	// SimSeconds is the simulated wall-clock cost of the rewrite
+	// (BlocksRewritten × block write cost), per §5.1.1 performed off the
+	// query path on a shadow copy.
+	SimSeconds float64
+}
+
+// ApplyReorg physically performs the planned reorganization (§5.1.1):
+// each chosen subtree is replaced by its re-optimized tree, the affected
+// records are re-routed, and the table's layout is re-installed in store.
+// Only blocks under chosen subtrees count as rewritten.
+func (o *Optimizer) ApplyReorg(plans map[string]*ReorgPlan, design *layout.Design, store *block.Store) (ReorgStats, error) {
+	var stats ReorgStats
+	cost := store.Cost()
+	for _, name := range o.ds.TableNames() {
+		plan := plans[name]
+		if plan == nil || len(plan.choices) == 0 {
+			continue
+		}
+		tree := o.trees[name]
+		tbl := o.ds.Table(name)
+		oldGroups := design.Table(name).Groups()
+
+		// Record each surviving leaf's rows — and every chosen subtree's
+		// rows — before any Replace invalidates leaf indexes.
+		rowsOf := map[*qdtree.Node][]int32{}
+		for _, lf := range tree.Leaves() {
+			rowsOf[lf] = oldGroups[lf.LeafIndex]
+		}
+		choiceRows := make([][]int32, len(plan.choices))
+		for i, c := range plan.choices {
+			choiceRows[i] = qdtree.CollectRows(qdtree.SubtreeLeaves(c.node), oldGroups)
+		}
+		for i, c := range plan.choices {
+			// Route the subtree's records through its replacement.
+			rows := choiceRows[i]
+			sub := tbl.SelectRows(intsOf(rows))
+			newGroups := c.newTree.AssignRecords(sub)
+			// Translate sub-relative row indexes back to base rows.
+			for li, g := range newGroups {
+				base := make([]int32, len(g))
+				for i, r := range g {
+					base[i] = rows[r]
+				}
+				rowsOf[c.newTree.Leaves()[li]] = base
+			}
+			tree.Replace(c.node, c.newTree.Root)
+			stats.RowsMoved += len(rows)
+			stats.BlocksRewritten += blocksFor(len(rows), o.opts.BlockSize)
+		}
+		// Rebuild the table's groups in the new leaf order.
+		groups := make([][]int32, tree.NumLeaves())
+		for i, lf := range tree.Leaves() {
+			groups[i] = rowsOf[lf]
+		}
+		tr := tree
+		design.SetTable(tbl, groups, func(q *workload.Query) []int {
+			return tr.RouteQuery(q)
+		})
+	}
+	if _, err := design.Install(store, nil, 0); err != nil {
+		return stats, err
+	}
+	if n := o.ds.NumRows(); n > 0 {
+		stats.FracDataReorganized = float64(stats.RowsMoved) / float64(n)
+	}
+	stats.SimSeconds = float64(stats.BlocksRewritten) * cost.BlockWriteSeconds
+	return stats, nil
+}

@@ -1,0 +1,82 @@
+// Package datagen generates the paper's evaluation datasets and workloads
+// from scratch (§6.1.1): the Star Schema Benchmark (SSB, 13 queries), TPC-H
+// (8 tables, 22 parameterized query templates), and a TPC-DS-like
+// star/snowflake subset (46 structured templates). The generators reproduce
+// each benchmark's schema topology, key cardinalities, value distributions,
+// and — most importantly for layout work — the filter/join shape of every
+// query template. Scale factors are continuous so experiments can run at
+// laptop scale (SF 0.01–1) while retaining the row-count ratios of the
+// official SF 100 setup.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mto/internal/value"
+)
+
+// date returns the days-since-epoch encoding of an ISO date constant.
+func date(s string) value.Value { return value.MustDate(s) }
+
+// dateRange returns a uniformly random day in [lo, hi] (ISO strings).
+func dateRange(rng *rand.Rand, lo, hi string) value.Value {
+	l, h := date(lo).Int(), date(hi).Int()
+	return value.Int(l + rng.Int63n(h-l+1))
+}
+
+// pick returns a uniformly random element.
+func pick[T any](rng *rand.Rand, items []T) T { return items[rng.Intn(len(items))] }
+
+// scaled returns max(min, round(base × sf)).
+func scaled(base int, sf float64, min int) int {
+	n := int(float64(base) * sf)
+	if n < min {
+		return min
+	}
+	return n
+}
+
+// phone fabricates a phone-number-like string with the given country code.
+func phone(rng *rand.Rand, country int) string {
+	return fmt.Sprintf("%02d-%03d-%03d-%04d", country, rng.Intn(900)+100, rng.Intn(900)+100, rng.Intn(9000)+1000)
+}
+
+// Vocabularies shared across generators, mirroring the TPC specs' domains.
+var (
+	regionNames = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	nationNames = []string{
+		"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+		"FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+		"JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA",
+		"ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+		"UNITED STATES",
+	}
+	// nationRegion maps each nation index to its region index (TPC-H spec).
+	nationRegion = []int{0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2, 4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1}
+
+	segments   = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"}
+	priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	shipModes  = []string{"AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"}
+	shipInstr  = []string{"COLLECT COD", "DELIVER IN PERSON", "NONE", "TAKE BACK RETURN"}
+	containers = []string{
+		"SM CASE", "SM BOX", "SM PACK", "SM PKG",
+		"MED BAG", "MED BOX", "MED PKG", "MED PACK",
+		"LG CASE", "LG BOX", "LG PACK", "LG PKG",
+		"JUMBO BAG", "JUMBO BOX", "JUMBO CASE", "JUMBO PKG",
+		"WRAP BAG", "WRAP BOX", "WRAP CASE", "WRAP PKG",
+	}
+	typeSyl1 = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+	typeSyl2 = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+	typeSyl3 = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+)
+
+// brand returns "Brand#MN" with M,N in 1..5, as in TPC-H.
+func brand(rng *rand.Rand) string {
+	return fmt.Sprintf("Brand#%d%d", rng.Intn(5)+1, rng.Intn(5)+1)
+}
+
+// partType returns a three-syllable part type string.
+func partType(rng *rand.Rand) string {
+	return pick(rng, typeSyl1) + " " + pick(rng, typeSyl2) + " " + pick(rng, typeSyl3)
+}

@@ -1,0 +1,286 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mto/internal/layout"
+	"mto/internal/predicate"
+	"mto/internal/relation"
+	"mto/internal/value"
+	"mto/internal/workload"
+)
+
+// SSBConfig scales the Star Schema Benchmark generator.
+type SSBConfig struct {
+	// ScaleFactor mirrors SSB's SF (lineorder ≈ 6M × SF rows).
+	ScaleFactor float64
+	Seed        int64
+}
+
+// SSB generates the Star Schema Benchmark: the lineorder fact table and the
+// customer, supplier, part, and date dimensions [38].
+func SSB(cfg SSBConfig) *relation.Dataset {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sf := cfg.ScaleFactor
+	ds := relation.NewDataset()
+
+	// date dimension: one row per day, 1992-01-01 .. 1998-12-31.
+	dateDim := relation.NewTable(relation.MustSchema("date",
+		relation.Column{Name: "d_datekey", Type: value.KindInt, Unique: true, Date: true},
+		relation.Column{Name: "d_year", Type: value.KindInt},
+		relation.Column{Name: "d_yearmonthnum", Type: value.KindInt},
+		relation.Column{Name: "d_weeknuminyear", Type: value.KindInt},
+	))
+	lo, hi := date("1992-01-01").Int(), date("1998-12-31").Int()
+	nDates := 0
+	for d := lo; d <= hi; d++ {
+		ymd := value.Int(d).FormatDate()
+		var y, m, day int
+		fmt.Sscanf(ymd, "%d-%d-%d", &y, &m, &day)
+		doy := int(d-date(fmt.Sprintf("%d-01-01", y)).Int()) + 1
+		dateDim.MustAppendRow(
+			value.Int(d),
+			value.Int(int64(y)),
+			value.Int(int64(y*100+m)),
+			value.Int(int64((doy-1)/7+1)),
+		)
+		nDates++
+	}
+	ds.MustAddTable(dateDim)
+
+	// customer dimension.
+	nCust := scaled(30_000, sf, 60)
+	customer := relation.NewTable(relation.MustSchema("customer",
+		relation.Column{Name: "c_custkey", Type: value.KindInt, Unique: true},
+		relation.Column{Name: "c_region", Type: value.KindString},
+		relation.Column{Name: "c_nation", Type: value.KindString},
+		relation.Column{Name: "c_city", Type: value.KindString},
+	))
+	for i := 0; i < nCust; i++ {
+		ni := rng.Intn(25)
+		customer.MustAppendRow(
+			value.Int(int64(i+1)),
+			value.String(regionNames[nationRegion[ni]]),
+			value.String(nationNames[ni]),
+			value.String(fmt.Sprintf("%.9s%d", nationNames[ni]+"        ", rng.Intn(10))),
+		)
+	}
+	ds.MustAddTable(customer)
+
+	// supplier dimension.
+	nSupp := scaled(2_000, sf, 20)
+	supplier := relation.NewTable(relation.MustSchema("supplier",
+		relation.Column{Name: "s_suppkey", Type: value.KindInt, Unique: true},
+		relation.Column{Name: "s_region", Type: value.KindString},
+		relation.Column{Name: "s_nation", Type: value.KindString},
+		relation.Column{Name: "s_city", Type: value.KindString},
+	))
+	for i := 0; i < nSupp; i++ {
+		ni := rng.Intn(25)
+		supplier.MustAppendRow(
+			value.Int(int64(i+1)),
+			value.String(regionNames[nationRegion[ni]]),
+			value.String(nationNames[ni]),
+			value.String(fmt.Sprintf("%.9s%d", nationNames[ni]+"        ", rng.Intn(10))),
+		)
+	}
+	ds.MustAddTable(supplier)
+
+	// part dimension (SSB: 200K × ceil(1 + log2 SF); we use the base size
+	// scaled continuously).
+	nPart := scaled(200_000, sf, 200)
+	part := relation.NewTable(relation.MustSchema("part",
+		relation.Column{Name: "p_partkey", Type: value.KindInt, Unique: true},
+		relation.Column{Name: "p_mfgr", Type: value.KindString},
+		relation.Column{Name: "p_category", Type: value.KindString},
+		relation.Column{Name: "p_brand1", Type: value.KindString},
+	))
+	for i := 0; i < nPart; i++ {
+		mfgr := rng.Intn(5) + 1
+		cat := rng.Intn(5) + 1
+		brand := rng.Intn(40) + 1
+		part.MustAppendRow(
+			value.Int(int64(i+1)),
+			value.String(fmt.Sprintf("MFGR#%d", mfgr)),
+			value.String(fmt.Sprintf("MFGR#%d%d", mfgr, cat)),
+			value.String(fmt.Sprintf("MFGR#%d%d%02d", mfgr, cat, brand)),
+		)
+	}
+	ds.MustAddTable(part)
+
+	// lineorder fact table.
+	nLO := scaled(6_000_000, sf, 6000)
+	lineorder := relation.NewTable(relation.MustSchema("lineorder",
+		relation.Column{Name: "lo_orderkey", Type: value.KindInt},
+		relation.Column{Name: "lo_custkey", Type: value.KindInt},
+		relation.Column{Name: "lo_partkey", Type: value.KindInt},
+		relation.Column{Name: "lo_suppkey", Type: value.KindInt},
+		relation.Column{Name: "lo_orderdate", Type: value.KindInt, Date: true},
+		relation.Column{Name: "lo_quantity", Type: value.KindInt},
+		relation.Column{Name: "lo_discount", Type: value.KindInt},
+		relation.Column{Name: "lo_revenue", Type: value.KindInt},
+		relation.Column{Name: "lo_supplycost", Type: value.KindInt},
+	))
+	for i := 0; i < nLO; i++ {
+		lineorder.MustAppendRow(
+			value.Int(int64(i/4+1)),
+			value.Int(int64(rng.Intn(nCust)+1)),
+			value.Int(int64(rng.Intn(nPart)+1)),
+			value.Int(int64(rng.Intn(nSupp)+1)),
+			value.Int(lo+rng.Int63n(hi-lo+1)),
+			value.Int(int64(rng.Intn(50)+1)),
+			value.Int(int64(rng.Intn(11))),
+			value.Int(int64(rng.Intn(1000000)+100)),
+			value.Int(int64(rng.Intn(60000)+100)),
+		)
+	}
+	ds.MustAddTable(lineorder)
+	return ds
+}
+
+// SSBSortKeys is the user-tuned Baseline for SSB (§6.1.3, footnote 4):
+// lineorder by orderdate, dimensions by primary key.
+func SSBSortKeys() layout.SortKeys {
+	return layout.SortKeys{
+		"lineorder": "lo_orderdate",
+		"customer":  "c_custkey",
+		"supplier":  "s_suppkey",
+		"part":      "p_partkey",
+		"date":      "d_datekey",
+	}
+}
+
+// SSBWorkload generates the 13 SSB queries (4 query flights) with the
+// benchmark's canonical parameters.
+func SSBWorkload(seed int64) *workload.Workload {
+	rng := rand.New(rand.NewSource(seed))
+	w := workload.NewWorkload()
+	for flight := 1; flight <= 4; flight++ {
+		n := 3
+		if flight == 3 {
+			n = 4
+		}
+		for qn := 1; qn <= n; qn++ {
+			q := SSBQuery(flight, qn, rng)
+			q.ID = fmt.Sprintf("ssb-q%d.%d", flight, qn)
+			w.Add(q)
+		}
+	}
+	return w
+}
+
+// SSBQuery instantiates one SSB query (flight 1–4, query 1–3/4).
+func SSBQuery(flight, qn int, rng *rand.Rand) *workload.Query {
+	newQ := func(dims ...string) *workload.Query {
+		refs := []workload.TableRef{{Table: "lineorder"}}
+		for _, d := range dims {
+			refs = append(refs, workload.TableRef{Table: d})
+		}
+		q := workload.NewQuery("", refs...)
+		for _, d := range dims {
+			switch d {
+			case "date":
+				q.AddJoin("date", "d_datekey", "lineorder", "lo_orderdate")
+			case "customer":
+				q.AddJoin("customer", "c_custkey", "lineorder", "lo_custkey")
+			case "supplier":
+				q.AddJoin("supplier", "s_suppkey", "lineorder", "lo_suppkey")
+			case "part":
+				q.AddJoin("part", "p_partkey", "lineorder", "lo_partkey")
+			}
+		}
+		return q
+	}
+	year := int64(rng.Intn(7) + 1992)
+	region := pick(rng, regionNames)
+	switch flight {
+	case 1:
+		q := newQ("date")
+		switch qn {
+		case 1:
+			q.Filter("date", cmp("d_year", predicate.Eq, value.Int(year)))
+			q.Filter("lineorder", between("lo_discount", value.Int(1), value.Int(3)))
+			q.Filter("lineorder", cmp("lo_quantity", predicate.Lt, value.Int(25)))
+		case 2:
+			q.Filter("date", cmp("d_yearmonthnum", predicate.Eq, value.Int(year*100+int64(rng.Intn(12)+1))))
+			q.Filter("lineorder", between("lo_discount", value.Int(4), value.Int(6)))
+			q.Filter("lineorder", between("lo_quantity", value.Int(26), value.Int(35)))
+		default:
+			q.Filter("date", cmp("d_weeknuminyear", predicate.Eq, value.Int(int64(rng.Intn(52)+1))))
+			q.Filter("date", cmp("d_year", predicate.Eq, value.Int(year)))
+			q.Filter("lineorder", between("lo_discount", value.Int(5), value.Int(7)))
+			q.Filter("lineorder", between("lo_quantity", value.Int(26), value.Int(35)))
+		}
+		return q
+	case 2:
+		q := newQ("date", "part", "supplier")
+		mfgr := rng.Intn(5) + 1
+		switch qn {
+		case 1:
+			q.Filter("part", cmp("p_category", predicate.Eq, value.String(fmt.Sprintf("MFGR#%d%d", mfgr, rng.Intn(5)+1))))
+		case 2:
+			b := rng.Intn(32) + 1
+			q.Filter("part", predicate.NewIn("p_brand1",
+				value.String(fmt.Sprintf("MFGR#%d%d%02d", mfgr, rng.Intn(5)+1, b)),
+				value.String(fmt.Sprintf("MFGR#%d%d%02d", mfgr, rng.Intn(5)+1, b+1)),
+			))
+		default:
+			q.Filter("part", cmp("p_brand1", predicate.Eq,
+				value.String(fmt.Sprintf("MFGR#%d%d%02d", mfgr, rng.Intn(5)+1, rng.Intn(40)+1))))
+		}
+		q.Filter("supplier", cmp("s_region", predicate.Eq, value.String(region)))
+		return q
+	case 3:
+		q := newQ("date", "customer", "supplier")
+		switch qn {
+		case 1:
+			q.Filter("customer", cmp("c_region", predicate.Eq, value.String(region)))
+			q.Filter("supplier", cmp("s_region", predicate.Eq, value.String(region)))
+			q.Filter("date", between("d_year", value.Int(1992), value.Int(1997)))
+		case 2:
+			nation := pick(rng, nationNames)
+			q.Filter("customer", cmp("c_nation", predicate.Eq, value.String(nation)))
+			q.Filter("supplier", cmp("s_nation", predicate.Eq, value.String(nation)))
+			q.Filter("date", between("d_year", value.Int(1992), value.Int(1997)))
+		case 3:
+			nation := pick(rng, nationNames)
+			city1 := fmt.Sprintf("%.9s%d", nation+"        ", rng.Intn(10))
+			city2 := fmt.Sprintf("%.9s%d", nation+"        ", rng.Intn(10))
+			q.Filter("customer", predicate.NewIn("c_city", value.String(city1), value.String(city2)))
+			q.Filter("supplier", predicate.NewIn("s_city", value.String(city1), value.String(city2)))
+			q.Filter("date", between("d_year", value.Int(1992), value.Int(1997)))
+		default:
+			nation := pick(rng, nationNames)
+			city1 := fmt.Sprintf("%.9s%d", nation+"        ", rng.Intn(10))
+			city2 := fmt.Sprintf("%.9s%d", nation+"        ", rng.Intn(10))
+			q.Filter("customer", predicate.NewIn("c_city", value.String(city1), value.String(city2)))
+			q.Filter("supplier", predicate.NewIn("s_city", value.String(city1), value.String(city2)))
+			q.Filter("date", cmp("d_yearmonthnum", predicate.Eq, value.Int(199712)))
+		}
+		return q
+	default: // flight 4
+		q := newQ("date", "customer", "supplier", "part")
+		switch qn {
+		case 1:
+			q.Filter("customer", cmp("c_region", predicate.Eq, value.String(region)))
+			q.Filter("supplier", cmp("s_region", predicate.Eq, value.String(region)))
+			q.Filter("part", predicate.NewIn("p_mfgr",
+				value.String("MFGR#1"), value.String("MFGR#2")))
+		case 2:
+			q.Filter("customer", cmp("c_region", predicate.Eq, value.String(region)))
+			q.Filter("supplier", cmp("s_region", predicate.Eq, value.String(region)))
+			q.Filter("date", predicate.NewIn("d_year", value.Int(1997), value.Int(1998)))
+			q.Filter("part", predicate.NewIn("p_mfgr",
+				value.String("MFGR#1"), value.String("MFGR#2")))
+		default:
+			nation := pick(rng, nationNames)
+			q.Filter("customer", cmp("c_region", predicate.Eq, value.String(region)))
+			q.Filter("supplier", cmp("s_nation", predicate.Eq, value.String(nation)))
+			q.Filter("date", predicate.NewIn("d_year", value.Int(1997), value.Int(1998)))
+			q.Filter("part", cmp("p_category", predicate.Eq,
+				value.String(fmt.Sprintf("MFGR#%d%d", rng.Intn(5)+1, rng.Intn(5)+1))))
+		}
+		return q
+	}
+}

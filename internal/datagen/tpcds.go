@@ -1,0 +1,393 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mto/internal/layout"
+	"mto/internal/predicate"
+	"mto/internal/relation"
+	"mto/internal/value"
+	"mto/internal/workload"
+)
+
+// TPCDSConfig scales the TPC-DS-like generator.
+type TPCDSConfig struct {
+	// ScaleFactor mirrors TPC-DS SF (store_sales ≈ 2.88M × SF rows).
+	ScaleFactor float64
+	Seed        int64
+}
+
+// TPCDS generates a TPC-DS-like dataset: three fact tables (store_sales,
+// store_returns, web_sales) sharing six dimensions, in a snowflake where
+// customer_address hangs off customer (so induction paths reach depth 2,
+// matching Table 2's TPC-DS max depth). It is a structural stand-in for the
+// official generator: same topology, key cardinalities, and filter domains
+// as the columns the 46 templates touch (see DESIGN.md substitutions).
+func TPCDS(cfg TPCDSConfig) *relation.Dataset {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sf := cfg.ScaleFactor
+	ds := relation.NewDataset()
+
+	states := []string{"AL", "CA", "GA", "IL", "KS", "MI", "NY", "OH", "TX", "WA"}
+	counties := []string{"Ziebach County", "Walker County", "Daviess County", "Richland County", "Barrow County"}
+	buyPotential := []string{"0-500", "501-1000", "1001-5000", "5001-10000", ">10000", "Unknown"}
+	categories := []string{"Books", "Children", "Electronics", "Home", "Jewelry", "Men", "Music", "Shoes", "Sports", "Women"}
+
+	// date_dim: 1998-01-01 .. 2003-12-31, one row per day.
+	dd := relation.NewTable(relation.MustSchema("date_dim",
+		relation.Column{Name: "d_date_sk", Type: value.KindInt, Unique: true, Date: true},
+		relation.Column{Name: "d_year", Type: value.KindInt},
+		relation.Column{Name: "d_moy", Type: value.KindInt},
+		relation.Column{Name: "d_qoy", Type: value.KindInt},
+		relation.Column{Name: "d_dow", Type: value.KindInt},
+	))
+	lo, hi := date("1998-01-01").Int(), date("2003-12-31").Int()
+	for d := lo; d <= hi; d++ {
+		var y, m, day int
+		fmt.Sscanf(value.Int(d).FormatDate(), "%d-%d-%d", &y, &m, &day)
+		dd.MustAppendRow(
+			value.Int(d),
+			value.Int(int64(y)),
+			value.Int(int64(m)),
+			value.Int(int64((m-1)/3+1)),
+			value.Int((d+4)%7),
+		)
+	}
+	ds.MustAddTable(dd)
+
+	// item.
+	nItem := scaled(204_000, sf, 200)
+	item := relation.NewTable(relation.MustSchema("item",
+		relation.Column{Name: "i_item_sk", Type: value.KindInt, Unique: true},
+		relation.Column{Name: "i_category", Type: value.KindString},
+		relation.Column{Name: "i_class", Type: value.KindString},
+		relation.Column{Name: "i_brand", Type: value.KindString},
+		relation.Column{Name: "i_current_price", Type: value.KindFloat},
+	))
+	for i := 0; i < nItem; i++ {
+		cat := pick(rng, categories)
+		item.MustAppendRow(
+			value.Int(int64(i+1)),
+			value.String(cat),
+			value.String(fmt.Sprintf("%s-class-%d", cat, rng.Intn(16)+1)),
+			value.String(fmt.Sprintf("%s-brand-%d", cat, rng.Intn(10)+1)),
+			value.Float(float64(rng.Intn(9900)+100)/100),
+		)
+	}
+	ds.MustAddTable(item)
+
+	// store.
+	nStore := scaled(500, sf, 5)
+	store := relation.NewTable(relation.MustSchema("store",
+		relation.Column{Name: "s_store_sk", Type: value.KindInt, Unique: true},
+		relation.Column{Name: "s_state", Type: value.KindString},
+		relation.Column{Name: "s_county", Type: value.KindString},
+		relation.Column{Name: "s_market_id", Type: value.KindInt},
+	))
+	for i := 0; i < nStore; i++ {
+		store.MustAppendRow(
+			value.Int(int64(i+1)),
+			value.String(pick(rng, states)),
+			value.String(pick(rng, counties)),
+			value.Int(int64(rng.Intn(10)+1)),
+		)
+	}
+	ds.MustAddTable(store)
+
+	// customer_address (snowflake parent of customer).
+	nAddr := scaled(1_000_000, sf, 500)
+	addr := relation.NewTable(relation.MustSchema("customer_address",
+		relation.Column{Name: "ca_address_sk", Type: value.KindInt, Unique: true},
+		relation.Column{Name: "ca_state", Type: value.KindString},
+		relation.Column{Name: "ca_gmt_offset", Type: value.KindInt},
+	))
+	for i := 0; i < nAddr; i++ {
+		addr.MustAppendRow(
+			value.Int(int64(i+1)),
+			value.String(pick(rng, states)),
+			value.Int(int64(-rng.Intn(5)-5)),
+		)
+	}
+	ds.MustAddTable(addr)
+
+	// customer.
+	nCust := scaled(2_000_000, sf, 1000)
+	customer := relation.NewTable(relation.MustSchema("customer",
+		relation.Column{Name: "c_customer_sk", Type: value.KindInt, Unique: true},
+		relation.Column{Name: "c_current_addr_sk", Type: value.KindInt},
+		relation.Column{Name: "c_birth_year", Type: value.KindInt},
+	))
+	for i := 0; i < nCust; i++ {
+		customer.MustAppendRow(
+			value.Int(int64(i+1)),
+			value.Int(int64(rng.Intn(nAddr)+1)),
+			value.Int(int64(rng.Intn(69)+1924)),
+		)
+	}
+	ds.MustAddTable(customer)
+
+	// household_demographics.
+	hd := relation.NewTable(relation.MustSchema("household_demographics",
+		relation.Column{Name: "hd_demo_sk", Type: value.KindInt, Unique: true},
+		relation.Column{Name: "hd_dep_count", Type: value.KindInt},
+		relation.Column{Name: "hd_buy_potential", Type: value.KindString},
+	))
+	nHD := 7200
+	for i := 0; i < nHD; i++ {
+		hd.MustAppendRow(
+			value.Int(int64(i+1)),
+			value.Int(int64(i%10)),
+			value.String(buyPotential[i%len(buyPotential)]),
+		)
+	}
+	ds.MustAddTable(hd)
+
+	// store_sales fact.
+	nSS := scaled(2_880_000, sf, 5000)
+	ss := relation.NewTable(relation.MustSchema("store_sales",
+		relation.Column{Name: "ss_sold_date_sk", Type: value.KindInt, Date: true},
+		relation.Column{Name: "ss_item_sk", Type: value.KindInt},
+		relation.Column{Name: "ss_store_sk", Type: value.KindInt},
+		relation.Column{Name: "ss_customer_sk", Type: value.KindInt},
+		relation.Column{Name: "ss_hdemo_sk", Type: value.KindInt},
+		relation.Column{Name: "ss_quantity", Type: value.KindInt},
+		relation.Column{Name: "ss_sales_price", Type: value.KindFloat},
+		relation.Column{Name: "ss_net_profit", Type: value.KindFloat},
+	))
+	for i := 0; i < nSS; i++ {
+		ss.MustAppendRow(
+			value.Int(lo+rng.Int63n(hi-lo+1)),
+			value.Int(int64(rng.Intn(nItem)+1)),
+			value.Int(int64(rng.Intn(nStore)+1)),
+			value.Int(int64(rng.Intn(nCust)+1)),
+			value.Int(int64(rng.Intn(nHD)+1)),
+			value.Int(int64(rng.Intn(100)+1)),
+			value.Float(float64(rng.Intn(20000))/100),
+			value.Float(float64(rng.Intn(40000)-10000)/100),
+		)
+	}
+	ds.MustAddTable(ss)
+
+	// store_returns fact (≈10% of sales).
+	nSR := scaled(288_000, sf, 500)
+	sr := relation.NewTable(relation.MustSchema("store_returns",
+		relation.Column{Name: "sr_returned_date_sk", Type: value.KindInt, Date: true},
+		relation.Column{Name: "sr_item_sk", Type: value.KindInt},
+		relation.Column{Name: "sr_customer_sk", Type: value.KindInt},
+		relation.Column{Name: "sr_store_sk", Type: value.KindInt},
+		relation.Column{Name: "sr_return_amt", Type: value.KindFloat},
+	))
+	for i := 0; i < nSR; i++ {
+		sr.MustAppendRow(
+			value.Int(lo+rng.Int63n(hi-lo+1)),
+			value.Int(int64(rng.Intn(nItem)+1)),
+			value.Int(int64(rng.Intn(nCust)+1)),
+			value.Int(int64(rng.Intn(nStore)+1)),
+			value.Float(float64(rng.Intn(10000))/100),
+		)
+	}
+	ds.MustAddTable(sr)
+
+	// web_sales fact.
+	nWS := scaled(720_000, sf, 1500)
+	ws := relation.NewTable(relation.MustSchema("web_sales",
+		relation.Column{Name: "ws_sold_date_sk", Type: value.KindInt, Date: true},
+		relation.Column{Name: "ws_item_sk", Type: value.KindInt},
+		relation.Column{Name: "ws_bill_customer_sk", Type: value.KindInt},
+		relation.Column{Name: "ws_quantity", Type: value.KindInt},
+		relation.Column{Name: "ws_net_profit", Type: value.KindFloat},
+	))
+	for i := 0; i < nWS; i++ {
+		ws.MustAppendRow(
+			value.Int(lo+rng.Int63n(hi-lo+1)),
+			value.Int(int64(rng.Intn(nItem)+1)),
+			value.Int(int64(rng.Intn(nCust)+1)),
+			value.Int(int64(rng.Intn(100)+1)),
+			value.Float(float64(rng.Intn(40000)-10000)/100),
+		)
+	}
+	ds.MustAddTable(ws)
+	return ds
+}
+
+// TPCDSSortKeys is the user-tuned Baseline for TPC-DS (§6.1.3, footnote 4):
+// fact tables by their date column, dimensions by primary key.
+func TPCDSSortKeys() layout.SortKeys {
+	return layout.SortKeys{
+		"store_sales":            "ss_sold_date_sk",
+		"store_returns":          "sr_returned_date_sk",
+		"web_sales":              "ws_sold_date_sk",
+		"date_dim":               "d_date_sk",
+		"item":                   "i_item_sk",
+		"store":                  "s_store_sk",
+		"customer":               "c_customer_sk",
+		"customer_address":       "ca_address_sk",
+		"household_demographics": "hd_demo_sk",
+	}
+}
+
+// NumTPCDSTemplates is the number of TPC-DS-like templates (matching the 46
+// usable templates of §6.1.1).
+const NumTPCDSTemplates = 46
+
+// TPCDSWorkload generates one query per template, as in the paper.
+func TPCDSWorkload(seed int64) *workload.Workload {
+	w := workload.NewWorkload()
+	for t := 1; t <= NumTPCDSTemplates; t++ {
+		rng := rand.New(rand.NewSource(seed*1000 + int64(t)))
+		q := TPCDSQuery(t, rng)
+		q.ID = fmt.Sprintf("dsq%d", t)
+		w.Add(q)
+	}
+	return w
+}
+
+// TPCDSQuery instantiates one TPC-DS-like template (1-based). Templates
+// rotate through eleven structural shapes covering the channel/dimension
+// combinations the real templates 1–50 use; parameters vary per template.
+func TPCDSQuery(template int, rng *rand.Rand) *workload.Query {
+	states := []string{"AL", "CA", "GA", "IL", "KS", "MI", "NY", "OH", "TX", "WA"}
+	categories := []string{"Books", "Children", "Electronics", "Home", "Jewelry", "Men", "Music", "Shoes", "Sports", "Women"}
+	year := value.Int(int64(1998 + rng.Intn(5)))
+	moy := value.Int(int64(rng.Intn(12) + 1))
+
+	dateJoin := func(q *workload.Query, fact, col string) {
+		q.AddJoin("date_dim", "d_date_sk", fact, col)
+	}
+	switch (template-1)%11 + 1 {
+	case 1: // store_sales ⋈ date(d_year, d_moy) ⋈ item(category)
+		q := workload.NewQuery("",
+			workload.TableRef{Table: "store_sales"},
+			workload.TableRef{Table: "date_dim"},
+			workload.TableRef{Table: "item"},
+		)
+		dateJoin(q, "store_sales", "ss_sold_date_sk")
+		q.AddJoin("item", "i_item_sk", "store_sales", "ss_item_sk")
+		q.Filter("date_dim", cmp("d_year", predicate.Eq, year))
+		q.Filter("date_dim", cmp("d_moy", predicate.Eq, moy))
+		q.Filter("item", cmp("i_category", predicate.Eq, value.String(pick(rng, categories))))
+		return q
+	case 2: // store_sales ⋈ date(d_year) ⋈ store(state IN)
+		q := workload.NewQuery("",
+			workload.TableRef{Table: "store_sales"},
+			workload.TableRef{Table: "date_dim"},
+			workload.TableRef{Table: "store"},
+		)
+		dateJoin(q, "store_sales", "ss_sold_date_sk")
+		q.AddJoin("store", "s_store_sk", "store_sales", "ss_store_sk")
+		q.Filter("date_dim", cmp("d_year", predicate.Eq, year))
+		q.Filter("store", predicate.NewIn("s_state",
+			value.String(pick(rng, states)), value.String(pick(rng, states))))
+		return q
+	case 3: // depth-2 snowflake: address → customer → store_sales
+		q := workload.NewQuery("",
+			workload.TableRef{Table: "store_sales"},
+			workload.TableRef{Table: "customer"},
+			workload.TableRef{Table: "customer_address"},
+			workload.TableRef{Table: "date_dim"},
+		)
+		q.AddJoin("customer", "c_customer_sk", "store_sales", "ss_customer_sk")
+		q.AddJoin("customer_address", "ca_address_sk", "customer", "c_current_addr_sk")
+		dateJoin(q, "store_sales", "ss_sold_date_sk")
+		q.Filter("customer_address", cmp("ca_state", predicate.Eq, value.String(pick(rng, states))))
+		q.Filter("date_dim", cmp("d_qoy", predicate.Eq, value.Int(int64(rng.Intn(4)+1))))
+		q.Filter("date_dim", cmp("d_year", predicate.Eq, year))
+		return q
+	case 4: // household demographics + store county
+		q := workload.NewQuery("",
+			workload.TableRef{Table: "store_sales"},
+			workload.TableRef{Table: "household_demographics"},
+			workload.TableRef{Table: "store"},
+		)
+		q.AddJoin("household_demographics", "hd_demo_sk", "store_sales", "ss_hdemo_sk")
+		q.AddJoin("store", "s_store_sk", "store_sales", "ss_store_sk")
+		q.Filter("household_demographics", cmp("hd_dep_count", predicate.Eq, value.Int(int64(rng.Intn(10)))))
+		q.Filter("store", cmp("s_market_id", predicate.Le, value.Int(int64(rng.Intn(5)+1))))
+		return q
+	case 5: // web_sales ⋈ date ⋈ item(brand)
+		q := workload.NewQuery("",
+			workload.TableRef{Table: "web_sales"},
+			workload.TableRef{Table: "date_dim"},
+			workload.TableRef{Table: "item"},
+		)
+		dateJoin(q, "web_sales", "ws_sold_date_sk")
+		q.AddJoin("item", "i_item_sk", "web_sales", "ws_item_sk")
+		cat := pick(rng, categories)
+		q.Filter("date_dim", cmp("d_year", predicate.Eq, year))
+		q.Filter("item", cmp("i_brand", predicate.Eq,
+			value.String(fmt.Sprintf("%s-brand-%d", cat, rng.Intn(10)+1))))
+		return q
+	case 6: // store_returns ⋈ date(year, moy) ⋈ store
+		q := workload.NewQuery("",
+			workload.TableRef{Table: "store_returns"},
+			workload.TableRef{Table: "date_dim"},
+			workload.TableRef{Table: "store"},
+		)
+		dateJoin(q, "store_returns", "sr_returned_date_sk")
+		q.AddJoin("store", "s_store_sk", "store_returns", "sr_store_sk")
+		q.Filter("date_dim", cmp("d_year", predicate.Eq, year))
+		q.Filter("date_dim", cmp("d_moy", predicate.Eq, moy))
+		q.Filter("store", cmp("s_state", predicate.Eq, value.String(pick(rng, states))))
+		return q
+	case 7: // cross-fact: sales joined to returns through item
+		q := workload.NewQuery("",
+			workload.TableRef{Table: "store_sales"},
+			workload.TableRef{Table: "store_returns"},
+			workload.TableRef{Table: "item"},
+			workload.TableRef{Table: "date_dim"},
+		)
+		q.AddJoin("item", "i_item_sk", "store_sales", "ss_item_sk")
+		q.AddJoin("item", "i_item_sk", "store_returns", "sr_item_sk")
+		dateJoin(q, "store_sales", "ss_sold_date_sk")
+		q.Filter("item", cmp("i_category", predicate.Eq, value.String(pick(rng, categories))))
+		q.Filter("date_dim", cmp("d_year", predicate.Eq, year))
+		return q
+	case 8: // item price range
+		q := workload.NewQuery("",
+			workload.TableRef{Table: "store_sales"},
+			workload.TableRef{Table: "item"},
+			workload.TableRef{Table: "date_dim"},
+		)
+		q.AddJoin("item", "i_item_sk", "store_sales", "ss_item_sk")
+		dateJoin(q, "store_sales", "ss_sold_date_sk")
+		p := float64(rng.Intn(80) + 10)
+		q.Filter("item", between("i_current_price", value.Float(p), value.Float(p+10)))
+		q.Filter("date_dim", cmp("d_year", predicate.Eq, year))
+		return q
+	case 9: // cross-channel: web + store sales via item
+		q := workload.NewQuery("",
+			workload.TableRef{Table: "store_sales"},
+			workload.TableRef{Table: "web_sales"},
+			workload.TableRef{Table: "item"},
+		)
+		q.AddJoin("item", "i_item_sk", "store_sales", "ss_item_sk")
+		q.AddJoin("item", "i_item_sk", "web_sales", "ws_item_sk")
+		cat := pick(rng, categories)
+		q.Filter("item", cmp("i_class", predicate.Eq,
+			value.String(fmt.Sprintf("%s-class-%d", cat, rng.Intn(16)+1))))
+		return q
+	case 10: // date-only fact filter plus measure predicate
+		q := workload.NewQuery("",
+			workload.TableRef{Table: "store_sales"},
+			workload.TableRef{Table: "date_dim"},
+		)
+		dateJoin(q, "store_sales", "ss_sold_date_sk")
+		q.Filter("date_dim", cmp("d_dow", predicate.Eq, value.Int(int64(rng.Intn(7)))))
+		q.Filter("date_dim", cmp("d_year", predicate.Eq, year))
+		q.Filter("store_sales", cmp("ss_quantity", predicate.Ge, value.Int(int64(rng.Intn(50)+25))))
+		return q
+	default: // 11: customer birth cohort
+		q := workload.NewQuery("",
+			workload.TableRef{Table: "store_sales"},
+			workload.TableRef{Table: "customer"},
+			workload.TableRef{Table: "date_dim"},
+		)
+		q.AddJoin("customer", "c_customer_sk", "store_sales", "ss_customer_sk")
+		dateJoin(q, "store_sales", "ss_sold_date_sk")
+		by := int64(1924 + rng.Intn(60))
+		q.Filter("customer", between("c_birth_year", value.Int(by), value.Int(by+5)))
+		q.Filter("date_dim", cmp("d_year", predicate.Eq, year))
+		return q
+	}
+}

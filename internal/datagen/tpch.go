@@ -1,0 +1,240 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mto/internal/layout"
+	"mto/internal/relation"
+	"mto/internal/value"
+)
+
+// TPCHConfig scales the TPC-H generator.
+type TPCHConfig struct {
+	// ScaleFactor is the continuous TPC-H SF; official row counts are
+	// base × SF (lineitem ≈ 6M × SF).
+	ScaleFactor float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// TPCH generates the eight TPC-H tables. As in the official dbgen,
+// o_orderdate is uniform per order key (keys and dates are uncorrelated),
+// while l_shipdate trails o_orderdate by at most ~4 months — the
+// through-the-join date correlation §6.3.1 discusses for Q4.
+func TPCH(cfg TPCHConfig) *relation.Dataset {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sf := cfg.ScaleFactor
+	ds := relation.NewDataset()
+
+	// region
+	region := relation.NewTable(relation.MustSchema("region",
+		relation.Column{Name: "r_regionkey", Type: value.KindInt, Unique: true},
+		relation.Column{Name: "r_name", Type: value.KindString},
+	))
+	for i, name := range regionNames {
+		region.MustAppendRow(value.Int(int64(i)), value.String(name))
+	}
+	ds.MustAddTable(region)
+
+	// nation
+	nation := relation.NewTable(relation.MustSchema("nation",
+		relation.Column{Name: "n_nationkey", Type: value.KindInt, Unique: true},
+		relation.Column{Name: "n_regionkey", Type: value.KindInt},
+		relation.Column{Name: "n_name", Type: value.KindString},
+	))
+	for i, name := range nationNames {
+		nation.MustAppendRow(value.Int(int64(i)), value.Int(int64(nationRegion[i])), value.String(name))
+	}
+	ds.MustAddTable(nation)
+
+	// supplier
+	nSupp := scaled(10_000, sf, 10)
+	supplier := relation.NewTable(relation.MustSchema("supplier",
+		relation.Column{Name: "s_suppkey", Type: value.KindInt, Unique: true},
+		relation.Column{Name: "s_nationkey", Type: value.KindInt},
+		relation.Column{Name: "s_acctbal", Type: value.KindFloat},
+		relation.Column{Name: "s_name", Type: value.KindString},
+	))
+	for i := 0; i < nSupp; i++ {
+		supplier.MustAppendRow(
+			value.Int(int64(i+1)),
+			value.Int(int64(rng.Intn(25))),
+			value.Float(float64(rng.Intn(1100000)-100000)/100),
+			value.String(fmt.Sprintf("Supplier#%09d", i+1)),
+		)
+	}
+	ds.MustAddTable(supplier)
+
+	// customer
+	nCust := scaled(150_000, sf, 150)
+	customer := relation.NewTable(relation.MustSchema("customer",
+		relation.Column{Name: "c_custkey", Type: value.KindInt, Unique: true},
+		relation.Column{Name: "c_nationkey", Type: value.KindInt},
+		relation.Column{Name: "c_mktsegment", Type: value.KindString},
+		relation.Column{Name: "c_acctbal", Type: value.KindFloat},
+		relation.Column{Name: "c_phone", Type: value.KindString},
+	))
+	for i := 0; i < nCust; i++ {
+		nk := rng.Intn(25)
+		customer.MustAppendRow(
+			value.Int(int64(i+1)),
+			value.Int(int64(nk)),
+			value.String(pick(rng, segments)),
+			value.Float(float64(rng.Intn(1100000)-100000)/100),
+			value.String(phone(rng, nk+10)),
+		)
+	}
+	ds.MustAddTable(customer)
+
+	// part
+	nPart := scaled(200_000, sf, 200)
+	part := relation.NewTable(relation.MustSchema("part",
+		relation.Column{Name: "p_partkey", Type: value.KindInt, Unique: true},
+		relation.Column{Name: "p_brand", Type: value.KindString},
+		relation.Column{Name: "p_type", Type: value.KindString},
+		relation.Column{Name: "p_size", Type: value.KindInt},
+		relation.Column{Name: "p_container", Type: value.KindString},
+		relation.Column{Name: "p_retailprice", Type: value.KindFloat},
+		relation.Column{Name: "p_name", Type: value.KindString},
+	))
+	for i := 0; i < nPart; i++ {
+		part.MustAppendRow(
+			value.Int(int64(i+1)),
+			value.String(brand(rng)),
+			value.String(partType(rng)),
+			value.Int(int64(rng.Intn(50)+1)),
+			value.String(pick(rng, containers)),
+			value.Float(900+float64(i%200000)/10),
+			value.String(fmt.Sprintf("part %s %s", pick(rng, typeSyl2), pick(rng, typeSyl3))),
+		)
+	}
+	ds.MustAddTable(part)
+
+	// partsupp: 4 suppliers per part.
+	partsupp := relation.NewTable(relation.MustSchema("partsupp",
+		relation.Column{Name: "ps_partkey", Type: value.KindInt},
+		relation.Column{Name: "ps_suppkey", Type: value.KindInt},
+		relation.Column{Name: "ps_availqty", Type: value.KindInt},
+		relation.Column{Name: "ps_supplycost", Type: value.KindFloat},
+	))
+	for i := 0; i < nPart; i++ {
+		for j := 0; j < 4; j++ {
+			partsupp.MustAppendRow(
+				value.Int(int64(i+1)),
+				value.Int(int64((i+j*(nSupp/4+1))%nSupp+1)),
+				value.Int(int64(rng.Intn(9999)+1)),
+				value.Float(float64(rng.Intn(99900)+100)/100),
+			)
+		}
+	}
+	ds.MustAddTable(partsupp)
+
+	// orders: dates uniform and independent of the sequential keys.
+	nOrders := scaled(1_500_000, sf, 1500)
+	dates := make([]int64, nOrders)
+	lo, hi := date("1992-01-01").Int(), date("1998-08-02").Int()
+	for i := range dates {
+		dates[i] = lo + rng.Int63n(hi-lo+1)
+	}
+	orders := relation.NewTable(relation.MustSchema("orders",
+		relation.Column{Name: "o_orderkey", Type: value.KindInt, Unique: true},
+		relation.Column{Name: "o_custkey", Type: value.KindInt},
+		relation.Column{Name: "o_orderdate", Type: value.KindInt, Date: true},
+		relation.Column{Name: "o_orderpriority", Type: value.KindString},
+		relation.Column{Name: "o_orderstatus", Type: value.KindString},
+		relation.Column{Name: "o_totalprice", Type: value.KindFloat},
+		relation.Column{Name: "o_shippriority", Type: value.KindInt},
+	))
+	lineitem := relation.NewTable(relation.MustSchema("lineitem",
+		relation.Column{Name: "l_orderkey", Type: value.KindInt},
+		relation.Column{Name: "l_partkey", Type: value.KindInt},
+		relation.Column{Name: "l_suppkey", Type: value.KindInt},
+		relation.Column{Name: "l_linenumber", Type: value.KindInt},
+		relation.Column{Name: "l_quantity", Type: value.KindInt},
+		relation.Column{Name: "l_extendedprice", Type: value.KindFloat},
+		relation.Column{Name: "l_discount", Type: value.KindFloat},
+		relation.Column{Name: "l_tax", Type: value.KindFloat},
+		relation.Column{Name: "l_returnflag", Type: value.KindString},
+		relation.Column{Name: "l_linestatus", Type: value.KindString},
+		relation.Column{Name: "l_shipdate", Type: value.KindInt, Date: true},
+		relation.Column{Name: "l_commitdate", Type: value.KindInt, Date: true},
+		relation.Column{Name: "l_receiptdate", Type: value.KindInt, Date: true},
+		relation.Column{Name: "l_shipmode", Type: value.KindString},
+		relation.Column{Name: "l_shipinstruct", Type: value.KindString},
+	))
+	currentDate := date("1995-06-17").Int() // spec's "current date" for status
+	for i := 0; i < nOrders; i++ {
+		okey := int64(i + 1)
+		odate := dates[i]
+		status := "O"
+		if odate < currentDate-90 {
+			status = "F"
+		}
+		orders.MustAppendRow(
+			value.Int(okey),
+			value.Int(int64(rng.Intn(nCust)+1)),
+			value.Int(odate),
+			value.String(pick(rng, priorities)),
+			value.String(status),
+			value.Float(float64(rng.Intn(45000000)+90000)/100),
+			value.Int(0),
+		)
+		// 1–7 lineitems per order (avg 4, matching 6M/1.5M).
+		nLines := rng.Intn(7) + 1
+		for ln := 0; ln < nLines; ln++ {
+			ship := odate + int64(rng.Intn(121)+1)
+			commit := odate + int64(rng.Intn(91)+30)
+			receipt := ship + int64(rng.Intn(30)+1)
+			qty := int64(rng.Intn(50) + 1)
+			price := float64(qty) * (900 + float64(rng.Intn(1000)))
+			rf := "N"
+			if receipt <= currentDate {
+				if rng.Intn(2) == 0 {
+					rf = "R"
+				} else {
+					rf = "A"
+				}
+			}
+			ls := "O"
+			if ship <= currentDate {
+				ls = "F"
+			}
+			lineitem.MustAppendRow(
+				value.Int(okey),
+				value.Int(int64(rng.Intn(nPart)+1)),
+				value.Int(int64(rng.Intn(nSupp)+1)),
+				value.Int(int64(ln+1)),
+				value.Int(qty),
+				value.Float(price),
+				value.Float(float64(rng.Intn(11))/100),
+				value.Float(float64(rng.Intn(9))/100),
+				value.String(rf),
+				value.String(ls),
+				value.Int(ship),
+				value.Int(commit),
+				value.Int(receipt),
+				value.String(pick(rng, shipModes)),
+				value.String(pick(rng, shipInstr)),
+			)
+		}
+	}
+	ds.MustAddTable(orders)
+	ds.MustAddTable(lineitem)
+	return ds
+}
+
+// TPCHSortKeys is the user-tuned Baseline of §6.1.3: lineitem by shipdate,
+// orders by orderdate, everything else by primary key.
+func TPCHSortKeys() layout.SortKeys {
+	return layout.SortKeys{
+		"lineitem": "l_shipdate",
+		"orders":   "o_orderdate",
+		"customer": "c_custkey",
+		"supplier": "s_suppkey",
+		"part":     "p_partkey",
+		"partsupp": "ps_partkey",
+		"nation":   "n_nationkey",
+		"region":   "r_regionkey",
+	}
+}

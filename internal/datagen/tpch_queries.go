@@ -1,0 +1,463 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mto/internal/predicate"
+	"mto/internal/value"
+	"mto/internal/workload"
+)
+
+// NumTPCHTemplates is the number of supported TPC-H query templates (all 22).
+const NumTPCHTemplates = 22
+
+// TPCHWorkload generates perTemplate random instances of every TPC-H
+// template (the paper's default is 8, for 176 queries, §6.1.1).
+func TPCHWorkload(perTemplate int, seed int64) *workload.Workload {
+	return TPCHWorkloadTemplates(1, NumTPCHTemplates, perTemplate, seed)
+}
+
+// TPCHWorkloadTemplates generates queries for templates in [from, to]
+// (1-based, inclusive); the dynamic-workload experiment trains on templates
+// 1–11 and shifts to 12–22 (§6.5.1).
+func TPCHWorkloadTemplates(from, to, perTemplate int, seed int64) *workload.Workload {
+	rng := rand.New(rand.NewSource(seed))
+	w := workload.NewWorkload()
+	for t := from; t <= to; t++ {
+		for i := 0; i < perTemplate; i++ {
+			q := TPCHQuery(t, rng)
+			q.ID = fmt.Sprintf("q%d#%d", t, i)
+			w.Add(q)
+		}
+	}
+	return w
+}
+
+// TPCHQuery instantiates one TPC-H template (1-based) with random
+// parameters. The structured form keeps each template's join graph and
+// filter shape; aggregates and projections are irrelevant to blocking and
+// are omitted.
+func TPCHQuery(template int, rng *rand.Rand) *workload.Query {
+	f := tpchTemplates[template-1]
+	q := f(rng)
+	q.ID = fmt.Sprintf("q%d", template)
+	return q
+}
+
+func cmp(col string, op predicate.Op, v value.Value) predicate.Predicate {
+	return predicate.NewComparison(col, op, v)
+}
+
+func between(col string, lo, hi value.Value) predicate.Predicate {
+	return predicate.NewAnd(cmp(col, predicate.Ge, lo), cmp(col, predicate.Le, hi))
+}
+
+var tpchTemplates = [NumTPCHTemplates]func(*rand.Rand) *workload.Query{
+	// Q1: pricing summary — scans most of lineitem.
+	func(rng *rand.Rand) *workload.Query {
+		q := workload.NewQuery("", workload.TableRef{Table: "lineitem"})
+		delta := int64(rng.Intn(61) + 60)
+		q.Filter("lineitem", cmp("l_shipdate", predicate.Le, value.Int(date("1998-12-01").Int()-delta)))
+		return q
+	},
+	// Q2: minimum-cost supplier over the part/supplier snowflake.
+	func(rng *rand.Rand) *workload.Query {
+		q := workload.NewQuery("",
+			workload.TableRef{Table: "part"},
+			workload.TableRef{Table: "partsupp"},
+			workload.TableRef{Table: "supplier"},
+			workload.TableRef{Table: "nation"},
+			workload.TableRef{Table: "region"},
+		)
+		q.AddJoin("part", "p_partkey", "partsupp", "ps_partkey")
+		q.AddJoin("supplier", "s_suppkey", "partsupp", "ps_suppkey")
+		q.AddJoin("nation", "n_nationkey", "supplier", "s_nationkey")
+		q.AddJoin("region", "r_regionkey", "nation", "n_regionkey")
+		q.Filter("part", cmp("p_size", predicate.Eq, value.Int(int64(rng.Intn(50)+1))))
+		q.Filter("part", predicate.NewLike("p_type", "%"+pick(rng, typeSyl3)))
+		q.Filter("region", cmp("r_name", predicate.Eq, value.String(pick(rng, regionNames))))
+		return q
+	},
+	// Q3: shipping priority.
+	func(rng *rand.Rand) *workload.Query {
+		q := workload.NewQuery("",
+			workload.TableRef{Table: "customer"},
+			workload.TableRef{Table: "orders"},
+			workload.TableRef{Table: "lineitem"},
+		)
+		q.AddJoin("customer", "c_custkey", "orders", "o_custkey")
+		q.AddJoin("orders", "o_orderkey", "lineitem", "l_orderkey")
+		d := dateRange(rng, "1995-03-01", "1995-03-31")
+		q.Filter("customer", cmp("c_mktsegment", predicate.Eq, value.String(pick(rng, segments))))
+		q.Filter("orders", cmp("o_orderdate", predicate.Lt, d))
+		q.Filter("lineitem", cmp("l_shipdate", predicate.Gt, d))
+		return q
+	},
+	// Q4: order priority checking — EXISTS over lineitem (semi join).
+	func(rng *rand.Rand) *workload.Query {
+		q := workload.NewQuery("",
+			workload.TableRef{Table: "orders"},
+			workload.TableRef{Table: "lineitem"},
+		)
+		q.AddTypedJoin(workload.Join{
+			Left: "orders", LeftColumn: "o_orderkey",
+			Right: "lineitem", RightColumn: "l_orderkey",
+			Type: workload.SemiJoin,
+		})
+		d := dateRange(rng, "1993-01-01", "1997-10-01")
+		q.Filter("orders", between("o_orderdate", d, value.Int(d.Int()+90)))
+		q.Filter("lineitem", &predicate.ColumnComparison{
+			Left: "l_commitdate", Op: predicate.Lt, Right: "l_receiptdate",
+		})
+		return q
+	},
+	// Q5: local supplier volume over the full snowflake.
+	func(rng *rand.Rand) *workload.Query {
+		q := workload.NewQuery("",
+			workload.TableRef{Table: "customer"},
+			workload.TableRef{Table: "orders"},
+			workload.TableRef{Table: "lineitem"},
+			workload.TableRef{Table: "supplier"},
+			workload.TableRef{Table: "nation"},
+			workload.TableRef{Table: "region"},
+		)
+		q.AddJoin("customer", "c_custkey", "orders", "o_custkey")
+		q.AddJoin("orders", "o_orderkey", "lineitem", "l_orderkey")
+		q.AddJoin("supplier", "s_suppkey", "lineitem", "l_suppkey")
+		q.AddJoin("nation", "n_nationkey", "supplier", "s_nationkey")
+		q.AddJoin("nation", "n_nationkey", "customer", "c_nationkey")
+		q.AddJoin("region", "r_regionkey", "nation", "n_regionkey")
+		y := int64(rng.Intn(5) + 1993)
+		q.Filter("region", cmp("r_name", predicate.Eq, value.String(pick(rng, regionNames))))
+		q.Filter("orders", between("o_orderdate",
+			date(fmt.Sprintf("%d-01-01", y)), date(fmt.Sprintf("%d-12-31", y))))
+		return q
+	},
+	// Q6: forecasting revenue change — selective non-sort filters.
+	func(rng *rand.Rand) *workload.Query {
+		q := workload.NewQuery("", workload.TableRef{Table: "lineitem"})
+		y := int64(rng.Intn(5) + 1993)
+		disc := float64(rng.Intn(8)+2) / 100
+		q.Filter("lineitem", between("l_shipdate",
+			date(fmt.Sprintf("%d-01-01", y)), date(fmt.Sprintf("%d-12-31", y))))
+		q.Filter("lineitem", between("l_discount",
+			value.Float(disc-0.011), value.Float(disc+0.011)))
+		q.Filter("lineitem", cmp("l_quantity", predicate.Lt, value.Int(int64(rng.Intn(2)+24))))
+		return q
+	},
+	// Q7: volume shipping — two nation aliases.
+	func(rng *rand.Rand) *workload.Query {
+		q := workload.NewQuery("",
+			workload.TableRef{Table: "supplier"},
+			workload.TableRef{Table: "lineitem"},
+			workload.TableRef{Table: "orders"},
+			workload.TableRef{Table: "customer"},
+			workload.TableRef{Table: "nation", Alias: "n1"},
+			workload.TableRef{Table: "nation", Alias: "n2"},
+		)
+		q.AddJoin("supplier", "s_suppkey", "lineitem", "l_suppkey")
+		q.AddJoin("orders", "o_orderkey", "lineitem", "l_orderkey")
+		q.AddJoin("customer", "c_custkey", "orders", "o_custkey")
+		q.AddJoin("n1", "n_nationkey", "supplier", "s_nationkey")
+		q.AddJoin("n2", "n_nationkey", "customer", "c_nationkey")
+		a, b := pick(rng, nationNames), pick(rng, nationNames)
+		q.Filter("n1", predicate.NewIn("n_name", value.String(a), value.String(b)))
+		q.Filter("n2", predicate.NewIn("n_name", value.String(a), value.String(b)))
+		q.Filter("lineitem", between("l_shipdate", date("1995-01-01"), date("1996-12-31")))
+		return q
+	},
+	// Q8: national market share.
+	func(rng *rand.Rand) *workload.Query {
+		q := workload.NewQuery("",
+			workload.TableRef{Table: "part"},
+			workload.TableRef{Table: "lineitem"},
+			workload.TableRef{Table: "supplier"},
+			workload.TableRef{Table: "orders"},
+			workload.TableRef{Table: "customer"},
+			workload.TableRef{Table: "nation", Alias: "n1"},
+			workload.TableRef{Table: "nation", Alias: "n2"},
+			workload.TableRef{Table: "region"},
+		)
+		q.AddJoin("part", "p_partkey", "lineitem", "l_partkey")
+		q.AddJoin("supplier", "s_suppkey", "lineitem", "l_suppkey")
+		q.AddJoin("orders", "o_orderkey", "lineitem", "l_orderkey")
+		q.AddJoin("customer", "c_custkey", "orders", "o_custkey")
+		q.AddJoin("n1", "n_nationkey", "customer", "c_nationkey")
+		q.AddJoin("region", "r_regionkey", "n1", "n_regionkey")
+		q.AddJoin("n2", "n_nationkey", "supplier", "s_nationkey")
+		q.Filter("region", cmp("r_name", predicate.Eq, value.String(pick(rng, regionNames))))
+		q.Filter("orders", between("o_orderdate", date("1995-01-01"), date("1996-12-31")))
+		q.Filter("part", cmp("p_type", predicate.Eq, value.String(partType(rng))))
+		return q
+	},
+	// Q9: product type profit measure.
+	func(rng *rand.Rand) *workload.Query {
+		q := workload.NewQuery("",
+			workload.TableRef{Table: "part"},
+			workload.TableRef{Table: "lineitem"},
+			workload.TableRef{Table: "supplier"},
+			workload.TableRef{Table: "partsupp"},
+			workload.TableRef{Table: "orders"},
+			workload.TableRef{Table: "nation"},
+		)
+		q.AddJoin("part", "p_partkey", "lineitem", "l_partkey")
+		q.AddJoin("supplier", "s_suppkey", "lineitem", "l_suppkey")
+		q.AddJoin("orders", "o_orderkey", "lineitem", "l_orderkey")
+		q.AddJoin("nation", "n_nationkey", "supplier", "s_nationkey")
+		q.AddJoin("part", "p_partkey", "partsupp", "ps_partkey")
+		q.Filter("part", predicate.NewLike("p_name", "%"+pick(rng, typeSyl3)+"%"))
+		return q
+	},
+	// Q10: returned item reporting.
+	func(rng *rand.Rand) *workload.Query {
+		q := workload.NewQuery("",
+			workload.TableRef{Table: "customer"},
+			workload.TableRef{Table: "orders"},
+			workload.TableRef{Table: "lineitem"},
+			workload.TableRef{Table: "nation"},
+		)
+		q.AddJoin("customer", "c_custkey", "orders", "o_custkey")
+		q.AddJoin("orders", "o_orderkey", "lineitem", "l_orderkey")
+		q.AddJoin("nation", "n_nationkey", "customer", "c_nationkey")
+		d := dateRange(rng, "1993-02-01", "1994-12-01")
+		q.Filter("orders", between("o_orderdate", d, value.Int(d.Int()+90)))
+		q.Filter("lineitem", cmp("l_returnflag", predicate.Eq, value.String("R")))
+		return q
+	},
+	// Q11: important stock identification.
+	func(rng *rand.Rand) *workload.Query {
+		q := workload.NewQuery("",
+			workload.TableRef{Table: "partsupp"},
+			workload.TableRef{Table: "supplier"},
+			workload.TableRef{Table: "nation"},
+		)
+		q.AddJoin("supplier", "s_suppkey", "partsupp", "ps_suppkey")
+		q.AddJoin("nation", "n_nationkey", "supplier", "s_nationkey")
+		q.Filter("nation", cmp("n_name", predicate.Eq, value.String(pick(rng, nationNames))))
+		return q
+	},
+	// Q12: shipping modes and order priority.
+	func(rng *rand.Rand) *workload.Query {
+		q := workload.NewQuery("",
+			workload.TableRef{Table: "orders"},
+			workload.TableRef{Table: "lineitem"},
+		)
+		q.AddJoin("orders", "o_orderkey", "lineitem", "l_orderkey")
+		m1 := pick(rng, shipModes)
+		m2 := pick(rng, shipModes)
+		y := int64(rng.Intn(5) + 1993)
+		q.Filter("lineitem", predicate.NewIn("l_shipmode", value.String(m1), value.String(m2)))
+		q.Filter("lineitem", &predicate.ColumnComparison{Left: "l_commitdate", Op: predicate.Lt, Right: "l_receiptdate"})
+		q.Filter("lineitem", &predicate.ColumnComparison{Left: "l_shipdate", Op: predicate.Lt, Right: "l_commitdate"})
+		q.Filter("lineitem", between("l_receiptdate",
+			date(fmt.Sprintf("%d-01-01", y)), date(fmt.Sprintf("%d-12-31", y))))
+		return q
+	},
+	// Q13: customer distribution — left outer join.
+	func(rng *rand.Rand) *workload.Query {
+		q := workload.NewQuery("",
+			workload.TableRef{Table: "customer"},
+			workload.TableRef{Table: "orders"},
+		)
+		q.AddTypedJoin(workload.Join{
+			Left: "customer", LeftColumn: "c_custkey",
+			Right: "orders", RightColumn: "o_custkey",
+			Type: workload.LeftOuterJoin,
+		})
+		q.Filter("orders", predicate.NewNotLike("o_orderpriority", "%"+pick(rng, []string{"URGENT", "HIGH"})+"%"))
+		return q
+	},
+	// Q14: promotion effect — fact filter on the sort column only.
+	func(rng *rand.Rand) *workload.Query {
+		q := workload.NewQuery("",
+			workload.TableRef{Table: "lineitem"},
+			workload.TableRef{Table: "part"},
+		)
+		q.AddJoin("part", "p_partkey", "lineitem", "l_partkey")
+		d := dateRange(rng, "1993-01-01", "1997-12-01")
+		q.Filter("lineitem", between("l_shipdate", d, value.Int(d.Int()+30)))
+		return q
+	},
+	// Q15: top supplier.
+	func(rng *rand.Rand) *workload.Query {
+		q := workload.NewQuery("",
+			workload.TableRef{Table: "supplier"},
+			workload.TableRef{Table: "lineitem"},
+		)
+		q.AddJoin("supplier", "s_suppkey", "lineitem", "l_suppkey")
+		d := dateRange(rng, "1993-01-01", "1997-10-01")
+		q.Filter("lineitem", between("l_shipdate", d, value.Int(d.Int()+90)))
+		return q
+	},
+	// Q16: parts/supplier relationship — anti-semi against supplier.
+	func(rng *rand.Rand) *workload.Query {
+		q := workload.NewQuery("",
+			workload.TableRef{Table: "partsupp"},
+			workload.TableRef{Table: "part"},
+			workload.TableRef{Table: "supplier"},
+		)
+		q.AddJoin("part", "p_partkey", "partsupp", "ps_partkey")
+		q.AddTypedJoin(workload.Join{
+			Left: "partsupp", LeftColumn: "ps_suppkey",
+			Right: "supplier", RightColumn: "s_suppkey",
+			Type: workload.LeftAntiSemiJoin,
+		})
+		var sizes []value.Value
+		for len(sizes) < 8 {
+			sizes = append(sizes, value.Int(int64(rng.Intn(50)+1)))
+		}
+		q.Filter("part", cmp("p_brand", predicate.Ne, value.String(brand(rng))))
+		q.Filter("part", predicate.NewNotLike("p_type", pick(rng, typeSyl1)+"%"))
+		q.Filter("part", predicate.NewIn("p_size", sizes...))
+		q.Filter("supplier", cmp("s_acctbal", predicate.Lt, value.Float(0)))
+		return q
+	},
+	// Q17: small-quantity-order revenue — correlated subquery on lineitem.
+	func(rng *rand.Rand) *workload.Query {
+		q := workload.NewQuery("",
+			workload.TableRef{Table: "lineitem"},
+			workload.TableRef{Table: "part"},
+			workload.TableRef{Table: "lineitem", Alias: "l2"},
+		)
+		q.AddJoin("part", "p_partkey", "lineitem", "l_partkey")
+		q.AddTypedJoin(workload.Join{
+			Left: "part", LeftColumn: "p_partkey",
+			Right: "l2", RightColumn: "l_partkey",
+			Type:            workload.InnerJoin,
+			CorrelatedInner: "l2",
+		})
+		q.Filter("part", cmp("p_brand", predicate.Eq, value.String(brand(rng))))
+		q.Filter("part", cmp("p_container", predicate.Eq, value.String(pick(rng, containers))))
+		return q
+	},
+	// Q18: large-volume customer — semi join on a high-quantity subquery.
+	func(rng *rand.Rand) *workload.Query {
+		q := workload.NewQuery("",
+			workload.TableRef{Table: "customer"},
+			workload.TableRef{Table: "orders"},
+			workload.TableRef{Table: "lineitem"},
+			workload.TableRef{Table: "lineitem", Alias: "l2"},
+		)
+		q.AddJoin("customer", "c_custkey", "orders", "o_custkey")
+		q.AddJoin("orders", "o_orderkey", "lineitem", "l_orderkey")
+		q.AddTypedJoin(workload.Join{
+			Left: "orders", LeftColumn: "o_orderkey",
+			Right: "l2", RightColumn: "l_orderkey",
+			Type: workload.SemiJoin,
+		})
+		q.Filter("l2", cmp("l_quantity", predicate.Gt, value.Int(int64(rng.Intn(3)+48))))
+		return q
+	},
+	// Q19: discounted revenue — three-branch disjunction on both tables.
+	func(rng *rand.Rand) *workload.Query {
+		q := workload.NewQuery("",
+			workload.TableRef{Table: "lineitem"},
+			workload.TableRef{Table: "part"},
+		)
+		q.AddJoin("part", "p_partkey", "lineitem", "l_partkey")
+		q1 := int64(rng.Intn(10) + 1)
+		q2 := int64(rng.Intn(10) + 10)
+		q3 := int64(rng.Intn(10) + 20)
+		q.Filter("lineitem", predicate.NewOr(
+			between("l_quantity", value.Int(q1), value.Int(q1+10)),
+			between("l_quantity", value.Int(q2), value.Int(q2+10)),
+			between("l_quantity", value.Int(q3), value.Int(q3+10)),
+		))
+		q.Filter("lineitem", predicate.NewIn("l_shipmode", value.String("AIR"), value.String("REG AIR")))
+		q.Filter("lineitem", cmp("l_shipinstruct", predicate.Eq, value.String("DELIVER IN PERSON")))
+		q.Filter("part", predicate.NewOr(
+			predicate.NewAnd(cmp("p_brand", predicate.Eq, value.String(brand(rng))),
+				between("p_size", value.Int(1), value.Int(5))),
+			predicate.NewAnd(cmp("p_brand", predicate.Eq, value.String(brand(rng))),
+				between("p_size", value.Int(1), value.Int(10))),
+			predicate.NewAnd(cmp("p_brand", predicate.Eq, value.String(brand(rng))),
+				between("p_size", value.Int(1), value.Int(15))),
+		))
+		return q
+	},
+	// Q20: potential part promotion — nested semi joins + correlated
+	// lineitem subquery.
+	func(rng *rand.Rand) *workload.Query {
+		q := workload.NewQuery("",
+			workload.TableRef{Table: "supplier"},
+			workload.TableRef{Table: "nation"},
+			workload.TableRef{Table: "partsupp"},
+			workload.TableRef{Table: "part"},
+			workload.TableRef{Table: "lineitem"},
+		)
+		q.AddJoin("nation", "n_nationkey", "supplier", "s_nationkey")
+		q.AddTypedJoin(workload.Join{
+			Left: "supplier", LeftColumn: "s_suppkey",
+			Right: "partsupp", RightColumn: "ps_suppkey",
+			Type: workload.SemiJoin,
+		})
+		q.AddTypedJoin(workload.Join{
+			Left: "part", LeftColumn: "p_partkey",
+			Right: "partsupp", RightColumn: "ps_partkey",
+			Type: workload.SemiJoin,
+		})
+		q.AddTypedJoin(workload.Join{
+			Left: "partsupp", LeftColumn: "ps_partkey",
+			Right: "lineitem", RightColumn: "l_partkey",
+			Type:            workload.InnerJoin,
+			CorrelatedInner: "lineitem",
+		})
+		y := int64(rng.Intn(5) + 1993)
+		q.Filter("nation", cmp("n_name", predicate.Eq, value.String(pick(rng, nationNames))))
+		q.Filter("part", predicate.NewLike("p_name", pick(rng, typeSyl2)+"%"))
+		q.Filter("lineitem", between("l_shipdate",
+			date(fmt.Sprintf("%d-01-01", y)), date(fmt.Sprintf("%d-12-31", y))))
+		return q
+	},
+	// Q21: suppliers who kept orders waiting — self semi and anti-semi on
+	// lineitem.
+	func(rng *rand.Rand) *workload.Query {
+		q := workload.NewQuery("",
+			workload.TableRef{Table: "supplier"},
+			workload.TableRef{Table: "lineitem"},
+			workload.TableRef{Table: "orders"},
+			workload.TableRef{Table: "nation"},
+			workload.TableRef{Table: "lineitem", Alias: "l2"},
+			workload.TableRef{Table: "lineitem", Alias: "l3"},
+		)
+		q.AddJoin("supplier", "s_suppkey", "lineitem", "l_suppkey")
+		q.AddJoin("orders", "o_orderkey", "lineitem", "l_orderkey")
+		q.AddJoin("nation", "n_nationkey", "supplier", "s_nationkey")
+		q.AddTypedJoin(workload.Join{
+			Left: "orders", LeftColumn: "o_orderkey",
+			Right: "l2", RightColumn: "l_orderkey",
+			Type: workload.SemiJoin,
+		})
+		q.AddTypedJoin(workload.Join{
+			Left: "orders", LeftColumn: "o_orderkey",
+			Right: "l3", RightColumn: "l_orderkey",
+			Type: workload.LeftAntiSemiJoin,
+		})
+		q.Filter("orders", cmp("o_orderstatus", predicate.Eq, value.String("F")))
+		q.Filter("nation", cmp("n_name", predicate.Eq, value.String(pick(rng, nationNames))))
+		q.Filter("lineitem", &predicate.ColumnComparison{Left: "l_receiptdate", Op: predicate.Gt, Right: "l_commitdate"})
+		q.Filter("l3", &predicate.ColumnComparison{Left: "l_receiptdate", Op: predicate.Gt, Right: "l_commitdate"})
+		return q
+	},
+	// Q22: global sales opportunity — anti-semi against orders.
+	func(rng *rand.Rand) *workload.Query {
+		q := workload.NewQuery("",
+			workload.TableRef{Table: "customer"},
+			workload.TableRef{Table: "orders"},
+		)
+		q.AddTypedJoin(workload.Join{
+			Left: "customer", LeftColumn: "c_custkey",
+			Right: "orders", RightColumn: "o_custkey",
+			Type: workload.LeftAntiSemiJoin,
+		})
+		var prefixes []predicate.Predicate
+		for i := 0; i < 7; i++ {
+			cc := rng.Intn(25) + 10
+			prefixes = append(prefixes, predicate.NewLike("c_phone", fmt.Sprintf("%02d-%%", cc)))
+		}
+		q.Filter("customer", predicate.NewOr(prefixes...))
+		q.Filter("customer", cmp("c_acctbal", predicate.Gt, value.Float(0)))
+		return q
+	},
+}

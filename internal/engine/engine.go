@@ -1,0 +1,293 @@
+// Package engine is the simulated cloud analytics service ("Cloud DW" in
+// the paper, §6.1.2). It executes structured queries over a block.Store:
+// per-table block sets come from the installed layout's router, zone maps
+// skip irrelevant blocks, optional data-induced predicates (diPs, [22])
+// prune blocks at plan time, and optional semi-join reduction prunes blocks
+// and rows at execution time. A calibrated cost model turns I/O and tuple
+// counts into simulated end-to-end seconds.
+//
+// The engine's result — per-alias surviving row counts under full semantic
+// reduction — is a function of the data and the query only, never of the
+// layout, which the test suite uses as a cross-layout correctness
+// invariant.
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"mto/internal/block"
+	"mto/internal/layout"
+	"mto/internal/predicate"
+	"mto/internal/relation"
+	"mto/internal/workload"
+)
+
+// Options toggles the execution-time features whose presence the paper's
+// experiments vary.
+type Options struct {
+	// SemiJoinReduction enables Cloud DW's runtime pruning: once a table
+	// is materialized, its exact join keys prune the blocks of tables it
+	// joins to (§6.1.2, §6.2.2).
+	SemiJoinReduction bool
+	// DiPs enables data-induced predicates: plan-time block pruning from
+	// zone-map-derived range sets pushed across joins (§3.1.1, §6.1.3).
+	DiPs bool
+	// RangeSetSize bounds the number of ranges in a diP (paper uses 20).
+	RangeSetSize int
+	// MaxReductionPasses caps the semantic reduction fixpoint.
+	MaxReductionPasses int
+	// SecondaryIndexes maps table → join column carrying a secondary
+	// index. When join keys for that column arrive from a materialized
+	// neighbor, the engine reads only the blocks physically containing
+	// matching rows, regardless of clustering — the SI comparison of
+	// §6.3.1.
+	SecondaryIndexes map[string]string
+}
+
+// DefaultOptions mirrors the plain simulation setting (no runtime extras).
+func DefaultOptions() Options {
+	return Options{RangeSetSize: 20, MaxReductionPasses: 8}
+}
+
+// CloudDWOptions mirrors the commercial service: semi-join reduction on.
+func CloudDWOptions() Options {
+	o := DefaultOptions()
+	o.SemiJoinReduction = true
+	return o
+}
+
+// TableAccess reports the I/O for one base table of one query, with the
+// per-stage pruning breakdown: how many candidate blocks survived layout
+// routing, then zone-map skipping, then plan-time diPs, then runtime
+// semi-join / secondary-index pruning. Each stage can only shrink the set.
+type TableAccess struct {
+	Table       string
+	BlocksRead  int
+	TotalBlocks int
+	RowsScanned int
+
+	// AfterRouting counts candidates the layout router returned.
+	AfterRouting int
+	// AfterZoneMap counts candidates surviving zone-map skipping.
+	AfterZoneMap int
+	// AfterDiPs counts candidates surviving plan-time diPs (equals
+	// AfterZoneMap when diPs are off).
+	AfterDiPs int
+}
+
+// Result is the outcome of executing one query.
+type Result struct {
+	Query string
+	// PerTable maps base table → access stats.
+	PerTable map[string]*TableAccess
+	// BlocksRead is the total blocks read.
+	BlocksRead int
+	// TotalBlocks is the total number of blocks in the accessed base
+	// tables (the denominator of the paper's "fraction of blocks" metric).
+	TotalBlocks int
+	// SurvivingRows maps alias → rows that participate in the query
+	// result after all filters and join semantics. Layout-invariant.
+	SurvivingRows map[string]int
+	// Seconds is the simulated end-to-end execution time.
+	Seconds float64
+}
+
+// FractionOfBlocks returns BlocksRead / TotalBlocks (0 when no table).
+func (r *Result) FractionOfBlocks() float64 {
+	if r.TotalBlocks == 0 {
+		return 0
+	}
+	return float64(r.BlocksRead) / float64(r.TotalBlocks)
+}
+
+// Engine executes queries against one installed design.
+type Engine struct {
+	store  *block.Store
+	design *layout.Design
+	ds     *relation.Dataset
+	opts   Options
+
+	// Secondary-index state, built lazily per indexed table.
+	keyIdx  map[string]*relation.KeyIndex
+	blockOf map[string][]int32 // table → row → block ID
+}
+
+// New returns an engine over the store/design pair.
+func New(store *block.Store, design *layout.Design, ds *relation.Dataset, opts Options) *Engine {
+	if opts.RangeSetSize <= 0 {
+		opts.RangeSetSize = 20
+	}
+	if opts.MaxReductionPasses <= 0 {
+		opts.MaxReductionPasses = 8
+	}
+	return &Engine{
+		store: store, design: design, ds: ds, opts: opts,
+		keyIdx:  map[string]*relation.KeyIndex{},
+		blockOf: map[string][]int32{},
+	}
+}
+
+// aliasState tracks one table reference during execution.
+type aliasState struct {
+	alias  string
+	table  string
+	filter predicate.Predicate
+	rows   []int32 // surviving row indexes (after scan + filters)
+}
+
+// tableState tracks one base table's block set during execution.
+type tableState struct {
+	table      string
+	candidates []int // block IDs still scheduled for reading
+	read       bool
+	rowsRead   int
+	blocksRead int
+	aliases    []*aliasState
+
+	afterRouting, afterZoneMap, afterDiPs int
+}
+
+// Execute runs q and returns its metrics.
+func (e *Engine) Execute(q *workload.Query) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	cost := e.store.Cost()
+	res := &Result{
+		Query:         q.ID,
+		PerTable:      map[string]*TableAccess{},
+		SurvivingRows: map[string]int{},
+		Seconds:       cost.QueryOverheadSeconds,
+	}
+
+	// Group aliases by base table and compute candidate block sets:
+	// layout routing ∩ zone-map skipping.
+	tables := map[string]*tableState{}
+	var order []string
+	aliasStates := map[string]*aliasState{}
+	for _, alias := range q.Aliases() {
+		base := q.BaseTable(alias)
+		as := &aliasState{alias: alias, table: base, filter: q.FilterOn(alias)}
+		aliasStates[alias] = as
+		ts := tables[base]
+		if ts == nil {
+			ids, ok := e.design.BlocksFor(q, base)
+			if !ok {
+				return nil, fmt.Errorf("engine: query %s touches unknown table %q", q.ID, base)
+			}
+			ts = &tableState{table: base, candidates: ids, afterRouting: len(ids)}
+			tables[base] = ts
+			order = append(order, base)
+		}
+		ts.aliases = append(ts.aliases, as)
+	}
+
+	// Zone-map skipping: a block survives if any alias's filter might
+	// match it.
+	for _, ts := range tables {
+		tl := e.store.Layout(ts.table)
+		if tl == nil {
+			return nil, fmt.Errorf("engine: no layout installed for %q", ts.table)
+		}
+		kept := ts.candidates[:0]
+		for _, id := range ts.candidates {
+			b := tl.Block(id)
+			for _, as := range ts.aliases {
+				if b.Zone.MaybeMatches(as.filter) {
+					kept = append(kept, id)
+					break
+				}
+			}
+		}
+		ts.candidates = kept
+		ts.afterZoneMap = len(kept)
+	}
+
+	// diPs: plan-time pruning from zone-map range sets (§3.1.1).
+	if e.opts.DiPs {
+		e.applyDiPs(q, tables)
+	}
+	for _, ts := range tables {
+		ts.afterDiPs = len(ts.candidates)
+	}
+
+	// Materialize tables smallest-first so semi-join reduction can use
+	// exact keys from already-read tables to prune later ones.
+	matOrder := append([]string(nil), order...)
+	sort.Slice(matOrder, func(i, j int) bool {
+		a, b := tables[matOrder[i]], tables[matOrder[j]]
+		if len(a.candidates) != len(b.candidates) {
+			return len(a.candidates) < len(b.candidates)
+		}
+		return a.table < b.table
+	})
+	reducers := 0
+	for _, name := range matOrder {
+		ts := tables[name]
+		if e.opts.SemiJoinReduction || e.opts.SecondaryIndexes[name] != "" {
+			reducers += e.runtimeBlockPrune(q, ts, aliasStates, tables)
+		}
+		if err := e.readAndFilter(ts); err != nil {
+			return nil, err
+		}
+	}
+
+	// Semantic reduction fixpoint: surviving rows per alias.
+	joinProbes := e.semanticReduce(q, aliasStates)
+
+	// Assemble metrics.
+	for _, name := range order {
+		ts := tables[name]
+		ta := &TableAccess{
+			Table:        name,
+			BlocksRead:   ts.blocksRead,
+			TotalBlocks:  e.store.TotalBlocks(name),
+			RowsScanned:  ts.rowsRead,
+			AfterRouting: ts.afterRouting,
+			AfterZoneMap: ts.afterZoneMap,
+			AfterDiPs:    ts.afterDiPs,
+		}
+		res.PerTable[name] = ta
+		res.BlocksRead += ta.BlocksRead
+		res.TotalBlocks += ta.TotalBlocks
+		res.Seconds += float64(ta.BlocksRead)*cost.BlockReadSeconds +
+			float64(ta.RowsScanned)*cost.TupleScanSeconds
+	}
+	for alias, as := range aliasStates {
+		res.SurvivingRows[alias] = len(as.rows)
+	}
+	res.Seconds += float64(joinProbes)*cost.TupleJoinSeconds +
+		float64(reducers)*cost.SemiJoinSetupSeconds
+	return res, nil
+}
+
+// readAndFilter meters the reads of the table's candidate blocks and
+// computes each alias's filtered row set.
+func (e *Engine) readAndFilter(ts *tableState) error {
+	tbl := e.ds.Table(ts.table)
+	if tbl == nil {
+		return fmt.Errorf("engine: dataset missing table %q", ts.table)
+	}
+	matchers := make([]func(int) bool, len(ts.aliases))
+	for i, as := range ts.aliases {
+		matchers[i] = predicate.Compile(as.filter, tbl)
+	}
+	for _, id := range ts.candidates {
+		b, err := e.store.ReadBlock(ts.table, id)
+		if err != nil {
+			return err
+		}
+		ts.blocksRead++
+		ts.rowsRead += b.NumRows()
+		for i, as := range ts.aliases {
+			for _, r := range b.Rows {
+				if matchers[i](int(r)) {
+					as.rows = append(as.rows, r)
+				}
+			}
+		}
+	}
+	ts.read = true
+	return nil
+}

@@ -1,0 +1,393 @@
+package engine
+
+import (
+	"sort"
+
+	"mto/internal/predicate"
+	"mto/internal/relation"
+	"mto/internal/value"
+	"mto/internal/workload"
+)
+
+// prunableDirections reports, for a join edge, whether blocks/rows of the
+// right side can be pruned using left-side information (and vice versa)
+// without changing the query result. The directions coincide with the
+// predicate-induction rules of §4.1.1: a side is prunable exactly when its
+// unmatched rows are irrelevant to the result.
+func prunableDirections(t workload.JoinType) (rightByLeft, leftByRight bool) {
+	return t.CanInduceLeftToRight(), t.CanInduceRightToLeft()
+}
+
+// keysOf collects the distinct non-null join-key values of the alias's
+// surviving rows in the named column.
+func keysOf(tbl *relation.Table, rows []int32, col string) map[value.Value]struct{} {
+	ci, ok := tbl.Schema().ColumnIndex(col)
+	if !ok {
+		return nil
+	}
+	out := make(map[value.Value]struct{}, len(rows))
+	for _, r := range rows {
+		v := tbl.Value(int(r), ci)
+		if !v.IsNull() {
+			out[v] = struct{}{}
+		}
+	}
+	return out
+}
+
+// sortedKeys returns the key set as a sorted slice for zone-interval probes.
+func sortedKeys(set map[value.Value]struct{}) []value.Value {
+	out := make([]value.Value, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// anyKeyInInterval reports whether some key falls inside iv.
+func anyKeyInInterval(keys []value.Value, iv predicate.Interval) bool {
+	if iv.Empty || len(keys) == 0 {
+		return false
+	}
+	// Binary search for the first key ≥ iv.Min (or index 0 if unbounded).
+	lo := 0
+	if !iv.Min.IsNull() {
+		lo = sort.Search(len(keys), func(i int) bool {
+			if !keys[i].Comparable(iv.Min) {
+				return true
+			}
+			cmp := keys[i].Compare(iv.Min)
+			return cmp > 0 || (cmp == 0 && iv.MinInc)
+		})
+	}
+	if lo >= len(keys) {
+		return false
+	}
+	return iv.Contains(keys[lo])
+}
+
+// runtimeBlockPrune applies semi-join reduction at the block level before
+// ts is read: for every join edge connecting ts to an already-materialized
+// table (in a prunable direction), the materialized side's exact keys prune
+// ts's candidate blocks whose join-column zone interval contains no key.
+// Returns the number of reducers built (each costs setup time).
+func (e *Engine) runtimeBlockPrune(q *workload.Query, ts *tableState,
+	aliases map[string]*aliasState, tables map[string]*tableState) int {
+
+	reducers := 0
+	for _, j := range q.Joins {
+		var otherAlias, myCol, otherCol string
+		rByL, lByR := prunableDirections(j.Type)
+		switch {
+		case aliasOnTable(q, j.Right, ts.table) && rByL:
+			otherAlias, myCol, otherCol = j.Left, j.RightColumn, j.LeftColumn
+		case aliasOnTable(q, j.Left, ts.table) && lByR:
+			otherAlias, myCol, otherCol = j.Right, j.LeftColumn, j.RightColumn
+		default:
+			continue
+		}
+		other := aliases[otherAlias]
+		otherTS := tables[other.table]
+		if otherTS == nil || !otherTS.read || other.table == ts.table {
+			continue
+		}
+		otherTbl := e.ds.Table(other.table)
+		keySet := keysOf(otherTbl, other.rows, otherCol)
+		reducers++
+		if e.opts.SecondaryIndexes[ts.table] == myCol {
+			e.secondaryIndexPrune(ts, myCol, keySet)
+			continue
+		}
+		if !e.opts.SemiJoinReduction {
+			continue // SI configured for a different column only
+		}
+		keys := sortedKeys(keySet)
+		tl := e.store.Layout(ts.table)
+		kept := ts.candidates[:0]
+		for _, id := range ts.candidates {
+			iv := tl.Block(id).Zone.Column(myCol)
+			if anyKeyInInterval(keys, iv) {
+				kept = append(kept, id)
+			}
+		}
+		ts.candidates = kept
+	}
+	return reducers
+}
+
+// secondaryIndexPrune keeps only candidate blocks that physically contain a
+// row whose indexed column matches one of the keys. Unlike zone-interval
+// pruning, it works without any clustering of the join column.
+func (e *Engine) secondaryIndexPrune(ts *tableState, col string, keys map[value.Value]struct{}) {
+	ki := e.keyIdx[ts.table+"."+col]
+	if ki == nil {
+		idx, err := relation.BuildKeyIndex(e.ds.Table(ts.table), col)
+		if err != nil {
+			return // unindexable column type: no pruning
+		}
+		ki = idx
+		e.keyIdx[ts.table+"."+col] = ki
+	}
+	blockOf := e.blockOf[ts.table]
+	if blockOf == nil {
+		tl := e.store.Layout(ts.table)
+		blockOf = make([]int32, e.ds.Table(ts.table).NumRows())
+		for _, b := range tl.Blocks() {
+			for _, r := range b.Rows {
+				blockOf[r] = int32(b.ID)
+			}
+		}
+		e.blockOf[ts.table] = blockOf
+	}
+	needed := map[int32]bool{}
+	for k := range keys {
+		for _, r := range ki.Lookup(k) {
+			needed[blockOf[r]] = true
+		}
+	}
+	kept := ts.candidates[:0]
+	for _, id := range ts.candidates {
+		if needed[int32(id)] {
+			kept = append(kept, id)
+		}
+	}
+	ts.candidates = kept
+}
+
+func aliasOnTable(q *workload.Query, alias, table string) bool {
+	return q.BaseTable(alias) == table
+}
+
+// applyDiPs prunes candidate blocks at plan time using data-induced
+// predicates [22]: the zone intervals of one side's candidate blocks on the
+// join column are merged into a range set of at most RangeSetSize ranges
+// and pushed to the other side, whose blocks are dropped when their join
+// column cannot intersect any range. Passes repeat until a fixpoint (or the
+// pass cap) since pruning one table can enable pruning another.
+func (e *Engine) applyDiPs(q *workload.Query, tables map[string]*tableState) {
+	for pass := 0; pass < e.opts.MaxReductionPasses; pass++ {
+		changed := false
+		for _, j := range q.Joins {
+			rByL, lByR := prunableDirections(j.Type)
+			if rByL && e.dipPrune(q, tables, j.Left, j.LeftColumn, j.Right, j.RightColumn) {
+				changed = true
+			}
+			if lByR && e.dipPrune(q, tables, j.Right, j.RightColumn, j.Left, j.LeftColumn) {
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// dipPrune pushes a range set from the source alias's table to the target
+// alias's table; reports whether any block was pruned.
+func (e *Engine) dipPrune(q *workload.Query, tables map[string]*tableState,
+	srcAlias, srcCol, dstAlias, dstCol string) bool {
+
+	src := tables[q.BaseTable(srcAlias)]
+	dst := tables[q.BaseTable(dstAlias)]
+	if src == nil || dst == nil || src.table == dst.table {
+		return false
+	}
+	srcLayout := e.store.Layout(src.table)
+	var intervals []predicate.Interval
+	for _, id := range src.candidates {
+		iv := srcLayout.Block(id).Zone.Column(srcCol)
+		if !iv.Empty {
+			intervals = append(intervals, iv)
+		}
+	}
+	ranges := mergeRanges(intervals, e.opts.RangeSetSize)
+	if ranges == nil {
+		// No candidate source blocks: the diP is empty and every target
+		// block is prunable (for inner-style edges the join yields
+		// nothing from unmatched rows).
+		if len(dst.candidates) == 0 {
+			return false
+		}
+		dst.candidates = dst.candidates[:0]
+		return true
+	}
+	dstLayout := e.store.Layout(dst.table)
+	kept := dst.candidates[:0]
+	pruned := false
+	for _, id := range dst.candidates {
+		iv := dstLayout.Block(id).Zone.Column(dstCol)
+		ok := false
+		for _, r := range ranges {
+			if !iv.Intersect(r).Empty {
+				ok = true
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, id)
+		} else {
+			pruned = true
+		}
+	}
+	dst.candidates = kept
+	return pruned
+}
+
+// mergeRanges unions the intervals and coalesces them into at most k
+// ranges, merging the closest pairs first (approximated by sorting on Min
+// and greedily merging smallest gaps).
+func mergeRanges(intervals []predicate.Interval, k int) []predicate.Interval {
+	if len(intervals) == 0 {
+		return nil
+	}
+	sort.Slice(intervals, func(i, j int) bool {
+		a, b := intervals[i].Min, intervals[j].Min
+		switch {
+		case a.IsNull() && b.IsNull():
+			return false
+		case a.IsNull():
+			return true
+		case b.IsNull():
+			return false
+		case !a.Comparable(b):
+			return a.Kind() < b.Kind()
+		default:
+			return a.Less(b)
+		}
+	})
+	// First merge overlapping/touching intervals.
+	merged := []predicate.Interval{intervals[0]}
+	for _, iv := range intervals[1:] {
+		last := &merged[len(merged)-1]
+		if !last.Intersect(iv).Empty || touching(*last, iv) {
+			*last = hull(*last, iv)
+		} else {
+			merged = append(merged, iv)
+		}
+	}
+	// Then coalesce to k ranges by repeatedly merging adjacent pairs (they
+	// are sorted, so adjacent pairs have the smallest gaps in rank order).
+	for len(merged) > k {
+		next := make([]predicate.Interval, 0, (len(merged)+1)/2)
+		for i := 0; i < len(merged); i += 2 {
+			if i+1 < len(merged) {
+				next = append(next, hull(merged[i], merged[i+1]))
+			} else {
+				next = append(next, merged[i])
+			}
+		}
+		merged = next
+	}
+	return merged
+}
+
+func touching(a, b predicate.Interval) bool {
+	if a.Max.IsNull() || b.Min.IsNull() || !a.Max.Comparable(b.Min) {
+		return false
+	}
+	return a.Max.Compare(b.Min) >= 0
+}
+
+func hull(a, b predicate.Interval) predicate.Interval {
+	out := a
+	if b.Min.IsNull() {
+		out.Min, out.MinInc = value.Null, true
+	} else if !out.Min.IsNull() && out.Min.Comparable(b.Min) && b.Min.Less(out.Min) {
+		out.Min, out.MinInc = b.Min, b.MinInc
+	}
+	switch {
+	case b.Max.IsNull():
+		out.Max, out.MaxInc = value.Null, true
+	case out.Max.IsNull():
+		// keep unbounded
+	case out.Max.Comparable(b.Max) && out.Max.Less(b.Max):
+		out.Max, out.MaxInc = b.Max, b.MaxInc
+	}
+	return out
+}
+
+// semanticReduce applies the query's join semantics to the filtered row
+// sets, iterating to a fixpoint: inner joins reduce both sides to matching
+// rows, one-sided outer joins reduce only the non-preserved side, semi
+// joins reduce both sides to matching rows, and anti-semi joins keep the
+// preserved side's rows without a match. Returns the number of tuple
+// probes performed (for the cost model).
+func (e *Engine) semanticReduce(q *workload.Query, aliases map[string]*aliasState) int {
+	probes := 0
+	for pass := 0; pass < e.opts.MaxReductionPasses; pass++ {
+		changed := false
+		for _, j := range q.Joins {
+			l, r := aliases[j.Left], aliases[j.Right]
+			lt, rt := e.ds.Table(l.table), e.ds.Table(r.table)
+			switch j.Type {
+			case workload.InnerJoin, workload.SemiJoin:
+				lk := keysOf(lt, l.rows, j.LeftColumn)
+				rk := keysOf(rt, r.rows, j.RightColumn)
+				probes += len(l.rows) + len(r.rows)
+				if reduceTo(l, lt, j.LeftColumn, rk, false) {
+					changed = true
+				}
+				if reduceTo(r, rt, j.RightColumn, lk, false) {
+					changed = true
+				}
+			case workload.LeftOuterJoin:
+				lk := keysOf(lt, l.rows, j.LeftColumn)
+				probes += len(r.rows)
+				if reduceTo(r, rt, j.RightColumn, lk, false) {
+					changed = true
+				}
+			case workload.RightOuterJoin:
+				rk := keysOf(rt, r.rows, j.RightColumn)
+				probes += len(l.rows)
+				if reduceTo(l, lt, j.LeftColumn, rk, false) {
+					changed = true
+				}
+			case workload.LeftAntiSemiJoin:
+				rk := keysOf(rt, r.rows, j.RightColumn)
+				probes += len(l.rows)
+				if reduceTo(l, lt, j.LeftColumn, rk, true) {
+					changed = true
+				}
+			case workload.RightAntiSemiJoin:
+				lk := keysOf(lt, l.rows, j.LeftColumn)
+				probes += len(r.rows)
+				if reduceTo(r, rt, j.RightColumn, lk, true) {
+					changed = true
+				}
+			case workload.FullOuterJoin:
+				// Both sides preserved: no reduction.
+				probes += len(l.rows) + len(r.rows)
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return probes
+}
+
+// reduceTo keeps only as.rows whose key membership in keys matches want
+// (want=false keeps members, i.e. matching rows; want=true keeps
+// non-members, i.e. anti-join survivors). Null keys never match, so they
+// survive only anti joins. Reports whether the row set shrank.
+func reduceTo(as *aliasState, tbl *relation.Table, col string, keys map[value.Value]struct{}, anti bool) bool {
+	ci, ok := tbl.Schema().ColumnIndex(col)
+	if !ok {
+		return false
+	}
+	kept := as.rows[:0]
+	for _, r := range as.rows {
+		v := tbl.Value(int(r), ci)
+		_, member := keys[v]
+		if v.IsNull() {
+			member = false
+		}
+		if member != anti {
+			kept = append(kept, r)
+		}
+	}
+	shrank := len(kept) != len(as.rows)
+	as.rows = kept
+	return shrank
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"reflect"
+	"strconv"
+)
+
+// WriteRowsCSV renders a slice of flat row structs (the return type of
+// every experiment harness) as CSV with a header derived from the field
+// names, so results can be fed straight into a plotting tool. Exported
+// scalar fields only; nested types are rejected.
+func WriteRowsCSV(w io.Writer, rows interface{}) error {
+	v := reflect.ValueOf(rows)
+	if v.Kind() != reflect.Slice {
+		return fmt.Errorf("experiments: WriteRowsCSV wants a slice, got %T", rows)
+	}
+	elem := v.Type().Elem()
+	if elem.Kind() != reflect.Struct {
+		return fmt.Errorf("experiments: WriteRowsCSV wants a slice of structs, got %T", rows)
+	}
+	cw := csv.NewWriter(w)
+	header := make([]string, elem.NumField())
+	for i := 0; i < elem.NumField(); i++ {
+		header[i] = elem.Field(i).Name
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, elem.NumField())
+	for r := 0; r < v.Len(); r++ {
+		row := v.Index(r)
+		for i := 0; i < elem.NumField(); i++ {
+			s, err := fieldString(row.Field(i))
+			if err != nil {
+				return fmt.Errorf("experiments: field %s: %w", elem.Field(i).Name, err)
+			}
+			rec[i] = s
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fieldString(f reflect.Value) (string, error) {
+	switch f.Kind() {
+	case reflect.String:
+		return f.String(), nil
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return strconv.FormatInt(f.Int(), 10), nil
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return strconv.FormatUint(f.Uint(), 10), nil
+	case reflect.Float32, reflect.Float64:
+		x := f.Float()
+		if math.IsInf(x, 1) {
+			return "inf", nil
+		}
+		if math.IsInf(x, -1) {
+			return "-inf", nil
+		}
+		return strconv.FormatFloat(x, 'g', -1, 64), nil
+	case reflect.Bool:
+		return strconv.FormatBool(f.Bool()), nil
+	default:
+		return "", fmt.Errorf("unsupported kind %s", f.Kind())
+	}
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWriteRowsCSV(t *testing.T) {
+	rows := []Table5Row{
+		{Q: 100, FracDataReorganized: 0.5, ReoptSeconds: 1.25, FracSubtreesConsidered: 0.1, TotalReward: 3},
+		{Q: math.Inf(1), FracDataReorganized: 1, ReoptSeconds: 2, FracSubtreesConsidered: 0.05, TotalReward: math.Inf(1)},
+	}
+	var buf strings.Builder
+	if err := WriteRowsCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.HasPrefix(got, "Q,FracDataReorganized,ReoptSeconds,FracSubtreesConsidered,TotalReward\n") {
+		t.Errorf("header wrong: %q", got)
+	}
+	if !strings.Contains(got, "inf,1,2,0.05,inf") {
+		t.Errorf("inf rendering wrong: %q", got)
+	}
+	// Strings and ints render too.
+	var buf2 strings.Builder
+	if err := WriteRowsCSV(&buf2, []Fig10aRow{{Bench: "SSB", Method: "MTO", Blocks: 42, Normalized: 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf2.String(), "SSB,MTO,42,0.5") {
+		t.Errorf("row wrong: %q", buf2.String())
+	}
+	// Non-slices and non-structs are rejected.
+	if err := WriteRowsCSV(&buf, 42); err == nil {
+		t.Error("non-slice accepted")
+	}
+	if err := WriteRowsCSV(&buf, []int{1}); err == nil {
+		t.Error("non-struct accepted")
+	}
+	// Unsupported field kinds are rejected.
+	type bad struct{ M map[string]int }
+	if err := WriteRowsCSV(&buf, []bad{{M: map[string]int{}}}); err == nil {
+		t.Error("map field accepted")
+	}
+}

@@ -1,0 +1,513 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// testScale keeps experiment tests fast while preserving shapes.
+func testScale() Scale {
+	s := DefaultScale()
+	s.SF = 0.01
+	s.PerTemplate = 2
+	return s
+}
+
+func TestBenchByName(t *testing.T) {
+	s := testScale()
+	for _, name := range []string{"ssb", "tpch", "tpcds"} {
+		b, err := BenchByName(name, s)
+		if err != nil || b == nil {
+			t.Fatalf("BenchByName(%s): %v", name, err)
+		}
+	}
+	if _, err := BenchByName("nope", s); err == nil {
+		t.Error("unknown bench accepted")
+	}
+}
+
+func TestFig10aShape(t *testing.T) {
+	rows, err := Fig10a(AllBenches(testScale()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 15 { // 3 benches × 5 methods
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byBench := map[string]map[string]Fig10aRow{}
+	for _, r := range rows {
+		if byBench[r.Bench] == nil {
+			byBench[r.Bench] = map[string]Fig10aRow{}
+		}
+		byBench[r.Bench][r.Method] = r
+	}
+	for bench, ms := range byBench {
+		// The paper's headline: MTO accesses fewer blocks than every
+		// alternative, on every dataset (§6.2.1).
+		mto := ms[MethodMTO].Blocks
+		for _, other := range []string{MethodBaseline, MethodBaselineDiPs, MethodSTO, MethodSTODiPs} {
+			if mto >= ms[other].Blocks {
+				t.Errorf("%s: MTO (%d) not better than %s (%d)",
+					bench, mto, other, ms[other].Blocks)
+			}
+		}
+		// diPs never hurt the layout they enhance.
+		if ms[MethodBaselineDiPs].Blocks > ms[MethodBaseline].Blocks {
+			t.Errorf("%s: diPs increased Baseline blocks", bench)
+		}
+		if ms[MethodSTODiPs].Blocks > ms[MethodSTO].Blocks {
+			t.Errorf("%s: diPs increased STO blocks", bench)
+		}
+		if ms[MethodBaseline].Normalized != 1 {
+			t.Errorf("%s: Baseline not normalized to 1", bench)
+		}
+	}
+	// SSB is the dataset where MTO shines most (§6.3.1): most queries have
+	// selective dimension filters.
+	if byBench["SSB"][MethodMTO].Normalized > 0.7 {
+		t.Errorf("SSB MTO normalized = %.3f, expected strong reduction",
+			byBench["SSB"][MethodMTO].Normalized)
+	}
+	var buf bytes.Buffer
+	PrintFig10a(&buf, rows)
+	if !strings.Contains(buf.String(), "Fig 10a") {
+		t.Error("print output wrong")
+	}
+}
+
+func TestFig10bcShape(t *testing.T) {
+	rows, err := Fig10bc([]*Bench{SSBBench(testScale())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var mto, base Fig10bcRow
+	for _, r := range rows {
+		switch r.Method {
+		case MethodMTO:
+			mto = r
+		case MethodBaseline:
+			base = r
+		}
+	}
+	if mto.Fraction >= base.Fraction {
+		t.Errorf("MTO fraction %.3f not below Baseline %.3f", mto.Fraction, base.Fraction)
+	}
+	if mto.Seconds >= base.Seconds {
+		t.Errorf("MTO runtime %.1f not below Baseline %.1f", mto.Seconds, base.Seconds)
+	}
+	var buf bytes.Buffer
+	PrintFig10bc(&buf, rows)
+	if buf.Len() == 0 {
+		t.Error("empty print")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	rows, err := Table2(AllBenches(testScale()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.JoinInducedCuts == 0 || r.JoinInducedCuts > r.TotalCuts {
+			t.Errorf("%s: induced/total = %d/%d", r.Bench, r.JoinInducedCuts, r.TotalCuts)
+		}
+		if r.MemoryBytes <= 0 {
+			t.Errorf("%s: memory %d", r.Bench, r.MemoryBytes)
+		}
+		switch r.Bench {
+		case "SSB":
+			// All SSB joins are star joins → depth exactly 1 (§6.2.1).
+			if r.MaxInductionDepth != 1 {
+				t.Errorf("SSB max depth = %d, want 1", r.MaxInductionDepth)
+			}
+		case "TPC-H":
+			// TPC-H reaches deeper paths (paper observes 4).
+			if r.MaxInductionDepth < 2 {
+				t.Errorf("TPC-H max depth = %d, want ≥ 2", r.MaxInductionDepth)
+			}
+		case "TPC-DS":
+			// Snowflake depth 2 via customer_address → customer → sales.
+			if r.MaxInductionDepth < 1 || r.MaxInductionDepth > 2 {
+				t.Errorf("TPC-DS max depth = %d", r.MaxInductionDepth)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	PrintTable2(&buf, rows)
+	if !strings.Contains(buf.String(), "join-induced") {
+		t.Error("print output wrong")
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	s := testScale()
+	s.PerTemplate = 4
+	rows, err := Fig12(TPCHBench(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(tmpl, method string) float64 {
+		for _, r := range rows {
+			if r.Template == tmpl && r.Method == method {
+				return r.Blocks
+			}
+		}
+		t.Fatalf("missing row %s/%s", tmpl, method)
+		return 0
+	}
+	// §6.3.1's four insights, at our scale:
+	// (1) Q1 (non-selective): MTO has little or no advantage.
+	if get("q1", MethodMTO) > get("q1", MethodBaseline)*1.25 {
+		t.Errorf("q1: MTO %.0f much worse than Baseline %.0f",
+			get("q1", MethodMTO), get("q1", MethodBaseline))
+	}
+	// (4) Q5 (selective filters over joined tables, uncorrelated with the
+	// sort column): MTO beats everything by a large margin.
+	if !(get("q5", MethodMTO) < get("q5", MethodBaseline)*0.6) {
+		t.Errorf("q5: MTO %.0f vs Baseline %.0f — expected a large win",
+			get("q5", MethodMTO), get("q5", MethodBaseline))
+	}
+	if !(get("q5", MethodMTO) < get("q5", MethodSTO)) {
+		t.Errorf("q5: MTO %.0f vs STO %.0f", get("q5", MethodMTO), get("q5", MethodSTO))
+	}
+	// Q4: the secondary index (runtime key pushdown) helps Baseline.
+	if !(get("q4", MethodBaselineSI) < get("q4", MethodBaseline)) {
+		t.Errorf("q4: SI did not help Baseline (%.0f vs %.0f)",
+			get("q4", MethodBaselineSI), get("q4", MethodBaseline))
+	}
+	var buf bytes.Buffer
+	PrintFig12(&buf, rows)
+	if buf.Len() == 0 {
+		t.Error("empty print")
+	}
+}
+
+func TestFig11AndPrint(t *testing.T) {
+	// Fig 11 needs enough blocks for per-query shapes to emerge: a month
+	// of lineorder must span multiple blocks.
+	s := testScale()
+	s.SF = 0.05
+	rows, err := Fig11(SSBBench(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 26 { // 13 queries × 2 comparisons
+		t.Fatalf("rows = %d", len(rows))
+	}
+	improved, meanRed := 0, 0.0
+	for _, r := range rows {
+		if r.Versus == MethodBaseline {
+			meanRed += r.Reduction
+			if r.Reduction > 0 {
+				improved++
+			}
+		}
+	}
+	meanRed /= 13
+	// Fig 11: on SSB most queries improve under MTO. (The paper sees all
+	// 13; at laptop scale the flight-1 date queries regress because a
+	// month of lineorder is smaller than one block — see EXPERIMENTS.md.)
+	if improved < 8 {
+		t.Errorf("only %d/13 SSB queries improved vs Baseline", improved)
+	}
+	if meanRed <= 0 {
+		t.Errorf("mean reduction %.3f not positive", meanRed)
+	}
+	var buf bytes.Buffer
+	PrintFig11(&buf, rows)
+	if !strings.Contains(buf.String(), "frac improved") {
+		t.Error("print output wrong")
+	}
+}
+
+func TestTable3And4(t *testing.T) {
+	benches := []*Bench{SSBBench(testScale())}
+	t3, err := Table3(benches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t3) != 2 {
+		t.Fatalf("table3 rows = %d", len(t3))
+	}
+	var mtoOpt, stoOpt float64
+	for _, r := range t3 {
+		if r.OptimizeSeconds < 0 || r.RoutingSeconds < 0 {
+			t.Error("negative timing")
+		}
+		if r.Method == MethodMTO {
+			mtoOpt = r.OptimizeSeconds
+		} else {
+			stoOpt = r.OptimizeSeconds
+		}
+	}
+	// MTO's optimization considers join-induced cuts and is slower (§6.4.1).
+	if mtoOpt < stoOpt {
+		t.Logf("note: MTO optimization (%.3fs) faster than STO (%.3fs) at tiny scale", mtoOpt, stoOpt)
+	}
+	t4, err := Table4(benches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t4) != 2 {
+		t.Fatalf("table4 rows = %d", len(t4))
+	}
+	for _, r := range t4 {
+		// The paper finds MTO always crosses before the workload ends.
+		if r.QueriesToCross < 0 {
+			t.Errorf("MTO never overtook %s", r.Versus)
+		}
+	}
+	var buf bytes.Buffer
+	PrintTable3(&buf, t3)
+	PrintTable4(&buf, t4)
+	if buf.Len() == 0 {
+		t.Error("empty print")
+	}
+}
+
+func TestFig13(t *testing.T) {
+	s := testScale()
+	b := TPCHBench(s)
+	rates := []float64{1, 0.25}
+	rows, err := Fig13a(b, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(rates)*3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// With CA the sampled estimate should be closer to the measured value
+	// than without CA (§6.4.1).
+	var caErr, noCAErr float64
+	for _, r := range rows {
+		if r.SampleRate == 1 {
+			continue
+		}
+		e := math.Abs(r.EstimatedBlocks-float64(r.MeasuredBlocks)) / float64(r.MeasuredBlocks)
+		switch r.Method {
+		case "MTO+CA":
+			caErr = e
+		case "MTO-noCA":
+			noCAErr = e
+		}
+	}
+	if caErr > noCAErr {
+		t.Errorf("CA estimate error %.3f worse than no-CA %.3f", caErr, noCAErr)
+	}
+	brows, err := Fig13b(b, []float64{0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(brows) != 3 {
+		t.Fatalf("fig13b rows = %d", len(brows))
+	}
+	var buf bytes.Buffer
+	PrintFig13a(&buf, rows)
+	PrintFig13b(&buf, brows)
+	if buf.Len() == 0 {
+		t.Error("empty print")
+	}
+}
+
+func TestTable5AndFig14a(t *testing.T) {
+	s := testScale()
+	rows, err := Table5(s, []float64{100, 1000, math.Inf(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// q = w = 100 never reorganizes; larger q reorganizes more (§6.5.1).
+	if rows[0].FracDataReorganized != 0 {
+		t.Errorf("q=100 reorganized %.3f of data", rows[0].FracDataReorganized)
+	}
+	if !(rows[2].FracDataReorganized >= rows[1].FracDataReorganized) {
+		t.Errorf("reorganized fraction not monotone: %v", rows)
+	}
+	if rows[2].FracDataReorganized == 0 {
+		t.Error("infinite q reorganized nothing")
+	}
+
+	arows, err := Fig14a(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arows) != 4 {
+		t.Fatalf("fig14a rows = %d", len(arows))
+	}
+	get := func(name string) Fig14aRow {
+		for _, r := range arows {
+			if strings.HasPrefix(r.Scenario, name) {
+				return r
+			}
+		}
+		t.Fatalf("missing scenario %q", name)
+		return Fig14aRow{}
+	}
+	noReorg := get("MTO no reorg")
+	partial := get("MTO partial")
+	full := get("MTO full")
+	// Reorganization improves the shifted workload.
+	if !(partial.AvgQuerySeconds <= noReorg.AvgQuerySeconds) {
+		t.Errorf("partial reorg did not help: %.3f vs %.3f",
+			partial.AvgQuerySeconds, noReorg.AvgQuerySeconds)
+	}
+	// Partial reorganization moves less data than full.
+	if !(partial.FracDataReorganized < full.FracDataReorganized) {
+		t.Errorf("partial moved %.3f, full moved %.3f",
+			partial.FracDataReorganized, full.FracDataReorganized)
+	}
+	// ...and costs fewer write seconds.
+	if !(partial.ReorgWriteSeconds < full.ReorgWriteSeconds) {
+		t.Error("partial reorg write cost not below full")
+	}
+	var buf bytes.Buffer
+	PrintTable5(&buf, rows)
+	PrintFig14a(&buf, arows)
+	if buf.Len() == 0 {
+		t.Error("empty print")
+	}
+}
+
+func TestFig14b(t *testing.T) {
+	rows, err := Fig14b(testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var base, insert, reorg Fig14bRow
+	for _, r := range rows {
+		switch {
+		case strings.HasPrefix(r.Scenario, "Baseline"):
+			base = r
+		case strings.Contains(r.Scenario, "reorg"):
+			reorg = r
+		default:
+			insert = r
+		}
+	}
+	// §6.5.2: after absorbing inserts, MTO (even without reorganization)
+	// beats Baseline.
+	if !(insert.AvgQuerySeconds < base.AvgQuerySeconds) {
+		t.Errorf("MTO after insert (%.3f) not below Baseline (%.3f)",
+			insert.AvgQuerySeconds, base.AvgQuerySeconds)
+	}
+	if insert.CutUpdateSeconds < 0 || insert.InsertWriteSeconds <= 0 {
+		t.Errorf("insert accounting: %+v", insert)
+	}
+	// Optional reorganization does not hurt.
+	if reorg.AvgQuerySeconds > insert.AvgQuerySeconds*1.1 {
+		t.Errorf("reorg made things worse: %.3f vs %.3f",
+			reorg.AvgQuerySeconds, insert.AvgQuerySeconds)
+	}
+	var buf bytes.Buffer
+	PrintFig14b(&buf, rows)
+	if buf.Len() == 0 {
+		t.Error("empty print")
+	}
+}
+
+func TestFig15(t *testing.T) {
+	s := testScale()
+	arows, err := Fig15a(s, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arows) != 6 {
+		t.Fatalf("fig15a rows = %d", len(arows))
+	}
+	for _, r := range arows {
+		if r.Method == MethodMTO && r.VsBaselineNorm >= 1 {
+			t.Errorf("MTO not below Baseline at %d queries", r.Queries)
+		}
+	}
+	brows, err := Fig15b(s, []float64{0.005, 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(brows) != 6 {
+		t.Fatalf("fig15b rows = %d", len(brows))
+	}
+	// §6.6.2: MTO's relative advantage grows (or at least does not shrink
+	// much) with data size.
+	var small, large float64
+	for _, r := range brows {
+		if r.Method == MethodMTO {
+			if r.SF == 0.005 {
+				small = r.VsBaselineNorm
+			} else {
+				large = r.VsBaselineNorm
+			}
+		}
+	}
+	if large > small*1.15 {
+		t.Errorf("MTO advantage shrank with scale: %.3f → %.3f", small, large)
+	}
+	var buf bytes.Buffer
+	PrintFig15a(&buf, arows)
+	PrintFig15b(&buf, brows)
+	if buf.Len() == 0 {
+		t.Error("empty print")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	rows, err := Ablations(SSBBench(testScale()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var def, depth1, zorder AblationRow
+	for _, r := range rows {
+		switch r.Variant {
+		case "MTO (default)":
+			def = r
+		case "induction depth ≤ 1":
+			depth1 = r
+		case "Z-order (tuned, §2)":
+			zorder = r
+		}
+	}
+	// §2: even tuned Z-ordering underperforms the instance-optimized layout.
+	if zorder.Blocks <= def.Blocks {
+		t.Errorf("Z-order (%d) unexpectedly beat MTO (%d)", zorder.Blocks, def.Blocks)
+	}
+	// SSB paths all have depth 1, so capping at 1 changes nothing (§6.2.1).
+	if def.Blocks != depth1.Blocks {
+		t.Errorf("depth cap changed SSB blocks: %d vs %d", def.Blocks, depth1.Blocks)
+	}
+	prows, err := ReorgPruningAblation(testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prows) != 2 {
+		t.Fatalf("pruning rows = %d", len(prows))
+	}
+	// Pruned search finds the same total reward while considering fewer
+	// subtrees.
+	if math.Abs(prows[0].TotalReward-prows[1].TotalReward) > 1e-6*(1+math.Abs(prows[1].TotalReward)) {
+		t.Errorf("pruning changed reward: %.3f vs %.3f", prows[0].TotalReward, prows[1].TotalReward)
+	}
+	if prows[0].FracSubtreesConsidered > prows[1].FracSubtreesConsidered {
+		t.Error("pruning considered more subtrees than exhaustive")
+	}
+	var buf bytes.Buffer
+	PrintAblations(&buf, rows)
+	PrintReorgPruning(&buf, prows)
+	if buf.Len() == 0 {
+		t.Error("empty print")
+	}
+}

@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mto/internal/block"
+	"mto/internal/core"
+	"mto/internal/engine"
+	"mto/internal/layout"
+)
+
+// Method names used across the experiments (§6.1.3).
+const (
+	MethodBaseline     = "Baseline"
+	MethodBaselineDiPs = "Baseline+diPs"
+	MethodBaselineSI   = "Baseline+SI"
+	MethodZOrder       = "ZOrder"
+	MethodSTO          = "STO"
+	MethodSTODiPs      = "STO+diPs"
+	MethodSTOSI        = "STO+SI"
+	MethodMTO          = "MTO"
+)
+
+// newBlockStore returns a store with the default cost calibration.
+func newBlockStore() *block.Store { return block.NewStore(block.DefaultCostModel()) }
+
+// Deployment is one installed layout ready to execute queries.
+type Deployment struct {
+	Method    string
+	Design    *layout.Design
+	Store     *block.Store
+	Optimizer *core.Optimizer // nil for Baseline/ZOrder
+	// OptimizeSeconds/RoutingSeconds are the offline costs (zero for the
+	// sort-based layouts, whose sorting we fold into routing).
+	OptimizeSeconds float64
+	RoutingSeconds  float64
+}
+
+// cloudDW controls whether Install emulates Cloud DW's non-uniform blocks.
+type installMode int
+
+const (
+	installUniform  installMode = iota // simulation: exact 500K-style blocks
+	installJittered                    // Cloud DW: fill factor in [0.3, 1]
+)
+
+// deploy builds and installs the named method's layout for the bench.
+func deploy(b *Bench, method string, mode installMode) (*Deployment, error) {
+	d := &Deployment{Method: method, Store: newBlockStore()}
+	var err error
+	switch method {
+	case MethodBaseline, MethodBaselineDiPs, MethodBaselineSI:
+		d.Design, err = layout.SortKeyDesign(b.Dataset, b.SortKeys, b.BlockSize)
+	case MethodZOrder:
+		d.Design, err = layout.ZOrderDesign(b.Dataset, zOrderColumnsFor(b), b.BlockSize)
+	case MethodSTO, MethodSTODiPs, MethodSTOSI, MethodMTO:
+		opt, oerr := core.Optimize(b.Dataset, b.Workload, core.Options{
+			BlockSize:     b.BlockSize,
+			SampleRate:    b.SampleRate,
+			JoinInduction: method == MethodMTO,
+			LeafOrderKeys: map[string]string(b.SortKeys),
+			Seed:          b.Seed,
+		})
+		if oerr != nil {
+			return nil, oerr
+		}
+		d.Optimizer = opt
+		d.Design, err = opt.BuildDesign()
+		if err == nil {
+			d.OptimizeSeconds = opt.Timings().OptimizeSeconds
+			d.RoutingSeconds = opt.Timings().RoutingSeconds
+		}
+	default:
+		return nil, fmt.Errorf("experiments: unknown method %q", method)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var jitter *rand.Rand
+	minFill := 0.0
+	if mode == installJittered {
+		jitter = rand.New(rand.NewSource(b.Seed + 77))
+		minFill = 0.3
+	}
+	if _, err := d.Design.Install(d.Store, jitter, minFill); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// zOrderColumnsFor picks the two most-filtered columns per table from the
+// bench workload — the manual tuning a DBA would do (§2).
+func zOrderColumnsFor(b *Bench) layout.ZOrderColumns {
+	counts := map[string]map[string]int{}
+	for _, q := range b.Workload.Queries {
+		for alias, f := range q.Filters {
+			table := q.BaseTable(alias)
+			if counts[table] == nil {
+				counts[table] = map[string]int{}
+			}
+			f.VisitColumns(func(col string) { counts[table][col]++ })
+		}
+	}
+	out := layout.ZOrderColumns{}
+	for table, cols := range counts {
+		var best, second string
+		for col, n := range cols {
+			switch {
+			case best == "" || n > counts[table][best]:
+				best, second = col, best
+			case second == "" || n > counts[table][second]:
+				second = col
+			}
+		}
+		picked := []string{best}
+		if second != "" {
+			picked = append(picked, second)
+		}
+		out[table] = picked
+	}
+	return out
+}
+
+// secondaryIndexFor names the fact-table join column the SI variants index
+// (§6.3.1 creates one on lineitem's l_orderkey).
+var secondaryIndexFor = map[string]map[string]string{
+	"TPC-H":  {"lineitem": "l_orderkey"},
+	"SSB":    {"lineorder": "lo_custkey"},
+	"TPC-DS": {"store_sales": "ss_item_sk"},
+}
+
+// engineOptions maps a method to its execution features.
+func engineOptions(b *Bench, method string, cloudDW bool) engine.Options {
+	var opts engine.Options
+	if cloudDW {
+		opts = engine.CloudDWOptions()
+	} else {
+		opts = engine.DefaultOptions()
+	}
+	switch method {
+	case MethodBaselineDiPs, MethodSTODiPs:
+		opts.DiPs = true
+	case MethodBaselineSI, MethodSTOSI:
+		// A secondary index on the fact join column pushes exact join
+		// keys to precise block positions at runtime (§6.3.1).
+		opts.SecondaryIndexes = secondaryIndexFor[b.Name]
+	}
+	return opts
+}
+
+// RunResult aggregates one method's execution of a workload.
+type RunResult struct {
+	Method string
+	// Blocks is the total blocks accessed across the workload.
+	Blocks int
+	// Fraction is the mean per-query fraction of blocks accessed out of
+	// the blocks in the accessed base tables (§6.1.4 metric 2).
+	Fraction float64
+	// Seconds is the total simulated query execution time.
+	Seconds float64
+	// OptimizeSeconds/RoutingSeconds are offline costs.
+	OptimizeSeconds float64
+	RoutingSeconds  float64
+	// PerQuery holds per-query metrics in workload order.
+	PerQuery []QueryMetric
+}
+
+// QueryMetric is one query's outcome.
+type QueryMetric struct {
+	ID       string
+	Blocks   int
+	Fraction float64
+	Seconds  float64
+}
+
+// run executes the bench workload against a deployment.
+func run(b *Bench, d *Deployment, opts engine.Options) (*RunResult, error) {
+	eng := engine.New(d.Store, d.Design, b.Dataset, opts)
+	out := &RunResult{
+		Method:          d.Method,
+		OptimizeSeconds: d.OptimizeSeconds,
+		RoutingSeconds:  d.RoutingSeconds,
+	}
+	for _, q := range b.Workload.Queries {
+		res, err := eng.Execute(q)
+		if err != nil {
+			return nil, fmt.Errorf("%s on %s: %w", d.Method, q.ID, err)
+		}
+		out.Blocks += res.BlocksRead
+		out.Fraction += res.FractionOfBlocks()
+		out.Seconds += res.Seconds
+		out.PerQuery = append(out.PerQuery, QueryMetric{
+			ID:       q.ID,
+			Blocks:   res.BlocksRead,
+			Fraction: res.FractionOfBlocks(),
+			Seconds:  res.Seconds,
+		})
+	}
+	if n := len(out.PerQuery); n > 0 {
+		out.Fraction /= float64(n)
+	}
+	return out, nil
+}
+
+// RunMethod deploys and executes one method on a bench: the workhorse for
+// Fig. 10-style comparisons. cloudDW selects the jittered-install,
+// semi-join-reduction execution mode of §6.1.2.
+func RunMethod(b *Bench, method string, cloudDW bool) (*RunResult, *Deployment, error) {
+	mode := installUniform
+	if cloudDW {
+		mode = installJittered
+	}
+	d, err := deploy(b, method, mode)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := run(b, d, engineOptions(b, method, cloudDW))
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, d, nil
+}

@@ -1,0 +1,290 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"text/tabwriter"
+)
+
+func newTab(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n%s\n%s\n", title, strings.Repeat("-", len(title)))
+}
+
+// PrintFig10a renders Fig. 10a rows.
+func PrintFig10a(w io.Writer, rows []Fig10aRow) {
+	header(w, "Fig 10a — simulated blocks accessed (normalized to Baseline)")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "bench\tmethod\tblocks\tnormalized")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%.3f\n", r.Bench, r.Method, r.Blocks, r.Normalized)
+	}
+	tw.Flush()
+}
+
+// PrintFig10bc renders Figs. 10b/10c rows.
+func PrintFig10bc(w io.Writer, rows []Fig10bcRow) {
+	header(w, "Fig 10b/10c — Cloud DW fraction of blocks and runtime (normalized to Baseline)")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "bench\tmethod\tfraction\tnorm-frac\truntime(s)\tnorm-time")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%.4f\t%.3f\t%.1f\t%.3f\n",
+			r.Bench, r.Method, r.Fraction, r.NormFraction, r.Seconds, r.NormSeconds)
+	}
+	tw.Flush()
+}
+
+// PrintTable2 renders Table 2 rows.
+func PrintTable2(w io.Writer, rows []Table2Row) {
+	header(w, "Table 2 — statistics of MTO's qd-trees")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "\t"+joinBench(rows))
+	line := func(label string, f func(Table2Row) string) {
+		fmt.Fprintf(tw, "%s", label)
+		for _, r := range rows {
+			fmt.Fprintf(tw, "\t%s", f(r))
+		}
+		fmt.Fprintln(tw)
+	}
+	line("Total cuts", func(r Table2Row) string { return fmt.Sprint(r.TotalCuts) })
+	line("Total join-induced cuts", func(r Table2Row) string { return fmt.Sprint(r.JoinInducedCuts) })
+	line("Avg induction depth", func(r Table2Row) string { return fmt.Sprintf("%.2f", r.AvgInductionDepth) })
+	line("Max induction depth", func(r Table2Row) string { return fmt.Sprint(r.MaxInductionDepth) })
+	line("Memory size", func(r Table2Row) string { return fmtBytes(r.MemoryBytes) })
+	tw.Flush()
+}
+
+func joinBench(rows []Table2Row) string {
+	names := make([]string, len(rows))
+	for i, r := range rows {
+		names[i] = r.Bench
+	}
+	return strings.Join(names, "\t")
+}
+
+func fmtBytes(n int) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2fGB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// PrintTable3 renders Table 3 rows.
+func PrintTable3(w io.Writer, rows []Table3Row) {
+	header(w, "Table 3 — offline optimization and routing times")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "bench\tmethod\tsample rate\toptimize(s)\trouting(s)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.2f\t%.2f\n",
+			r.Bench, r.Method, r.SampleRate, r.OptimizeSeconds, r.RoutingSeconds)
+	}
+	tw.Flush()
+}
+
+// PrintTable4 renders Table 4 rows.
+func PrintTable4(w io.Writer, rows []Table4Row) {
+	header(w, "Table 4 — queries/time until MTO overtakes the alternative")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "bench\tversus\tqueries\tseconds from start")
+	for _, r := range rows {
+		q := fmt.Sprint(r.QueriesToCross)
+		if r.QueriesToCross < 0 {
+			q = "never (within workload)"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.1f\n", r.Bench, r.Versus, q, r.SecondsToCross)
+	}
+	tw.Flush()
+}
+
+// PrintTable5 renders Table 5 rows.
+func PrintTable5(w io.Writer, rows []Table5Row) {
+	header(w, "Table 5 — MTO behaviour after workload shift (w=100)")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "q\tfrac data reorganized\tre-opt time(s)\tfrac subtrees considered\treward")
+	for _, r := range rows {
+		q := fmt.Sprintf("%.0f", r.Q)
+		if math.IsInf(r.Q, 1) {
+			q = "inf"
+		}
+		fmt.Fprintf(tw, "%s\t%.3f\t%.2f\t%.3f\t%.1f\n",
+			q, r.FracDataReorganized, r.ReoptSeconds, r.FracSubtreesConsidered, r.TotalReward)
+	}
+	tw.Flush()
+}
+
+// PrintFig11 renders the CDF summary of Fig. 11.
+func PrintFig11(w io.Writer, rows []Fig11Row) {
+	header(w, "Fig 11 — per-query runtime reduction by MTO (CDF summary)")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "bench\tversus\tp10\tp25\tp50\tp75\tp90\tfrac improved")
+	type key struct{ bench, vs string }
+	groups := map[key][]float64{}
+	var order []key
+	for _, r := range rows {
+		k := key{r.Bench, r.Versus}
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], r.Reduction)
+	}
+	for _, k := range order {
+		reds := groups[k] // already ascending
+		pct := func(p float64) float64 {
+			i := int(p * float64(len(reds)-1))
+			return reds[i]
+		}
+		improved := 0
+		for _, r := range reds {
+			if r > 0 {
+				improved++
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n",
+			k.bench, k.vs, pct(0.10), pct(0.25), pct(0.50), pct(0.75), pct(0.90),
+			float64(improved)/float64(len(reds)))
+	}
+	tw.Flush()
+}
+
+// PrintFig12 renders Fig. 12 rows.
+func PrintFig12(w io.Writer, rows []Fig12Row) {
+	header(w, "Fig 12 — avg simulated blocks accessed for TPC-H Q1/Q14/Q6/Q4/Q5")
+	tw := newTab(w)
+	methods := []string{}
+	byTmpl := map[string]map[string]float64{}
+	for _, r := range rows {
+		if byTmpl[r.Template] == nil {
+			byTmpl[r.Template] = map[string]float64{}
+		}
+		byTmpl[r.Template][r.Method] = r.Blocks
+		found := false
+		for _, m := range methods {
+			if m == r.Method {
+				found = true
+			}
+		}
+		if !found {
+			methods = append(methods, r.Method)
+		}
+	}
+	fmt.Fprintf(tw, "template")
+	for _, m := range methods {
+		fmt.Fprintf(tw, "\t%s", m)
+	}
+	fmt.Fprintln(tw)
+	for _, tmpl := range Fig12Templates {
+		if byTmpl[tmpl] == nil {
+			continue
+		}
+		fmt.Fprintf(tw, "%s", tmpl)
+		for _, m := range methods {
+			fmt.Fprintf(tw, "\t%.1f", byTmpl[tmpl][m])
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+// PrintFig13a renders Fig. 13a rows.
+func PrintFig13a(w io.Writer, rows []Fig13aRow) {
+	header(w, "Fig 13a — sample-rate sweep: optimization time and layout quality")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "method\tsample rate\toptimize(s)\tmeasured blocks\testimated blocks")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.4f\t%.2f\t%d\t%.0f\n",
+			r.Method, r.SampleRate, r.OptimizeSeconds, r.MeasuredBlocks, r.EstimatedBlocks)
+	}
+	tw.Flush()
+}
+
+// PrintFig13b renders Fig. 13b rows.
+func PrintFig13b(w io.Writer, rows []Fig13bRow) {
+	header(w, "Fig 13b — end-to-end time (offline + workload) vs sample rate")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "method\tsample rate\ttotal seconds")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.4f\t%.1f\n", r.Method, r.SampleRate, r.TotalSeconds)
+	}
+	tw.Flush()
+}
+
+// PrintFig14a renders Fig. 14a rows.
+func PrintFig14a(w io.Writer, rows []Fig14aRow) {
+	header(w, "Fig 14a — workload shift: reorganization scenarios")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "scenario\tavg query(s)\treorg plan(s)\treorg write(s)\tfrac reorganized")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.3f\t%.2f\t%.1f\t%.3f\n",
+			r.Scenario, r.AvgQuerySeconds, r.ReorgPlanSeconds, r.ReorgWriteSeconds, r.FracDataReorganized)
+	}
+	tw.Flush()
+}
+
+// PrintFig14b renders Fig. 14b rows.
+func PrintFig14b(w io.Writer, rows []Fig14bRow) {
+	header(w, "Fig 14b — dynamic data: insert absorption")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "scenario\tavg query(s)\tcut update(s)\tinsert write(s)\treorg write(s)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.1f\t%.1f\n",
+			r.Scenario, r.AvgQuerySeconds, r.CutUpdateSeconds, r.InsertWriteSeconds, r.ReorgWriteSeconds)
+	}
+	tw.Flush()
+}
+
+// PrintFig15a renders Fig. 15a rows.
+func PrintFig15a(w io.Writer, rows []Fig15aRow) {
+	header(w, "Fig 15a — workload size sweep (TPC-H)")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "queries\tmethod\tavg blocks/query\tvs Baseline")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%s\t%.1f\t%.3f\n", r.Queries, r.Method, r.AvgBlocks, r.VsBaselineNorm)
+	}
+	tw.Flush()
+}
+
+// PrintFig15b renders Fig. 15b rows.
+func PrintFig15b(w io.Writer, rows []Fig15bRow) {
+	header(w, "Fig 15b — data size sweep (TPC-H)")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "SF\tmethod\tblocks\tvs Baseline")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.3f\t%s\t%d\t%.3f\n", r.SF, r.Method, r.Blocks, r.VsBaselineNorm)
+	}
+	tw.Flush()
+}
+
+// PrintAblations renders ablation rows.
+func PrintAblations(w io.Writer, rows []AblationRow) {
+	header(w, "Ablations — MTO design choices")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "bench\tvariant\tblocks\toptimize(s)\tinduced cuts")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%.2f\t%d\n",
+			r.Bench, r.Variant, r.Blocks, r.OptimizeSeconds, r.InducedCuts)
+	}
+	tw.Flush()
+}
+
+// PrintReorgPruning renders reorg pruning ablation rows.
+func PrintReorgPruning(w io.Writer, rows []ReorgPruningRow) {
+	header(w, "Ablation — reorganization pruning (§5.1.3)")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "variant\tre-opt time(s)\tfrac subtrees considered\treward")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.2f\t%.3f\t%.1f\n",
+			r.Variant, r.ReoptSeconds, r.FracSubtreesConsidered, r.TotalReward)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,264 @@
+package induce
+
+import (
+	"fmt"
+	"math"
+
+	"mto/internal/joingraph"
+	"mto/internal/predicate"
+	"mto/internal/relation"
+	"mto/internal/value"
+)
+
+// Predicate is a join-induced predicate on a target table (§4.1). The
+// logical form is "target.col IN (SELECT ... chain of semi joins ... WHERE
+// sourceCut)"; Evaluate materializes the literal form. Qd-trees store both:
+// the logical form routes queries, the literal form routes records.
+type Predicate struct {
+	// Path is the induction path from the source table to the target.
+	Path joingraph.Path
+	// SourceCut is the simple predicate over the source table.
+	SourceCut predicate.Predicate
+
+	// HopRates holds, per hop, the effective sampling rate of the hop's
+	// scanned table when the literal was last evaluated (1 for tables kept
+	// whole). Cardinality adjustment multiplies the rates of the joins on
+	// a path instead of assuming a uniform s per join (§4.2). Nil means
+	// "use the dataset-wide rate for every hop".
+	HopRates []float64
+
+	// stages[i] is the key set after stage i of the semi-join chain:
+	// stages[0] holds the projection of source rows satisfying SourceCut
+	// onto Hops[0].FromColumn; stages[i] (i ≥ 1) the projection of
+	// Hops[i].FromTable rows matching stages[i-1] onto
+	// Hops[i].FromColumn. The literal cut is stages[depth-1], interpreted
+	// over the target's join column Hops[depth-1].ToColumn.
+	stages []*keySet
+}
+
+// New returns an unevaluated join-induced predicate.
+func New(path joingraph.Path, sourceCut predicate.Predicate) *Predicate {
+	return &Predicate{Path: path, SourceCut: sourceCut}
+}
+
+// Target returns the base table the predicate filters.
+func (p *Predicate) Target() string { return p.Path.Target() }
+
+// TargetColumn returns the target's join column the literal cut constrains.
+func (p *Predicate) TargetColumn() string { return p.Path.TargetColumn() }
+
+// Depth returns the induction depth.
+func (p *Predicate) Depth() int { return p.Path.Depth() }
+
+// Evaluated reports whether the literal form has been materialized.
+func (p *Predicate) Evaluated() bool { return len(p.stages) > 0 }
+
+// Evaluate materializes the literal cut by running the semi-join chain over
+// ds (§3.2.1 step 1c). It may be called again after data changes to rebuild
+// from scratch; prefer ApplyInsert/ApplyDelete for incremental maintenance.
+func (p *Predicate) Evaluate(ds *relation.Dataset) error {
+	hops := p.Path.Hops
+	p.stages = make([]*keySet, len(hops))
+
+	src := ds.Table(p.Path.Source())
+	if src == nil {
+		return fmt.Errorf("induce: missing source table %q", p.Path.Source())
+	}
+	stage0 := newKeySet()
+	ci, ok := src.Schema().ColumnIndex(hops[0].FromColumn)
+	if !ok {
+		return fmt.Errorf("induce: %s has no column %q", p.Path.Source(), hops[0].FromColumn)
+	}
+	match := predicate.Compile(p.SourceCut, src)
+	for r := 0; r < src.NumRows(); r++ {
+		if match(r) {
+			stage0.add(src.Value(r, ci))
+		}
+	}
+	stage0.optimize()
+	p.stages[0] = stage0
+
+	for i := 1; i < len(hops); i++ {
+		tbl := ds.Table(hops[i].FromTable)
+		if tbl == nil {
+			return fmt.Errorf("induce: missing table %q", hops[i].FromTable)
+		}
+		inCol, ok := tbl.Schema().ColumnIndex(hops[i-1].ToColumn)
+		if !ok {
+			return fmt.Errorf("induce: %s has no column %q", hops[i].FromTable, hops[i-1].ToColumn)
+		}
+		outCol, ok := tbl.Schema().ColumnIndex(hops[i].FromColumn)
+		if !ok {
+			return fmt.Errorf("induce: %s has no column %q", hops[i].FromTable, hops[i].FromColumn)
+		}
+		prev, next := p.stages[i-1], newKeySet()
+		for r := 0; r < tbl.NumRows(); r++ {
+			if prev.contains(tbl.Value(r, inCol)) {
+				next.add(tbl.Value(r, outCol))
+			}
+		}
+		next.optimize()
+		p.stages[i] = next
+	}
+	return nil
+}
+
+// literal returns the final-stage key set (panics if unevaluated).
+func (p *Predicate) literal() *keySet {
+	if !p.Evaluated() {
+		panic("induce: predicate not evaluated")
+	}
+	return p.stages[len(p.stages)-1]
+}
+
+// MatchesRow reports whether the target-table row satisfies the literal cut
+// (record routing, §4.1.2). t must be the target table.
+func (p *Predicate) MatchesRow(t *relation.Table, row int) bool {
+	ci, ok := t.Schema().ColumnIndex(p.TargetColumn())
+	if !ok {
+		return false
+	}
+	return p.literal().contains(t.Value(row, ci))
+}
+
+// CompileRow returns a fast bound row matcher for the target table.
+func (p *Predicate) CompileRow(t *relation.Table) func(row int) bool {
+	ci, ok := t.Schema().ColumnIndex(p.TargetColumn())
+	if !ok {
+		return func(int) bool { return false }
+	}
+	lit := p.literal()
+	if t.Schema().Column(ci).Type == value.KindInt {
+		ints := t.Ints(ci)
+		return func(row int) bool {
+			if t.IsNullAt(row, ci) {
+				return false
+			}
+			return lit.containsInt(ints[row])
+		}
+	}
+	return func(row int) bool { return lit.contains(t.Value(row, ci)) }
+}
+
+// LiteralSize returns the cardinality of the literal cut.
+func (p *Predicate) LiteralSize() int { return p.literal().card() }
+
+// CA returns the cardinality adjustment for a given sample rate: s^d where
+// d is the induction depth (§4.2). Simple cuts have CA 1; this predicate's
+// CA shrinks with depth because joining d independent samples thins the
+// result multiplicatively.
+func (p *Predicate) CA(sampleRate float64) float64 {
+	return math.Pow(sampleRate, float64(p.Depth()))
+}
+
+// MemBytes estimates the in-memory footprint of the literal stages.
+func (p *Predicate) MemBytes() int {
+	n := 0
+	for _, s := range p.stages {
+		if s != nil {
+			n += s.memBytes()
+		}
+	}
+	return n
+}
+
+// String renders the logical form as nested semi-join subqueries, matching
+// the paper's Table 1 presentation.
+func (p *Predicate) String() string {
+	hops := p.Path.Hops
+	// Build inside-out: innermost subquery selects from the source.
+	inner := fmt.Sprintf("SELECT %s.%s FROM %s WHERE %s",
+		p.Path.Source(), hops[0].FromColumn, p.Path.Source(), p.SourceCut)
+	for i := 1; i < len(hops); i++ {
+		inner = fmt.Sprintf("SELECT %s.%s FROM %s WHERE %s.%s IN (%s)",
+			hops[i].FromTable, hops[i].FromColumn, hops[i].FromTable,
+			hops[i].FromTable, hops[i-1].ToColumn, inner)
+	}
+	return fmt.Sprintf("%s.%s IN (%s)", p.Target(), p.TargetColumn(), inner)
+}
+
+// stageIndexForTable returns which stage a table participates in as the
+// scanned relation: the source is stage 0; Hops[i].FromTable is stage i.
+// Returns -1 when the table is not scanned by this predicate (the target
+// table itself is only probed, never scanned).
+func (p *Predicate) stageIndexForTable(table string) int {
+	if p.Path.Source() == table {
+		return 0
+	}
+	for i := 1; i < len(p.Path.Hops); i++ {
+		if p.Path.Hops[i].FromTable == table {
+			return i
+		}
+	}
+	return -1
+}
+
+// AffectedBy reports whether data changes to the table require updating
+// this predicate's literal cut (§5.2: the changed table lies on the
+// induction path, excluding the target).
+func (p *Predicate) AffectedBy(table string) bool {
+	return p.Evaluated() && p.stageIndexForTable(table) >= 0
+}
+
+// ApplyInsert incrementally updates the literal stages for rows newly
+// appended to the named table. Under referential integrity and the
+// unique-source-column restriction, inserted rows can extend key sets but
+// never require re-scanning downstream tables (no existing row can
+// reference a brand-new unique key), so the update is local to the changed
+// table's stage (§5.2).
+func (p *Predicate) ApplyInsert(ds *relation.Dataset, table string, rows []int) error {
+	return p.applyChange(ds, table, rows, true)
+}
+
+// ApplyDelete incrementally removes the contributions of the given rows
+// (which must still be present in the table when called). Referential
+// integrity guarantees no other surviving row references the removed keys.
+func (p *Predicate) ApplyDelete(ds *relation.Dataset, table string, rows []int) error {
+	return p.applyChange(ds, table, rows, false)
+}
+
+func (p *Predicate) applyChange(ds *relation.Dataset, table string, rows []int, insert bool) error {
+	if !p.Evaluated() {
+		return fmt.Errorf("induce: predicate not evaluated")
+	}
+	stage := p.stageIndexForTable(table)
+	if stage < 0 {
+		return nil // table not on the path: nothing to do
+	}
+	tbl := ds.Table(table)
+	if tbl == nil {
+		return fmt.Errorf("induce: missing table %q", table)
+	}
+	hops := p.Path.Hops
+	outCol, ok := tbl.Schema().ColumnIndex(hops[stage].FromColumn)
+	if !ok {
+		return fmt.Errorf("induce: %s has no column %q", table, hops[stage].FromColumn)
+	}
+	var qualifies func(row int) bool
+	if stage == 0 {
+		match := predicate.Compile(p.SourceCut, tbl)
+		qualifies = match
+	} else {
+		inCol, ok := tbl.Schema().ColumnIndex(hops[stage-1].ToColumn)
+		if !ok {
+			return fmt.Errorf("induce: %s has no column %q", table, hops[stage-1].ToColumn)
+		}
+		prev := p.stages[stage-1]
+		qualifies = func(row int) bool { return prev.contains(tbl.Value(row, inCol)) }
+	}
+	set := p.stages[stage]
+	for _, r := range rows {
+		if r < 0 || r >= tbl.NumRows() {
+			return fmt.Errorf("induce: row %d out of range for %s", r, table)
+		}
+		if !qualifies(r) {
+			continue
+		}
+		if insert {
+			set.add(tbl.Value(r, outCol))
+		} else {
+			set.remove(tbl.Value(r, outCol))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package induce
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mto/internal/joingraph"
+	"mto/internal/predicate"
+	"mto/internal/relation"
+	"mto/internal/value"
+	"mto/internal/workload"
+)
+
+// TestIncrementalEqualsFullReevaluation is the §5.2 correctness property:
+// applying inserts incrementally leaves the literal cut identical to a full
+// re-evaluation from scratch, under referential integrity.
+func TestIncrementalEqualsFullReevaluation(t *testing.T) {
+	f := func(seed int64, nInsertDim, nInsertFact uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ds := relation.NewDataset()
+		dim := relation.NewTable(relation.MustSchema("dim",
+			relation.Column{Name: "id", Type: value.KindInt, Unique: true},
+			relation.Column{Name: "attr", Type: value.KindInt},
+		))
+		nDim := 50 + rng.Intn(50)
+		for i := 0; i < nDim; i++ {
+			dim.MustAppendRow(value.Int(int64(i)), value.Int(int64(rng.Intn(10))))
+		}
+		mid := relation.NewTable(relation.MustSchema("mid",
+			relation.Column{Name: "mkey", Type: value.KindInt, Unique: true},
+			relation.Column{Name: "did", Type: value.KindInt},
+		))
+		nMid := 100 + rng.Intn(100)
+		for i := 0; i < nMid; i++ {
+			mid.MustAppendRow(value.Int(int64(i)), value.Int(int64(rng.Intn(nDim))))
+		}
+		ds.MustAddTable(dim)
+		ds.MustAddTable(mid)
+
+		path := joingraph.Path{Hops: []joingraph.Hop{
+			{FromTable: "dim", FromColumn: "id", ToTable: "mid", ToColumn: "did", Type: workload.InnerJoin},
+			{FromTable: "mid", FromColumn: "mkey", ToTable: "fact", ToColumn: "mk", Type: workload.InnerJoin},
+		}}
+		cut := predicate.NewComparison("attr", predicate.Lt, value.Int(int64(rng.Intn(10))))
+
+		incremental := New(path, cut)
+		if err := incremental.Evaluate(ds); err != nil {
+			t.Fatal(err)
+		}
+
+		// Insert fresh dim rows (unique ids beyond existing) and mid rows
+		// referencing any dim (old or new).
+		var dimRows, midRows []int
+		for i := 0; i < int(nInsertDim%16); i++ {
+			dim.MustAppendRow(value.Int(int64(nDim+i)), value.Int(int64(rng.Intn(10))))
+			dimRows = append(dimRows, dim.NumRows()-1)
+		}
+		for i := 0; i < int(nInsertFact%16); i++ {
+			mid.MustAppendRow(value.Int(int64(nMid+i)), value.Int(int64(rng.Intn(nDim+len(dimRows)))))
+			midRows = append(midRows, mid.NumRows()-1)
+		}
+		if err := incremental.ApplyInsert(ds, "dim", dimRows); err != nil {
+			t.Fatal(err)
+		}
+		if err := incremental.ApplyInsert(ds, "mid", midRows); err != nil {
+			t.Fatal(err)
+		}
+
+		fresh := New(path, cut)
+		if err := fresh.Evaluate(ds); err != nil {
+			t.Fatal(err)
+		}
+		if incremental.LiteralSize() != fresh.LiteralSize() {
+			t.Logf("literal sizes differ: %d vs %d", incremental.LiteralSize(), fresh.LiteralSize())
+			return false
+		}
+		// Compare membership over the whole key domain.
+		for k := int64(0); k < int64(nMid)+16; k++ {
+			if incremental.literal().containsInt(k) != fresh.literal().containsInt(k) {
+				t.Logf("membership differs at key %d", k)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDeleteThenReinsertIsIdentity checks that deleting contributions and
+// re-adding the same rows restores the literal exactly.
+func TestDeleteThenReinsertIsIdentity(t *testing.T) {
+	ds := buildCBADataset(t)
+	ip := New(cbaPath(), predicate.NewComparison("z", predicate.Gt, value.Int(200)))
+	if err := ip.Evaluate(ds); err != nil {
+		t.Fatal(err)
+	}
+	before := ip.literal().card()
+	rows := []int{1, 3, 5}
+	if err := ip.ApplyDelete(ds, "B", rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := ip.ApplyInsert(ds, "B", rows); err != nil {
+		t.Fatal(err)
+	}
+	if got := ip.literal().card(); got != before {
+		t.Errorf("delete+reinsert changed cardinality: %d → %d", before, got)
+	}
+}

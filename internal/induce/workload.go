@@ -1,0 +1,42 @@
+package induce
+
+import (
+	"mto/internal/joingraph"
+	"mto/internal/workload"
+)
+
+// FromWorkload performs §3.2.1 steps 1a–1b for every query: it extracts each
+// simple predicate conjunct, passes it through every legal induction path
+// (up to maxDepth joins, gated by unique), and collects the resulting
+// join-induced predicates grouped by target base table. Duplicates — the
+// same source cut pushed along the same path by different queries — are
+// merged. The returned predicates are not yet evaluated (step 1c).
+func FromWorkload(w *workload.Workload, unique joingraph.UniqueFn, maxDepth int) map[string][]*Predicate {
+	out := map[string][]*Predicate{}
+	seen := map[string]bool{}
+	for _, q := range w.Queries {
+		for _, alias := range q.Aliases() {
+			filter, ok := q.Filters[alias]
+			if !ok {
+				continue
+			}
+			conjuncts := workload.SplitConjuncts(filter)
+			if len(conjuncts) == 0 {
+				continue
+			}
+			paths := joingraph.PathsFrom(q, alias, unique, maxDepth)
+			for _, path := range paths {
+				for _, cut := range conjuncts {
+					ip := New(path, cut)
+					key := ip.String()
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+					out[ip.Target()] = append(out[ip.Target()], ip)
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,284 @@
+package joingraph
+
+import (
+	"testing"
+
+	"mto/internal/workload"
+)
+
+// uniqueKeys marks "id"-suffixed columns on dimension-style tables unique.
+func uniqueKeys(table, column string) bool {
+	switch table + "." + column {
+	case "region.rkey", "nation.nkey", "customer.ckey", "orders.okey", "dim.id":
+		return true
+	}
+	return false
+}
+
+// snowflakeQuery builds region ⋈ nation ⋈ customer ⋈ orders ⋈ lineitem.
+func snowflakeQuery() *workload.Query {
+	q := workload.NewQuery("snow",
+		workload.TableRef{Table: "region"},
+		workload.TableRef{Table: "nation"},
+		workload.TableRef{Table: "customer"},
+		workload.TableRef{Table: "orders"},
+		workload.TableRef{Table: "lineitem"},
+	)
+	q.AddJoin("region", "rkey", "nation", "n_rkey")
+	q.AddJoin("nation", "nkey", "customer", "c_nkey")
+	q.AddJoin("customer", "ckey", "orders", "o_ckey")
+	q.AddJoin("orders", "okey", "lineitem", "l_okey")
+	return q
+}
+
+func pathStrings(ps []Path) map[string]bool {
+	out := map[string]bool{}
+	for _, p := range ps {
+		out[p.String()] = true
+	}
+	return out
+}
+
+func TestJoinTypeDirections(t *testing.T) {
+	cases := []struct {
+		jt     workload.JoinType
+		lr, rl bool
+	}{
+		{workload.InnerJoin, true, true},
+		{workload.LeftOuterJoin, true, false},
+		{workload.RightOuterJoin, false, true},
+		{workload.FullOuterJoin, false, false},
+		{workload.SemiJoin, true, true},
+		{workload.LeftAntiSemiJoin, true, false},
+		{workload.RightAntiSemiJoin, false, true},
+	}
+	for _, c := range cases {
+		if got := c.jt.CanInduceLeftToRight(); got != c.lr {
+			t.Errorf("%s L→R = %v, want %v", c.jt, got, c.lr)
+		}
+		if got := c.jt.CanInduceRightToLeft(); got != c.rl {
+			t.Errorf("%s R→L = %v, want %v", c.jt, got, c.rl)
+		}
+	}
+}
+
+func TestPathsFromSnowflake(t *testing.T) {
+	q := snowflakeQuery()
+	// From region, uniqueness allows the full chain to lineitem (depth 4,
+	// as in the paper's TPC-H example, §6.2.1).
+	paths := PathsFrom(q, "region", uniqueKeys, 8)
+	got := pathStrings(paths)
+	want := []string{
+		"region →rkey nation",
+		"region →rkey nation →nkey customer",
+		"region →rkey nation →nkey customer →ckey orders",
+		"region →rkey nation →nkey customer →ckey orders →okey lineitem",
+	}
+	if len(paths) != len(want) {
+		t.Fatalf("got %d paths: %v", len(paths), got)
+	}
+	for _, w := range want {
+		if !got[w] {
+			t.Errorf("missing path %q", w)
+		}
+	}
+	deepest := paths[len(paths)-1]
+	if deepest.Depth() != 4 || deepest.Source() != "region" || deepest.Target() != "lineitem" {
+		t.Errorf("deepest path metadata wrong: %s depth=%d", deepest, deepest.Depth())
+	}
+	if deepest.TargetColumn() != "l_okey" {
+		t.Errorf("TargetColumn = %q", deepest.TargetColumn())
+	}
+	if len(deepest.JoinKeys()) != 4 {
+		t.Error("JoinKeys length wrong")
+	}
+}
+
+func TestUniqueRestrictionBlocksFactToDim(t *testing.T) {
+	q := snowflakeQuery()
+	// lineitem.l_okey is not unique, so no induction out of lineitem.
+	if paths := PathsFrom(q, "lineitem", uniqueKeys, 8); len(paths) != 0 {
+		t.Errorf("expected no paths from fact table, got %v", pathStrings(paths))
+	}
+	// With the restriction disabled (ablation), paths exist.
+	if paths := PathsFrom(q, "lineitem", AllowAll, 8); len(paths) == 0 {
+		t.Error("AllowAll should enable fact→dim induction")
+	}
+}
+
+func TestMaxDepth(t *testing.T) {
+	q := snowflakeQuery()
+	paths := PathsFrom(q, "region", uniqueKeys, 2)
+	if len(paths) != 2 {
+		t.Errorf("depth-2 cap gave %d paths", len(paths))
+	}
+	if paths := PathsFrom(q, "region", uniqueKeys, 0); paths != nil {
+		t.Error("zero depth should give nil")
+	}
+}
+
+func TestJoinTypeLegality(t *testing.T) {
+	q := workload.NewQuery("outer",
+		workload.TableRef{Table: "dim"},
+		workload.TableRef{Table: "fact"},
+	)
+	q.AddTypedJoin(workload.Join{
+		Left: "dim", LeftColumn: "id",
+		Right: "fact", RightColumn: "dim_id",
+		Type: workload.LeftOuterJoin,
+	})
+	// Left outer: dim (left) → fact (right) allowed.
+	if paths := PathsFrom(q, "dim", uniqueKeys, 4); len(paths) != 1 {
+		t.Errorf("left-outer L→R should be legal: %v", pathStrings(paths))
+	}
+	// fact → dim through a left outer join is illegal regardless of
+	// uniqueness.
+	if paths := PathsFrom(q, "fact", AllowAll, 4); len(paths) != 0 {
+		t.Errorf("left-outer R→L should be illegal: %v", pathStrings(paths))
+	}
+
+	full := workload.NewQuery("full",
+		workload.TableRef{Table: "dim"},
+		workload.TableRef{Table: "fact"},
+	)
+	full.AddTypedJoin(workload.Join{
+		Left: "dim", LeftColumn: "id",
+		Right: "fact", RightColumn: "dim_id",
+		Type: workload.FullOuterJoin,
+	})
+	if paths := PathsFrom(full, "dim", AllowAll, 4); len(paths) != 0 {
+		t.Error("full outer joins must not induce")
+	}
+}
+
+func TestCorrelatedSubqueryOneWay(t *testing.T) {
+	q := workload.NewQuery("corr",
+		workload.TableRef{Table: "dim"},
+		workload.TableRef{Table: "fact"},
+	)
+	q.AddTypedJoin(workload.Join{
+		Left: "dim", LeftColumn: "id",
+		Right: "fact", RightColumn: "dim_id",
+		Type:            workload.InnerJoin,
+		CorrelatedInner: "fact",
+	})
+	if paths := PathsFrom(q, "dim", uniqueKeys, 4); len(paths) != 1 {
+		t.Error("outer→subquery induction should be legal")
+	}
+	if paths := PathsFrom(q, "fact", AllowAll, 4); len(paths) != 0 {
+		t.Error("subquery→outer induction must be illegal")
+	}
+}
+
+func TestSelfJoin(t *testing.T) {
+	q := workload.NewQuery("self",
+		workload.TableRef{Table: "dim", Alias: "d1"},
+		workload.TableRef{Table: "dim", Alias: "d2"},
+	)
+	q.AddJoin("d1", "id", "d2", "id")
+	paths := PathsFrom(q, "d1", uniqueKeys, 4)
+	if len(paths) != 1 {
+		t.Fatalf("self join paths = %v", pathStrings(paths))
+	}
+	p := paths[0]
+	if p.Source() != "dim" || p.Target() != "dim" {
+		t.Errorf("self-join path = %s", p)
+	}
+	// No revisiting: path stops after one hop (d2 only connects back to d1).
+	if p.Depth() != 1 {
+		t.Errorf("self-join depth = %d", p.Depth())
+	}
+}
+
+func TestHopJoinKeyCanonical(t *testing.T) {
+	a := Hop{FromTable: "a", FromColumn: "x", ToTable: "b", ToColumn: "y"}
+	b := Hop{FromTable: "b", FromColumn: "y", ToTable: "a", ToColumn: "x"}
+	if a.JoinKey() != b.JoinKey() {
+		t.Errorf("JoinKey not direction-invariant: %q vs %q", a.JoinKey(), b.JoinKey())
+	}
+	if a.String() == "" {
+		t.Error("Hop.String empty")
+	}
+}
+
+func TestMatchPath(t *testing.T) {
+	q := snowflakeQuery()
+	paths := PathsFrom(q, "region", uniqueKeys, 8)
+	var deep Path
+	for _, p := range paths {
+		if p.Target() == "lineitem" {
+			deep = p
+		}
+	}
+	sources, ok := MatchPath(q, deep)
+	if !ok || len(sources) != 1 || sources[0] != "region" {
+		t.Errorf("MatchPath on owning query = %v, %v", sources, ok)
+	}
+
+	// A different query with the same join chain also matches.
+	q2 := snowflakeQuery()
+	q2.ID = "other"
+	if _, ok := MatchPath(q2, deep); !ok {
+		t.Error("structurally identical query should match")
+	}
+
+	// A query missing one join in the chain does not match.
+	q3 := workload.NewQuery("partial",
+		workload.TableRef{Table: "region"},
+		workload.TableRef{Table: "nation"},
+	)
+	q3.AddJoin("region", "rkey", "nation", "n_rkey")
+	if _, ok := MatchPath(q3, deep); ok {
+		t.Error("partial join graph should not match a deep path")
+	}
+	// But it matches the one-hop path.
+	if _, ok := MatchPath(q3, paths[0]); !ok {
+		t.Error("one-hop path should match")
+	}
+
+	// A query joining on different columns does not match.
+	q4 := workload.NewQuery("wrongcol",
+		workload.TableRef{Table: "region"},
+		workload.TableRef{Table: "nation"},
+	)
+	q4.AddJoin("region", "other", "nation", "n_rkey")
+	if _, ok := MatchPath(q4, paths[0]); ok {
+		t.Error("different join column should not match")
+	}
+
+	// Empty path never matches.
+	if _, ok := MatchPath(q, Path{}); ok {
+		t.Error("empty path matched")
+	}
+
+	// Semi join shares an inner join's path (type-insensitive matching).
+	q5 := workload.NewQuery("semi",
+		workload.TableRef{Table: "region"},
+		workload.TableRef{Table: "nation"},
+	)
+	q5.AddTypedJoin(workload.Join{
+		Left: "region", LeftColumn: "rkey",
+		Right: "nation", RightColumn: "n_rkey",
+		Type: workload.SemiJoin,
+	})
+	if _, ok := MatchPath(q5, paths[0]); !ok {
+		t.Error("semi join should share the inner join path")
+	}
+}
+
+func TestMatchPathSelfJoinSources(t *testing.T) {
+	// Both aliases of a self join can be path sources.
+	q := workload.NewQuery("self",
+		workload.TableRef{Table: "dim", Alias: "d1"},
+		workload.TableRef{Table: "dim", Alias: "d2"},
+	)
+	q.AddJoin("d1", "id", "d2", "id")
+	p := Path{Hops: []Hop{{
+		FromTable: "dim", FromColumn: "id", ToTable: "dim", ToColumn: "id",
+		Type: workload.InnerJoin,
+	}}}
+	sources, ok := MatchPath(q, p)
+	if !ok || len(sources) != 2 {
+		t.Errorf("self-join sources = %v, %v", sources, ok)
+	}
+}

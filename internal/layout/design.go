@@ -1,0 +1,189 @@
+// Package layout defines the physical-design abstraction shared by all
+// blocking strategies the paper compares (§6.1.3): a Design assigns each
+// table's rows to ordered row groups (which the block layer chops into
+// blocks) and routes queries to the group subset they must read. The
+// user-tuned sort-key Baseline and Z-ordering live here; the
+// instance-optimized strategies (STO and MTO) are produced by internal/core
+// and expressed as Designs too.
+package layout
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mto/internal/block"
+	"mto/internal/relation"
+	"mto/internal/workload"
+)
+
+// Router maps a query to the row-group indexes that must be read for one
+// table. A nil Router means every group is always needed (sort-based
+// layouts rely purely on zone maps for skipping).
+type Router func(q *workload.Query) []int
+
+// TableDesign is one table's physical design.
+type TableDesign struct {
+	table  *relation.Table
+	groups [][]int32
+	route  Router
+
+	// set by Install:
+	groupBlocks [][]int // group index → block IDs
+}
+
+// Groups returns the row groups (shared, do not mutate).
+func (td *TableDesign) Groups() [][]int32 { return td.groups }
+
+// Design is a complete multi-table physical design.
+type Design struct {
+	Name      string
+	BlockSize int
+	tables    map[string]*TableDesign
+	installed bool
+}
+
+// NewDesign returns an empty design.
+func NewDesign(name string, blockSize int) *Design {
+	return &Design{Name: name, BlockSize: blockSize, tables: map[string]*TableDesign{}}
+}
+
+// SetTable registers a table's groups and router. Passing route == nil
+// means queries always read every group (zone-map-only skipping).
+func (d *Design) SetTable(t *relation.Table, groups [][]int32, route Router) {
+	d.tables[t.Schema().Table()] = &TableDesign{table: t, groups: groups, route: route}
+	d.installed = false
+}
+
+// Table returns the named table's design, or nil.
+func (d *Design) Table(name string) *TableDesign { return d.tables[name] }
+
+// Tables returns the designed table names (unordered).
+func (d *Design) Tables() []string {
+	out := make([]string, 0, len(d.tables))
+	for n := range d.tables {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Install materializes the design into the store. The groups are laid out
+// consecutively (the paper's BID order: group i's records precede group
+// i+1's, §6.1.2) and the resulting record stream is packed into full blocks
+// of BlockSize rows, so the design never inflates the table's block count.
+// A block straddling a group boundary belongs to both groups and is read
+// when either is needed. When jitter is non-nil, blocks get non-uniform
+// capacities emulating Cloud DW; minFill sets the smallest fill fraction.
+func (d *Design) Install(store *block.Store, jitter *rand.Rand, minFill float64) (writeSeconds float64, err error) {
+	total := 0.0
+	for name, td := range d.tables {
+		// Concatenate groups into one BID-ordered stream.
+		stream := make([]int32, 0, td.table.NumRows())
+		for _, g := range td.groups {
+			stream = append(stream, g...)
+		}
+		var tl *block.TableLayout
+		if jitter != nil {
+			tl, err = block.NewJitteredTableLayout(td.table, [][]int32{stream}, d.BlockSize, minFill, jitter)
+		} else {
+			tl, err = block.NewTableLayout(td.table, [][]int32{stream}, d.BlockSize)
+		}
+		if err != nil {
+			return 0, fmt.Errorf("layout: install %s: %w", name, err)
+		}
+		// Map each group to the blocks overlapping its stream extent.
+		starts := make([]int, tl.NumBlocks()+1)
+		for i := 0; i < tl.NumBlocks(); i++ {
+			starts[i+1] = starts[i] + tl.Block(i).NumRows()
+		}
+		td.groupBlocks = make([][]int, len(td.groups))
+		off := 0
+		bi := 0
+		for gi, g := range td.groups {
+			lo, hi := off, off+len(g) // [lo, hi) in stream coordinates
+			for bi > 0 && starts[bi] > lo {
+				bi--
+			}
+			for b := bi; b < tl.NumBlocks() && starts[b] < hi; b++ {
+				if starts[b+1] > lo {
+					td.groupBlocks[gi] = append(td.groupBlocks[gi], b)
+				}
+			}
+			// Advance bi to the first block containing hi-1 for the next
+			// group (it may be shared).
+			for bi < tl.NumBlocks()-1 && starts[bi+1] <= hi-1 {
+				bi++
+			}
+			off = hi
+		}
+		total += store.SetLayout(name, tl)
+	}
+	d.installed = true
+	return total, nil
+}
+
+// BlocksFor returns the block IDs of the named table that q must read, or
+// (nil, false) when the query does not touch the table at all. Install must
+// have been called.
+func (d *Design) BlocksFor(q *workload.Query, table string) ([]int, bool) {
+	td := d.tables[table]
+	if td == nil || !q.TouchesTable(table) {
+		return nil, false
+	}
+	if !d.installed {
+		panic("layout: BlocksFor before Install")
+	}
+	if td.route == nil {
+		seen := map[int]bool{}
+		var all []int
+		for _, ids := range td.groupBlocks {
+			for _, id := range ids {
+				if !seen[id] {
+					seen[id] = true
+					all = append(all, id)
+				}
+			}
+		}
+		return all, true
+	}
+	seen := map[int]bool{}
+	var out []int
+	for _, gi := range td.route(q) {
+		if gi < 0 || gi >= len(td.groupBlocks) {
+			continue
+		}
+		for _, id := range td.groupBlocks[gi] {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	return out, true
+}
+
+// GroupBlocks exposes the group → block-ID mapping for one table (after
+// Install); reorganization uses it to locate a qd-tree leaf's blocks.
+func (d *Design) GroupBlocks(table string) [][]int {
+	td := d.tables[table]
+	if td == nil {
+		return nil
+	}
+	return td.groupBlocks
+}
+
+// Clone returns a copy of the design that can be mutated (tables replaced,
+// re-installed into another store) without affecting the original. Row
+// groups are shared read-only; SetTable replaces them wholesale.
+func (d *Design) Clone() *Design {
+	out := NewDesign(d.Name, d.BlockSize)
+	for name, td := range d.tables {
+		out.tables[name] = &TableDesign{
+			table:       td.table,
+			groups:      td.groups,
+			route:       td.route,
+			groupBlocks: td.groupBlocks,
+		}
+	}
+	out.installed = d.installed
+	return out
+}

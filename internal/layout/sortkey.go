@@ -1,0 +1,57 @@
+package layout
+
+import (
+	"fmt"
+	"sort"
+
+	"mto/internal/relation"
+	"mto/internal/workload"
+)
+
+// SortKeys configures the user-tuned Baseline of §6.1.3: one sort column
+// per table (e.g. lineitem by shipdate, dimensions by primary key).
+type SortKeys map[string]string
+
+// SortKeyDesign builds the Baseline layout: each table's rows are sorted by
+// its configured column and stored contiguously; queries read every block
+// and rely on zone maps for skipping. Tables missing from keys are kept in
+// insertion order.
+func SortKeyDesign(ds *relation.Dataset, keys SortKeys, blockSize int) (*Design, error) {
+	d := NewDesign("Baseline", blockSize)
+	for _, name := range ds.TableNames() {
+		t := ds.Table(name)
+		rows, err := sortedRows(t, keys[name])
+		if err != nil {
+			return nil, err
+		}
+		d.SetTable(t, [][]int32{rows}, nil)
+	}
+	return d, nil
+}
+
+// sortedRows returns t's row indexes ordered by the named column ("" keeps
+// insertion order). The sort is stable so repeated builds are identical.
+func sortedRows(t *relation.Table, col string) ([]int32, error) {
+	rows := make([]int32, t.NumRows())
+	for i := range rows {
+		rows[i] = int32(i)
+	}
+	if col == "" {
+		return rows, nil
+	}
+	ci, ok := t.Schema().ColumnIndex(col)
+	if !ok {
+		return nil, fmt.Errorf("layout: %s has no sort column %q", t.Schema().Table(), col)
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		return t.Value(int(rows[i]), ci).Less(t.Value(int(rows[j]), ci))
+	})
+	return rows, nil
+}
+
+// SingleGroupRouter returns a Router that reads the whole table only when
+// the query touches it; sort-based designs use nil instead, but tests use
+// this to exercise explicit routing.
+func SingleGroupRouter() Router {
+	return func(q *workload.Query) []int { return []int{0} }
+}

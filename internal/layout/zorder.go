@@ -1,0 +1,113 @@
+package layout
+
+import (
+	"fmt"
+	"sort"
+
+	"mto/internal/relation"
+	"mto/internal/value"
+)
+
+// ZOrderColumns configures Z-ordering (§2): per table, the columns whose
+// bit-interleaved order defines the layout, in priority order. Tables not
+// listed fall back to insertion order.
+type ZOrderColumns map[string][]string
+
+// ZOrderDesign builds the Z-order layout: each configured table's rows are
+// sorted by the Morton (Z) value of their rank-normalized column values and
+// stored contiguously; skipping happens via zone maps only, as with the
+// sort-key Baseline.
+func ZOrderDesign(ds *relation.Dataset, cols ZOrderColumns, blockSize int) (*Design, error) {
+	d := NewDesign("ZOrder", blockSize)
+	for _, name := range ds.TableNames() {
+		t := ds.Table(name)
+		zc := cols[name]
+		if len(zc) == 0 {
+			rows, err := sortedRows(t, "")
+			if err != nil {
+				return nil, err
+			}
+			d.SetTable(t, [][]int32{rows}, nil)
+			continue
+		}
+		rows, err := zOrderedRows(t, zc)
+		if err != nil {
+			return nil, err
+		}
+		d.SetTable(t, [][]int32{rows}, nil)
+	}
+	return d, nil
+}
+
+// zBits is the per-column resolution of the Z-value.
+const zBits = 16
+
+// zOrderedRows returns t's rows sorted by interleaved rank bits over cols.
+func zOrderedRows(t *relation.Table, cols []string) ([]int32, error) {
+	n := t.NumRows()
+	ranks := make([][]uint32, len(cols))
+	for ci, col := range cols {
+		idx, ok := t.Schema().ColumnIndex(col)
+		if !ok {
+			return nil, fmt.Errorf("layout: %s has no z-order column %q", t.Schema().Table(), col)
+		}
+		ranks[ci] = rankNormalize(t, idx)
+	}
+	keys := make([]uint64, n)
+	for r := 0; r < n; r++ {
+		keys[r] = interleave(ranks, r)
+	}
+	rows := make([]int32, n)
+	for i := range rows {
+		rows[i] = int32(i)
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return keys[rows[i]] < keys[rows[j]] })
+	return rows, nil
+}
+
+// rankNormalize maps each row's value in column ci to a zBits-bit rank, so
+// columns with wildly different domains interleave fairly.
+func rankNormalize(t *relation.Table, ci int) []uint32 {
+	n := t.NumRows()
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return t.Value(int(order[i]), ci).Less(t.Value(int(order[j]), ci))
+	})
+	ranks := make([]uint32, n)
+	scale := float64(int(1)<<zBits-1) / float64(max(n-1, 1))
+	var prev value.Value
+	prevRank := uint32(0)
+	for pos, r := range order {
+		v := t.Value(int(r), ci)
+		rank := uint32(float64(pos) * scale)
+		// Equal values share a rank so ties don't fake resolution.
+		if pos > 0 && v.Comparable(prev) && v.Compare(prev) == 0 {
+			rank = prevRank
+		}
+		ranks[r] = rank
+		prev, prevRank = v, rank
+	}
+	return ranks
+}
+
+// interleave builds the Morton code for row r across the rank columns,
+// most-significant bit first, cycling through columns in priority order.
+func interleave(ranks [][]uint32, r int) uint64 {
+	var key uint64
+	for bit := zBits - 1; bit >= 0; bit-- {
+		for _, col := range ranks {
+			key = key<<1 | uint64((col[r]>>bit)&1)
+		}
+	}
+	return key
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,224 @@
+package predicate
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"mto/internal/value"
+)
+
+// JSON encoding of predicates and values, used to persist learned layouts
+// (qd-trees reference predicates as cuts). The format is a tagged union:
+//
+//	{"t":"cmp","col":"x","op":"<","v":{"k":"i","i":10}}
+//	{"t":"and","cs":[...]} / {"t":"or","cs":[...]}
+//	{"t":"in","col":"x","neg":false,"vs":[...]}
+//	{"t":"like","col":"s","pat":"a%","neg":true}
+//	{"t":"colcmp","l":"a","op":"<=","r":"b"}
+//	{"t":"const","b":true}
+
+// jsonValue is the wire form of a value.Value.
+type jsonValue struct {
+	K string   `json:"k"` // "n" null, "i" int, "f" float, "s" string
+	I *int64   `json:"i,omitempty"`
+	F *float64 `json:"f,omitempty"`
+	S *string  `json:"s,omitempty"`
+}
+
+// MarshalValue encodes a scalar.
+func MarshalValue(v value.Value) jsonValue {
+	switch v.Kind() {
+	case value.KindInt:
+		i := v.Int()
+		return jsonValue{K: "i", I: &i}
+	case value.KindFloat:
+		f := v.Float()
+		return jsonValue{K: "f", F: &f}
+	case value.KindString:
+		s := v.Str()
+		return jsonValue{K: "s", S: &s}
+	default:
+		return jsonValue{K: "n"}
+	}
+}
+
+// UnmarshalValue decodes a scalar.
+func UnmarshalValue(j jsonValue) (value.Value, error) {
+	switch j.K {
+	case "n":
+		return value.Null, nil
+	case "i":
+		if j.I == nil {
+			return value.Null, fmt.Errorf("predicate: int value missing payload")
+		}
+		return value.Int(*j.I), nil
+	case "f":
+		if j.F == nil {
+			return value.Null, fmt.Errorf("predicate: float value missing payload")
+		}
+		return value.Float(*j.F), nil
+	case "s":
+		if j.S == nil {
+			return value.Null, fmt.Errorf("predicate: string value missing payload")
+		}
+		return value.String(*j.S), nil
+	default:
+		return value.Null, fmt.Errorf("predicate: unknown value kind %q", j.K)
+	}
+}
+
+// jsonPredicate is the wire form of a Predicate.
+type jsonPredicate struct {
+	T   string          `json:"t"`
+	Col string          `json:"col,omitempty"`
+	Op  string          `json:"op,omitempty"`
+	V   *jsonValue      `json:"v,omitempty"`
+	Vs  []jsonValue     `json:"vs,omitempty"`
+	Pat string          `json:"pat,omitempty"`
+	Neg bool            `json:"neg,omitempty"`
+	L   string          `json:"l,omitempty"`
+	R   string          `json:"r,omitempty"`
+	B   bool            `json:"b,omitempty"`
+	Cs  []jsonPredicate `json:"cs,omitempty"`
+}
+
+func opString(op Op) string { return op.String() }
+
+func opFromString(s string) (Op, error) {
+	switch s {
+	case "=":
+		return Eq, nil
+	case "<>":
+		return Ne, nil
+	case "<":
+		return Lt, nil
+	case "<=":
+		return Le, nil
+	case ">":
+		return Gt, nil
+	case ">=":
+		return Ge, nil
+	default:
+		return Eq, fmt.Errorf("predicate: unknown operator %q", s)
+	}
+}
+
+func toJSON(p Predicate) (jsonPredicate, error) {
+	switch t := p.(type) {
+	case *Comparison:
+		v := MarshalValue(t.Value)
+		return jsonPredicate{T: "cmp", Col: t.Column, Op: opString(t.Op), V: &v}, nil
+	case *ColumnComparison:
+		return jsonPredicate{T: "colcmp", L: t.Left, Op: opString(t.Op), R: t.Right}, nil
+	case *InList:
+		vs := make([]jsonValue, len(t.Values))
+		for i, v := range t.Values {
+			vs[i] = MarshalValue(v)
+		}
+		return jsonPredicate{T: "in", Col: t.Column, Vs: vs, Neg: t.Negate_}, nil
+	case *Like:
+		return jsonPredicate{T: "like", Col: t.Column, Pat: t.Pattern, Neg: t.Negate_}, nil
+	case *And:
+		cs := make([]jsonPredicate, len(t.Children))
+		for i, c := range t.Children {
+			jc, err := toJSON(c)
+			if err != nil {
+				return jsonPredicate{}, err
+			}
+			cs[i] = jc
+		}
+		return jsonPredicate{T: "and", Cs: cs}, nil
+	case *Or:
+		cs := make([]jsonPredicate, len(t.Children))
+		for i, c := range t.Children {
+			jc, err := toJSON(c)
+			if err != nil {
+				return jsonPredicate{}, err
+			}
+			cs[i] = jc
+		}
+		return jsonPredicate{T: "or", Cs: cs}, nil
+	case Const:
+		return jsonPredicate{T: "const", B: bool(t)}, nil
+	default:
+		return jsonPredicate{}, fmt.Errorf("predicate: cannot serialize %T", p)
+	}
+}
+
+func fromJSON(j jsonPredicate) (Predicate, error) {
+	switch j.T {
+	case "cmp":
+		op, err := opFromString(j.Op)
+		if err != nil {
+			return nil, err
+		}
+		if j.V == nil {
+			return nil, fmt.Errorf("predicate: cmp missing value")
+		}
+		v, err := UnmarshalValue(*j.V)
+		if err != nil {
+			return nil, err
+		}
+		return NewComparison(j.Col, op, v), nil
+	case "colcmp":
+		op, err := opFromString(j.Op)
+		if err != nil {
+			return nil, err
+		}
+		return &ColumnComparison{Left: j.L, Op: op, Right: j.R}, nil
+	case "in":
+		vs := make([]value.Value, len(j.Vs))
+		for i, jv := range j.Vs {
+			v, err := UnmarshalValue(jv)
+			if err != nil {
+				return nil, err
+			}
+			vs[i] = v
+		}
+		return &InList{Column: j.Col, Values: vs, Negate_: j.Neg}, nil
+	case "like":
+		return &Like{Column: j.Col, Pattern: j.Pat, Negate_: j.Neg}, nil
+	case "and", "or":
+		cs := make([]Predicate, len(j.Cs))
+		for i, jc := range j.Cs {
+			c, err := fromJSON(jc)
+			if err != nil {
+				return nil, err
+			}
+			cs[i] = c
+		}
+		if j.T == "and" {
+			return NewAnd(cs...), nil
+		}
+		return NewOr(cs...), nil
+	case "const":
+		return Const(j.B), nil
+	default:
+		return nil, fmt.Errorf("predicate: unknown predicate tag %q", j.T)
+	}
+}
+
+// Marshal encodes a predicate as JSON.
+func Marshal(p Predicate) ([]byte, error) {
+	j, err := toJSON(p)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(j)
+}
+
+// Unmarshal decodes a predicate from JSON.
+func Unmarshal(data []byte) (Predicate, error) {
+	var j jsonPredicate
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, err
+	}
+	return fromJSON(j)
+}
+
+// MarshalJSONTree and UnmarshalJSONTree expose the tagged structs for
+// embedding predicates inside larger documents (qd-tree persistence).
+func MarshalJSONTree(p Predicate) (json.RawMessage, error) { return Marshal(p) }
+
+// UnmarshalJSONTree decodes an embedded predicate.
+func UnmarshalJSONTree(raw json.RawMessage) (Predicate, error) { return Unmarshal(raw) }

@@ -1,0 +1,77 @@
+package predicate
+
+import (
+	"testing"
+
+	"mto/internal/value"
+)
+
+func TestPredicateJSONRoundTrip(t *testing.T) {
+	preds := []Predicate{
+		NewComparison("x", Lt, value.Int(10)),
+		NewComparison("x", Ge, value.Float(2.5)),
+		NewComparison("s", Eq, value.String("abc")),
+		NewComparison("n", Ne, value.Null),
+		&ColumnComparison{Left: "a", Op: Le, Right: "b"},
+		NewIn("x", value.Int(1), value.Int(2), value.String("z")),
+		NewNotIn("x", value.Int(7)),
+		NewLike("s", "a%_b"),
+		NewNotLike("s", "%x"),
+		True(),
+		False(),
+		NewAnd(
+			NewComparison("x", Gt, value.Int(0)),
+			NewOr(NewIn("y", value.Int(1)), NewLike("s", "q%")),
+		),
+	}
+	for _, p := range preds {
+		raw, err := Marshal(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		got, err := Unmarshal(raw)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if got.String() != p.String() {
+			t.Errorf("round trip: %s → %s", p, got)
+		}
+	}
+}
+
+func TestPredicateJSONErrors(t *testing.T) {
+	bad := []string{
+		`{`,
+		`{"t":"???"}`,
+		`{"t":"cmp","col":"x","op":"??"}`,
+		`{"t":"cmp","col":"x","op":"<"}`,
+		`{"t":"cmp","col":"x","op":"<","v":{"k":"??"}}`,
+		`{"t":"cmp","col":"x","op":"<","v":{"k":"i"}}`,
+		`{"t":"cmp","col":"x","op":"<","v":{"k":"f"}}`,
+		`{"t":"cmp","col":"x","op":"<","v":{"k":"s"}}`,
+		`{"t":"colcmp","l":"a","op":"??","r":"b"}`,
+		`{"t":"in","col":"x","vs":[{"k":"??"}]}`,
+		`{"t":"and","cs":[{"t":"??"}]}`,
+	}
+	for _, c := range bad {
+		if _, err := Unmarshal([]byte(c)); err == nil {
+			t.Errorf("accepted malformed predicate: %s", c)
+		}
+	}
+}
+
+func TestValueJSONRoundTrip(t *testing.T) {
+	vals := []value.Value{
+		value.Null, value.Int(-5), value.Float(3.75), value.String("hi"),
+		value.MustDate("1997-06-01"),
+	}
+	for _, v := range vals {
+		got, err := UnmarshalValue(MarshalValue(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(v) && !(got.IsNull() && v.IsNull()) {
+			t.Errorf("round trip: %s → %s", v, got)
+		}
+	}
+}

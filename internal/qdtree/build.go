@@ -1,0 +1,238 @@
+package qdtree
+
+import (
+	"fmt"
+
+	"mto/internal/predicate"
+	"mto/internal/relation"
+	"mto/internal/workload"
+)
+
+// BuildQuery is one routing unit of the training workload: a query's view
+// of the table through one alias. Self-join queries contribute one
+// BuildQuery per alias.
+type BuildQuery struct {
+	Query  *workload.Query
+	Alias  string
+	Filter predicate.Predicate
+	Weight float64
+}
+
+// BuildQueries expands a workload into the routing units for one table.
+func BuildQueries(w *workload.Workload, table string) []BuildQuery {
+	var out []BuildQuery
+	for _, q := range w.Queries {
+		for _, alias := range q.AliasesOf(table) {
+			out = append(out, BuildQuery{
+				Query:  q,
+				Alias:  alias,
+				Filter: q.FilterOn(alias),
+				Weight: q.EffectiveWeight(),
+			})
+		}
+	}
+	return out
+}
+
+// Config controls greedy construction.
+type Config struct {
+	// Table is the base table name.
+	Table string
+	// BlockSize is the target rows per block in full-data terms.
+	BlockSize int
+	// SampleRate is the sampling rate s the build table was drawn at
+	// (1 for no sampling). Cardinality estimates divide by it (§4.2).
+	SampleRate float64
+	// CASampleRate is the dataset-wide sampling rate that thins induced
+	// cuts' literals (one factor per join on the induction path). It can
+	// differ from SampleRate for small tables kept whole while the rest
+	// of the dataset was sampled. Zero defaults to SampleRate.
+	CASampleRate float64
+	// DisableCA turns off cardinality adjustment (the Fig. 13a ablation):
+	// sampled counts are scaled by 1/s uniformly, ignoring join thinning.
+	DisableCA bool
+}
+
+func (c Config) validate() error {
+	if c.Table == "" {
+		return fmt.Errorf("qdtree: empty table name")
+	}
+	if c.BlockSize <= 0 {
+		return fmt.Errorf("qdtree: non-positive block size %d", c.BlockSize)
+	}
+	if c.SampleRate <= 0 || c.SampleRate > 1 {
+		return fmt.Errorf("qdtree: sample rate %g out of (0, 1]", c.SampleRate)
+	}
+	if c.CASampleRate < 0 || c.CASampleRate > 1 {
+		return fmt.Errorf("qdtree: CA sample rate %g out of [0, 1]", c.CASampleRate)
+	}
+	return nil
+}
+
+// Build greedily constructs a qd-tree for tbl (§2.1.3): starting from a
+// single root covering all records, repeatedly split the leaf with the
+// candidate cut that maximizes workload-weighted skipped records, until no
+// cut yields both children of at least one block and positive skipping.
+//
+// When built on a sample, induced cuts among the candidates must already be
+// evaluated against the sampled dataset; cardinality adjustment corrects
+// their block-size estimates (§4.2).
+func Build(tbl *relation.Table, queries []BuildQuery, cuts []Cut, cfg Config) (*Tree, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.CASampleRate == 0 {
+		cfg.CASampleRate = cfg.SampleRate
+	}
+	tree := &Tree{Table: cfg.Table, BlockSize: cfg.BlockSize}
+
+	// Precompute each candidate's membership over the build table once.
+	matches := make([][]bool, len(cuts))
+	for i, c := range cuts {
+		fn := c.CompileRecord(tbl)
+		m := make([]bool, tbl.NumRows())
+		for r := range m {
+			m[r] = fn(r)
+		}
+		matches[i] = m
+	}
+
+	rows := make([]int32, tbl.NumRows())
+	for i := range rows {
+		rows[i] = int32(i)
+	}
+	b := &builder{cuts: cuts, matches: matches, cfg: cfg}
+	tree.Root = b.split(rows, queries, predicate.Ranges{}, map[string]bool{}, 1,
+		float64(len(rows))/cfg.SampleRate, nil)
+	tree.Reindex()
+	return tree, nil
+}
+
+type builder struct {
+	cuts    []Cut
+	matches [][]bool
+	cfg     Config
+}
+
+// split builds the subtree for the given rows. k is the accumulated CA
+// divisor product s^{|joins on yes-path|}; est is the node's full-data
+// cardinality estimate.
+func (b *builder) split(rows []int32, queries []BuildQuery, region predicate.Ranges,
+	pathJoins map[string]bool, k float64, est float64, parent *Node) *Node {
+
+	node := &Node{
+		Parent:     parent,
+		LeafIndex:  -1,
+		SampleRows: len(rows),
+		EstRows:    est,
+		Region:     region,
+	}
+	// A node smaller than two blocks cannot split into two valid blocks.
+	if est < 2*float64(b.cfg.BlockSize) || len(rows) < 2 || len(queries) == 0 {
+		return node
+	}
+
+	bestIdx, bestScore, bestCountL, bestEstL, bestKNew := -1, 0.0, 0, 0.0, 1.0
+	s := b.cfg.SampleRate
+	for i, cut := range b.cuts {
+		countL := 0
+		m := b.matches[i]
+		for _, r := range rows {
+			if m[r] {
+				countL++
+			}
+		}
+		if countL == 0 || countL == len(rows) {
+			continue // degenerate split
+		}
+		kNew := 1.0
+		if !b.cfg.DisableCA {
+			rates := cut.JoinRates()
+			for hi, jk := range cut.JoinKeys() {
+				if pathJoins[jk] {
+					continue // already adjusted for this join (§4.2)
+				}
+				if rates != nil {
+					kNew *= rates[hi]
+				} else {
+					kNew *= b.cfg.CASampleRate
+				}
+			}
+		}
+		estL := float64(countL) / (s * k * kNew)
+		if estL > est {
+			estL = est
+		}
+		estR := est - estL
+		if estL < float64(b.cfg.BlockSize) || estR < float64(b.cfg.BlockSize) {
+			continue // children must each fill at least one block
+		}
+		score := 0.0
+		for qi := range queries {
+			bq := &queries[qi]
+			rc := RouteContext{Query: bq.Query, Alias: bq.Alias, Filter: bq.Filter}
+			l, r := cut.Route(&rc, region)
+			if !l {
+				score += bq.Weight * estL
+			}
+			if !r {
+				score += bq.Weight * estR
+			}
+		}
+		if score > bestScore {
+			bestIdx, bestScore = i, score
+			bestCountL, bestEstL, bestKNew = countL, estL, kNew
+		}
+	}
+	if bestIdx < 0 {
+		return node // no cut skips anything: leaf
+	}
+
+	cut := b.cuts[bestIdx]
+	node.Cut = cut
+
+	// Partition rows.
+	m := b.matches[bestIdx]
+	leftRows := make([]int32, 0, bestCountL)
+	rightRows := make([]int32, 0, len(rows)-bestCountL)
+	for _, r := range rows {
+		if m[r] {
+			leftRows = append(leftRows, r)
+		} else {
+			rightRows = append(rightRows, r)
+		}
+	}
+
+	// Partition queries by routing decision.
+	var leftQs, rightQs []BuildQuery
+	for qi := range queries {
+		bq := queries[qi]
+		rc := RouteContext{Query: bq.Query, Alias: bq.Alias, Filter: bq.Filter}
+		l, r := cut.Route(&rc, region)
+		if l {
+			leftQs = append(leftQs, bq)
+		}
+		if r {
+			rightQs = append(rightQs, bq)
+		}
+	}
+
+	// The yes child accumulates the cut's joins for CA de-duplication; the
+	// no child keeps the parent's context (§4.2).
+	leftJoins := pathJoins
+	leftK := k
+	if jk := cut.JoinKeys(); len(jk) > 0 && !b.cfg.DisableCA {
+		leftJoins = make(map[string]bool, len(pathJoins)+len(jk))
+		for j := range pathJoins {
+			leftJoins[j] = true
+		}
+		for _, j := range jk {
+			leftJoins[j] = true
+		}
+		leftK = k * bestKNew
+	}
+
+	node.Left = b.split(leftRows, leftQs, cut.LeftRanges(region), leftJoins, leftK, bestEstL, node)
+	node.Right = b.split(rightRows, rightQs, cut.RightRanges(region), pathJoins, k, est-bestEstL, node)
+	return node
+}

@@ -1,0 +1,129 @@
+package qdtree
+
+import (
+	"mto/internal/relation"
+	"mto/internal/workload"
+)
+
+// AssignRecords routes every row of tbl through the tree (§2.1.2) and
+// returns the row groups in leaf order: groups[i] holds the rows assigned
+// to leaf i. Induced cuts must be evaluated against the dataset tbl belongs
+// to before calling.
+func (t *Tree) AssignRecords(tbl *relation.Table) [][]int32 {
+	leaves := t.Leaves()
+	groups := make([][]int32, len(leaves))
+
+	type compiled struct {
+		match       func(int) bool
+		left, right *compiled
+		leafIndex   int
+	}
+	var compile func(n *Node) *compiled
+	compile = func(n *Node) *compiled {
+		if n.IsLeaf() {
+			return &compiled{leafIndex: n.LeafIndex}
+		}
+		return &compiled{
+			match: n.Cut.CompileRecord(tbl),
+			left:  compile(n.Left),
+			right: compile(n.Right),
+		}
+	}
+	root := compile(t.Root)
+
+	for r := 0; r < tbl.NumRows(); r++ {
+		node := root
+		for node.match != nil {
+			if node.match(r) {
+				node = node.left
+			} else {
+				node = node.right
+			}
+		}
+		groups[node.leafIndex] = append(groups[node.leafIndex], int32(r))
+	}
+	return groups
+}
+
+// RouteQuery returns the leaf indexes the query must access on this table
+// (§2.1.2, §3.2.2). Queries can be routed to multiple leaves; a query that
+// references the table through several aliases accesses the union. Queries
+// that do not touch the table access no leaves.
+func (t *Tree) RouteQuery(q *workload.Query) []int {
+	leaves := t.Leaves()
+	needed := make([]bool, len(leaves))
+	for _, alias := range q.AliasesOf(t.Table) {
+		rc := RouteContext{Query: q, Alias: alias, Filter: q.FilterOn(alias)}
+		t.routeContext(&rc, needed)
+	}
+	var out []int
+	for i, n := range needed {
+		if n {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (t *Tree) routeContext(rc *RouteContext, needed []bool) {
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.IsLeaf() {
+			needed[n.LeafIndex] = true
+			return
+		}
+		l, r := n.Cut.Route(rc, n.Region)
+		if l {
+			walk(n.Left)
+		}
+		if r {
+			walk(n.Right)
+		}
+	}
+	walk(t.Root)
+}
+
+// SubtreeLeaves returns the leaf nodes under n in left-to-right order.
+func SubtreeLeaves(n *Node) []*Node {
+	var out []*Node
+	var walk func(m *Node)
+	walk = func(m *Node) {
+		if m == nil {
+			return
+		}
+		if m.IsLeaf() {
+			out = append(out, m)
+			return
+		}
+		walk(m.Left)
+		walk(m.Right)
+	}
+	walk(n)
+	return out
+}
+
+// Replace substitutes newSub for old within the tree and reindexes the
+// leaves. old must currently be attached to the tree (or be the root).
+func (t *Tree) Replace(old, newSub *Node) {
+	newSub.Parent = old.Parent
+	if old.Parent == nil {
+		t.Root = newSub
+	} else if old.Parent.Left == old {
+		old.Parent.Left = newSub
+	} else {
+		old.Parent.Right = newSub
+	}
+	t.Reindex()
+}
+
+// CollectRows gathers the base-table rows stored in the blocks of the given
+// leaves, given the per-leaf row groups from the current layout.
+func CollectRows(leaves []*Node, groups [][]int32) []int32 {
+	var out []int32
+	for _, lf := range leaves {
+		if lf.LeafIndex >= 0 && lf.LeafIndex < len(groups) {
+			out = append(out, groups[lf.LeafIndex]...)
+		}
+	}
+	return out
+}

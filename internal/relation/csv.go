@@ -1,0 +1,125 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"mto/internal/value"
+)
+
+// WriteCSV writes the table as CSV with a header row. Date-flagged integer
+// columns render as ISO dates; nulls render as empty fields.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	schema := t.Schema()
+	hdr := make([]string, schema.NumColumns())
+	for i := range hdr {
+		hdr[i] = schema.Column(i).Name
+	}
+	if err := cw.Write(hdr); err != nil {
+		return err
+	}
+	rec := make([]string, schema.NumColumns())
+	for r := 0; r < t.NumRows(); r++ {
+		for c := range rec {
+			v := t.Value(r, c)
+			switch {
+			case v.IsNull():
+				rec[c] = ""
+			case schema.Column(c).Date:
+				rec[c] = v.FormatDate()
+			case v.Kind() == value.KindString:
+				rec[c] = v.Str()
+			default:
+				rec[c] = v.String()
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses CSV with a header row into a table with the given schema.
+// The header must contain every schema column (extra file columns are
+// ignored); fields parse per column type, empty fields are NULL, and
+// Date-flagged columns accept ISO "2006-01-02" dates.
+func ReadCSV(schema *Schema, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	hdr, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: read CSV header: %w", err)
+	}
+	colPos := make([]int, schema.NumColumns())
+	for i := 0; i < schema.NumColumns(); i++ {
+		colPos[i] = -1
+		for j, h := range hdr {
+			if h == schema.Column(i).Name {
+				colPos[i] = j
+				break
+			}
+		}
+		if colPos[i] < 0 {
+			return nil, fmt.Errorf("relation: CSV missing column %q", schema.Column(i).Name)
+		}
+	}
+	t := NewTable(schema)
+	vals := make([]value.Value, schema.NumColumns())
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: read CSV: %w", err)
+		}
+		line++
+		for i := range vals {
+			v, err := parseField(schema.Column(i), rec[colPos[i]])
+			if err != nil {
+				return nil, fmt.Errorf("relation: line %d column %q: %w", line, schema.Column(i).Name, err)
+			}
+			vals[i] = v
+		}
+		if err := t.AppendRow(vals...); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func parseField(col Column, field string) (value.Value, error) {
+	if field == "" {
+		return value.Null, nil
+	}
+	switch col.Type {
+	case value.KindInt:
+		if col.Date {
+			if v, err := value.DateFromString(field); err == nil {
+				return v, nil
+			}
+		}
+		n, err := strconv.ParseInt(field, 10, 64)
+		if err != nil {
+			return value.Null, fmt.Errorf("parse int %q: %w", field, err)
+		}
+		return value.Int(n), nil
+	case value.KindFloat:
+		f, err := strconv.ParseFloat(field, 64)
+		if err != nil {
+			return value.Null, fmt.Errorf("parse float %q: %w", field, err)
+		}
+		return value.Float(f), nil
+	case value.KindString:
+		// Quoted output from Value.String round-trips unquoted here only
+		// if the writer emitted the raw string; ReadCSV expects raw.
+		return value.String(field), nil
+	default:
+		return value.Null, fmt.Errorf("unsupported column type %s", col.Type)
+	}
+}

@@ -1,0 +1,91 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+
+	"mto/internal/value"
+)
+
+func csvSchema() *Schema {
+	return MustSchema("t",
+		Column{Name: "id", Type: value.KindInt, Unique: true},
+		Column{Name: "d", Type: value.KindInt, Date: true},
+		Column{Name: "price", Type: value.KindFloat},
+		Column{Name: "name", Type: value.KindString},
+	)
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	src := NewTable(csvSchema())
+	src.MustAppendRow(value.Int(1), value.MustDate("1995-03-14"), value.Float(9.75), value.String("widget"))
+	src.MustAppendRow(value.Int(2), value.Null, value.Null, value.String("a,b\"c"))
+	src.MustAppendRow(value.Int(3), value.MustDate("2001-12-31"), value.Float(-1), value.Null)
+
+	var buf strings.Builder
+	if err := src.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(csvSchema(), strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != src.NumRows() {
+		t.Fatalf("rows = %d", got.NumRows())
+	}
+	for r := 0; r < src.NumRows(); r++ {
+		for c := 0; c < src.Schema().NumColumns(); c++ {
+			a, b := src.Value(r, c), got.Value(r, c)
+			// Null strings round-trip as empty strings (CSV has no null
+			// marker for strings); everything else must match exactly.
+			if a.IsNull() && src.Schema().Column(c).Type == value.KindString {
+				if !b.IsNull() && b.Str() != "" {
+					t.Errorf("(%d,%d): null string became %v", r, c, b)
+				}
+				continue
+			}
+			if a.IsNull() != b.IsNull() || (!a.IsNull() && !a.Equal(b)) {
+				t.Errorf("(%d,%d): %v != %v", r, c, a, b)
+			}
+		}
+	}
+}
+
+func TestReadCSVColumnSubsetAndOrder(t *testing.T) {
+	// Extra file columns are ignored; order need not match the schema.
+	in := "extra,price,name,d,id\nx,1.5,abc,1999-01-01,7\n"
+	got, err := ReadCSV(csvSchema(), strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 1 || got.Value(0, 0).Int() != 7 || got.Value(0, 3).Str() != "abc" {
+		t.Errorf("parsed = %v", got.Row(0))
+	}
+	if got.Value(0, 1).FormatDate() != "1999-01-01" {
+		t.Errorf("date = %v", got.Value(0, 1))
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                            // no header
+		"id,price,name\n1,2,x\n",      // missing column d
+		"id,d,price,name\nzz,,1,x\n",  // bad int
+		"id,d,price,name\n1,,zz,x\n",  // bad float
+		"id,d,price,name\n1,zz,1,x\n", // bad date/int
+		"id,d,price,name\n\"1,,1,x\n", // malformed CSV
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(csvSchema(), strings.NewReader(c)); err == nil {
+			t.Errorf("accepted malformed CSV: %q", c)
+		}
+	}
+	// Plain integers are accepted in date columns (days since epoch).
+	got, err := ReadCSV(csvSchema(), strings.NewReader("id,d,price,name\n1,42,1,x\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Value(0, 1).Int() != 42 {
+		t.Error("raw day number rejected")
+	}
+}

@@ -1,0 +1,290 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+
+	"mto/internal/value"
+)
+
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	return MustSchema("t",
+		Column{Name: "id", Type: value.KindInt, Unique: true},
+		Column{Name: "price", Type: value.KindFloat},
+		Column{Name: "name", Type: value.KindString},
+	)
+}
+
+func TestSchemaValidation(t *testing.T) {
+	if _, err := NewSchema(""); err == nil {
+		t.Error("empty table name accepted")
+	}
+	if _, err := NewSchema("t", Column{Name: "", Type: value.KindInt}); err == nil {
+		t.Error("empty column name accepted")
+	}
+	if _, err := NewSchema("t",
+		Column{Name: "a", Type: value.KindInt},
+		Column{Name: "a", Type: value.KindInt}); err == nil {
+		t.Error("duplicate column accepted")
+	}
+	if _, err := NewSchema("t", Column{Name: "a", Type: value.KindNull}); err == nil {
+		t.Error("null column type accepted")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustSchema should panic on error")
+			}
+		}()
+		MustSchema("")
+	}()
+}
+
+func TestSchemaAccessors(t *testing.T) {
+	s := testSchema(t)
+	if s.Table() != "t" || s.NumColumns() != 3 {
+		t.Fatalf("basic accessors wrong: %s/%d", s.Table(), s.NumColumns())
+	}
+	if i, ok := s.ColumnIndex("price"); !ok || i != 1 {
+		t.Errorf("ColumnIndex(price) = %d,%v", i, ok)
+	}
+	if _, ok := s.ColumnIndex("missing"); ok {
+		t.Error("found missing column")
+	}
+	if s.MustColumnIndex("name") != 2 {
+		t.Error("MustColumnIndex wrong")
+	}
+	if !s.IsUnique("id") || s.IsUnique("price") || s.IsUnique("missing") {
+		t.Error("IsUnique wrong")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustColumnIndex should panic")
+			}
+		}()
+		s.MustColumnIndex("missing")
+	}()
+}
+
+func TestTableAppendAndRead(t *testing.T) {
+	tab := NewTable(testSchema(t))
+	tab.MustAppendRow(value.Int(1), value.Float(9.5), value.String("a"))
+	tab.MustAppendRow(value.Int(2), value.Null, value.String("b"))
+	tab.MustAppendRow(value.Int(3), value.Int(4), value.Null) // int→float widening
+
+	if tab.NumRows() != 3 {
+		t.Fatalf("NumRows = %d", tab.NumRows())
+	}
+	if got := tab.Value(0, 0); got.Int() != 1 {
+		t.Errorf("Value(0,0) = %v", got)
+	}
+	if got := tab.ValueByName(2, "price"); got.Float() != 4.0 {
+		t.Errorf("widened value = %v", got)
+	}
+	if !tab.Value(1, 1).IsNull() || !tab.IsNullAt(1, 1) {
+		t.Error("null not preserved")
+	}
+	if tab.IsNullAt(0, 1) {
+		t.Error("spurious null")
+	}
+	if !tab.Value(2, 2).IsNull() {
+		t.Error("null string not preserved")
+	}
+	row := tab.Row(1)
+	if row[0].Int() != 2 || !row[1].IsNull() || row[2].Str() != "b" {
+		t.Errorf("Row(1) = %v", row)
+	}
+}
+
+func TestTableAppendErrors(t *testing.T) {
+	tab := NewTable(testSchema(t))
+	if err := tab.AppendRow(value.Int(1)); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if err := tab.AppendRow(value.String("x"), value.Float(1), value.String("a")); err == nil {
+		t.Error("wrong type accepted")
+	}
+	if tab.NumRows() != 0 {
+		t.Error("failed append changed row count")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustAppendRow should panic")
+			}
+		}()
+		tab.MustAppendRow(value.Int(1))
+	}()
+}
+
+func TestRawVectorAccessors(t *testing.T) {
+	tab := NewTable(testSchema(t))
+	tab.MustAppendRow(value.Int(10), value.Float(1.5), value.String("x"))
+	if tab.Ints(0)[0] != 10 || tab.Floats(1)[0] != 1.5 || tab.Strings(2)[0] != "x" {
+		t.Error("raw accessors wrong")
+	}
+	for _, fn := range []func(){
+		func() { tab.Ints(1) },
+		func() { tab.Floats(0) },
+		func() { tab.Strings(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on mistyped raw accessor")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSelectRowsAndAppendTable(t *testing.T) {
+	tab := NewTable(testSchema(t))
+	for i := 0; i < 10; i++ {
+		tab.MustAppendRow(value.Int(int64(i)), value.Float(float64(i)), value.String("r"))
+	}
+	sel := tab.SelectRows([]int{9, 0, 5})
+	if sel.NumRows() != 3 || sel.Value(0, 0).Int() != 9 || sel.Value(2, 0).Int() != 5 {
+		t.Error("SelectRows wrong")
+	}
+	dst := NewTable(tab.Schema())
+	if err := dst.AppendTable(sel); err != nil {
+		t.Fatal(err)
+	}
+	if dst.NumRows() != 3 {
+		t.Error("AppendTable wrong")
+	}
+	other := NewTable(MustSchema("o", Column{Name: "x", Type: value.KindInt}))
+	if err := dst.AppendTable(other); err == nil {
+		t.Error("cross-schema append accepted")
+	}
+}
+
+func TestSample(t *testing.T) {
+	tab := NewTable(testSchema(t))
+	for i := 0; i < 10000; i++ {
+		tab.MustAppendRow(value.Int(int64(i)), value.Float(0), value.String(""))
+	}
+	rng := rand.New(rand.NewSource(7))
+	s, rows := tab.Sample(0.1, 100, rng)
+	if s.NumRows() != len(rows) {
+		t.Fatal("mapping length mismatch")
+	}
+	if s.NumRows() < 700 || s.NumRows() > 1300 {
+		t.Errorf("sample size %d far from 1000", s.NumRows())
+	}
+	for i := 0; i < s.NumRows(); i++ {
+		if s.Value(i, 0).Int() != tab.Value(rows[i], 0).Int() {
+			t.Fatal("sample mapping wrong")
+		}
+	}
+	// Small tables are kept whole.
+	small := NewTable(testSchema(t))
+	for i := 0; i < 50; i++ {
+		small.MustAppendRow(value.Int(int64(i)), value.Float(0), value.String(""))
+	}
+	w, wr := small.Sample(0.01, 100, rng)
+	if w.NumRows() != 50 || len(wr) != 50 {
+		t.Error("small table was sampled")
+	}
+	// rate >= 1 keeps everything.
+	full, _ := tab.Sample(1.0, 0, rng)
+	if full.NumRows() != tab.NumRows() {
+		t.Error("rate=1 sampled")
+	}
+	// A pathological rate still returns at least one row.
+	tiny, _ := tab.Sample(1e-9, 0, rng)
+	if tiny.NumRows() == 0 {
+		t.Error("sample returned zero rows")
+	}
+}
+
+func TestDataset(t *testing.T) {
+	d := NewDataset()
+	a := NewTable(MustSchema("a", Column{Name: "x", Type: value.KindInt}))
+	b := NewTable(MustSchema("b", Column{Name: "y", Type: value.KindInt}))
+	a.MustAppendRow(value.Int(1))
+	b.MustAppendRow(value.Int(2))
+	b.MustAppendRow(value.Int(3))
+	d.MustAddTable(a)
+	d.MustAddTable(b)
+	if err := d.AddTable(a); err == nil {
+		t.Error("duplicate table accepted")
+	}
+	if d.Table("a") != a || d.Table("nope") != nil {
+		t.Error("Table lookup wrong")
+	}
+	names := d.TableNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("TableNames = %v", names)
+	}
+	if d.NumRows() != 3 {
+		t.Errorf("NumRows = %d", d.NumRows())
+	}
+	s, mapping := d.Sample(0.5, 0, rand.New(rand.NewSource(1)))
+	if s.Table("a") == nil || s.Table("b") == nil {
+		t.Error("sampled dataset missing tables")
+	}
+	if len(mapping["a"]) != s.Table("a").NumRows() {
+		t.Error("mapping mismatch")
+	}
+}
+
+func TestKeyIndex(t *testing.T) {
+	tab := NewTable(MustSchema("t",
+		Column{Name: "k", Type: value.KindInt},
+		Column{Name: "s", Type: value.KindString},
+		Column{Name: "f", Type: value.KindFloat},
+	))
+	tab.MustAppendRow(value.Int(1), value.String("a"), value.Float(0))
+	tab.MustAppendRow(value.Int(2), value.String("b"), value.Float(0))
+	tab.MustAppendRow(value.Int(1), value.Null, value.Float(0))
+	tab.MustAppendRow(value.Null, value.String("a"), value.Float(0))
+
+	ki, err := BuildKeyIndex(tab, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows := ki.Lookup(value.Int(1)); len(rows) != 2 || rows[0] != 0 || rows[1] != 2 {
+		t.Errorf("Lookup(1) = %v", rows)
+	}
+	if rows := ki.LookupInt(2); len(rows) != 1 || rows[0] != 1 {
+		t.Errorf("LookupInt(2) = %v", rows)
+	}
+	if ki.Lookup(value.Null) != nil {
+		t.Error("null lookup should be empty")
+	}
+	if ki.Lookup(value.String("a")) != nil {
+		t.Error("mistyped lookup should be empty")
+	}
+	if ki.DistinctKeys() != 2 {
+		t.Errorf("DistinctKeys = %d", ki.DistinctKeys())
+	}
+	if keys := ki.SortedIntKeys(); len(keys) != 2 || keys[0] != 1 || keys[1] != 2 {
+		t.Errorf("SortedIntKeys = %v", keys)
+	}
+
+	si, err := BuildKeyIndex(tab, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows := si.Lookup(value.String("a")); len(rows) != 2 {
+		t.Errorf("string Lookup = %v", rows)
+	}
+	if si.LookupInt(1) != nil {
+		t.Error("LookupInt on string index should be nil")
+	}
+	if si.DistinctKeys() != 2 {
+		t.Error("string DistinctKeys wrong")
+	}
+
+	if _, err := BuildKeyIndex(tab, "missing"); err == nil {
+		t.Error("index on missing column accepted")
+	}
+	if _, err := BuildKeyIndex(tab, "f"); err == nil {
+		t.Error("index on float column accepted")
+	}
+}

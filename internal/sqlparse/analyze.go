@@ -1,0 +1,546 @@
+package sqlparse
+
+import (
+	"fmt"
+
+	"mto/internal/predicate"
+	"mto/internal/relation"
+	"mto/internal/workload"
+)
+
+// Parse converts a SQL string into the structured query model. ds, when
+// non-nil, resolves unqualified column references against table schemas;
+// without it, unqualified columns are only allowed when the query reads a
+// single table.
+func Parse(sql string, ds *relation.Dataset) (*workload.Query, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	pq, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	a := &analyzer{ds: ds, q: workload.NewQuery("")}
+	if err := a.run(pq); err != nil {
+		return nil, err
+	}
+	if err := a.q.Validate(); err != nil {
+		return nil, err
+	}
+	return a.q, nil
+}
+
+// MustParse is Parse that panics on error; for static workload definitions.
+func MustParse(sql string, ds *relation.Dataset) *workload.Query {
+	q, err := Parse(sql, ds)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// ParseWorkload parses several SQL statements into one workload, assigning
+// ids q1, q2, ...
+func ParseWorkload(ds *relation.Dataset, sqls ...string) (*workload.Workload, error) {
+	w := workload.NewWorkload()
+	for i, sql := range sqls {
+		q, err := Parse(sql, ds)
+		if err != nil {
+			return nil, fmt.Errorf("statement %d: %w", i+1, err)
+		}
+		q.ID = fmt.Sprintf("q%d", i+1)
+		w.Add(q)
+	}
+	return w, nil
+}
+
+type analyzer struct {
+	ds *relation.Dataset
+	q  *workload.Query
+}
+
+// aliasOf returns the alias string of a table ref.
+func aliasOf(ref workload.TableRef) string {
+	if ref.Alias != "" {
+		return ref.Alias
+	}
+	return ref.Table
+}
+
+func (a *analyzer) run(pq *parsedQuery) error {
+	for _, item := range pq.tables {
+		a.q.Tables = append(a.q.Tables, item.ref)
+	}
+	// Explicit JOIN ... ON conditions.
+	for _, item := range pq.tables {
+		if !item.explicitJoin {
+			continue
+		}
+		if err := a.consumeCondition(item.on, &item); err != nil {
+			return err
+		}
+	}
+	if pq.where != nil {
+		if err := a.consumeCondition(pq.where, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// consumeCondition splits a condition into conjuncts and classifies each as
+// a join edge, a subquery join, or a per-table filter. join, when non-nil,
+// is the explicit JOIN item whose type applies to equijoin conjuncts.
+func (a *analyzer) consumeCondition(e expr, join *tableItem) error {
+	for _, conj := range splitAnd(e) {
+		if err := a.consumeConjunct(conj, join); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func splitAnd(e expr) []expr {
+	if l, ok := e.(logicalExpr); ok && l.and {
+		var out []expr
+		for _, c := range l.children {
+			out = append(out, splitAnd(c)...)
+		}
+		return out
+	}
+	return []expr{e}
+}
+
+func (a *analyzer) consumeConjunct(e expr, join *tableItem) error {
+	switch t := e.(type) {
+	case cmpExpr:
+		lc, lok := t.left.(colRef)
+		rc, rok := t.right.(colRef)
+		if lok && rok {
+			la, err := a.resolveAlias(lc, nil)
+			if err != nil {
+				return err
+			}
+			ra, err := a.resolveAlias(rc, nil)
+			if err != nil {
+				return err
+			}
+			if la != ra {
+				if t.op != predicate.Eq {
+					return fmt.Errorf("sqlparse: only equijoins are supported between tables (%s.%s %s %s.%s)",
+						la, lc.col, t.op, ra, rc.col)
+				}
+				jt := workload.InnerJoin
+				if join != nil {
+					jt = join.joinType
+				}
+				a.q.AddTypedJoin(workload.Join{
+					Left: la, LeftColumn: lc.col,
+					Right: ra, RightColumn: rc.col,
+					Type: jt,
+				})
+				return nil
+			}
+		}
+	case inExpr:
+		if t.sub != nil {
+			return a.consumeInSubquery(t)
+		}
+	case existsExpr:
+		return a.consumeExists(t)
+	case notExpr:
+		if ex, ok := t.child.(existsExpr); ok {
+			ex.negate = !ex.negate
+			return a.consumeExists(ex)
+		}
+		if in, ok := t.child.(inExpr); ok && in.sub != nil {
+			in.negate = !in.negate
+			return a.consumeInSubquery(in)
+		}
+	}
+	// Otherwise: a plain filter over exactly one table.
+	alias, pred, err := a.toPredicate(e, nil)
+	if err != nil {
+		return err
+	}
+	a.q.Filter(alias, pred)
+	return nil
+}
+
+// consumeInSubquery maps "outer.col [NOT] IN (SELECT inner.col FROM t WHERE
+// ...)" onto a semi / anti-semi join edge plus filters on the subquery
+// table.
+func (a *analyzer) consumeInSubquery(in inExpr) error {
+	outer, ok := in.operand.(colRef)
+	if !ok {
+		return fmt.Errorf("sqlparse: IN-subquery needs a column on the left")
+	}
+	outerAlias, err := a.resolveAlias(outer, nil)
+	if err != nil {
+		return err
+	}
+	sub := in.sub
+	subAlias := a.addSubqueryTable(sub)
+	jt := workload.SemiJoin
+	if in.negate {
+		jt = workload.LeftAntiSemiJoin
+	}
+	a.q.AddTypedJoin(workload.Join{
+		Left: outerAlias, LeftColumn: outer.col,
+		Right: subAlias, RightColumn: sub.projected.col,
+		Type:            jt,
+		CorrelatedInner: subAlias,
+	})
+	return a.consumeSubqueryWhere(sub, subAlias)
+}
+
+// consumeExists maps "[NOT] EXISTS (SELECT ... FROM t WHERE outer.k =
+// t.k AND ...)" onto a semi / anti-semi join using the correlation
+// equality.
+func (a *analyzer) consumeExists(ex existsExpr) error {
+	sub := ex.sub
+	subAlias := a.addSubqueryTable(sub)
+	if sub.where == nil {
+		return fmt.Errorf("sqlparse: EXISTS subquery needs a correlation predicate")
+	}
+	var rest []expr
+	found := false
+	for _, conj := range splitAnd(sub.where) {
+		if cmp, ok := conj.(cmpExpr); ok && !found {
+			lc, lok := cmp.left.(colRef)
+			rc, rok := cmp.right.(colRef)
+			if lok && rok && cmp.op == predicate.Eq {
+				la, lerr := a.resolveAlias(lc, &subAlias)
+				ra, rerr := a.resolveAlias(rc, &subAlias)
+				if lerr == nil && rerr == nil && la != ra &&
+					(la == subAlias || ra == subAlias) {
+					// Orient: outer on the left.
+					outA, outC, inC := la, lc.col, rc.col
+					if la == subAlias {
+						outA, outC, inC = ra, rc.col, lc.col
+					}
+					jt := workload.SemiJoin
+					if ex.negate {
+						jt = workload.LeftAntiSemiJoin
+					}
+					a.q.AddTypedJoin(workload.Join{
+						Left: outA, LeftColumn: outC,
+						Right: subAlias, RightColumn: inC,
+						Type:            jt,
+						CorrelatedInner: subAlias,
+					})
+					found = true
+					continue
+				}
+			}
+		}
+		rest = append(rest, conj)
+	}
+	if !found {
+		return fmt.Errorf("sqlparse: EXISTS subquery on %s has no correlation equality", sub.table)
+	}
+	for _, conj := range rest {
+		alias, pred, err := a.toPredicate(conj, &subAlias)
+		if err != nil {
+			return err
+		}
+		a.q.Filter(alias, pred)
+	}
+	return nil
+}
+
+// addSubqueryTable registers the subquery's table reference, renaming the
+// alias if it collides with an existing one. SQL scoping says references to
+// the original alias inside the subquery mean the inner table, so when a
+// rename happens the subquery's column references are rewritten to follow.
+func (a *analyzer) addSubqueryTable(sub *subquery) string {
+	orig := sub.alias
+	alias := sub.alias
+	taken := map[string]bool{}
+	for _, r := range a.q.Tables {
+		taken[aliasOf(r)] = true
+	}
+	for i := 2; taken[alias]; i++ {
+		alias = fmt.Sprintf("%s_%d", orig, i)
+	}
+	if alias != orig {
+		sub.where = renameAlias(sub.where, orig, alias)
+		if sub.projected != nil && sub.projected.alias == orig {
+			sub.projected.alias = alias
+		}
+	}
+	sub.alias = alias
+	a.q.Tables = append(a.q.Tables, workload.TableRef{Table: sub.table, Alias: alias})
+	return alias
+}
+
+// renameAlias rewrites column references from one alias to another
+// throughout an expression tree.
+func renameAlias(e expr, from, to string) expr {
+	switch t := e.(type) {
+	case nil:
+		return nil
+	case colRef:
+		if t.alias == from {
+			t.alias = to
+		}
+		return t
+	case cmpExpr:
+		t.left = renameAlias(t.left, from, to)
+		t.right = renameAlias(t.right, from, to)
+		return t
+	case betweenExpr:
+		t.operand = renameAlias(t.operand, from, to)
+		return t
+	case inExpr:
+		t.operand = renameAlias(t.operand, from, to)
+		return t
+	case likeExpr:
+		t.operand = renameAlias(t.operand, from, to)
+		return t
+	case logicalExpr:
+		for i, c := range t.children {
+			t.children[i] = renameAlias(c, from, to)
+		}
+		return t
+	case notExpr:
+		t.child = renameAlias(t.child, from, to)
+		return t
+	default:
+		return e
+	}
+}
+
+func (a *analyzer) consumeSubqueryWhere(sub *subquery, subAlias string) error {
+	if sub.where == nil {
+		return nil
+	}
+	for _, conj := range splitAnd(sub.where) {
+		alias, pred, err := a.toPredicate(conj, &subAlias)
+		if err != nil {
+			return err
+		}
+		a.q.Filter(alias, pred)
+	}
+	return nil
+}
+
+// resolveAlias resolves a column reference to a table alias. preferred,
+// when non-nil, is tried first for unqualified columns (the enclosing
+// subquery's alias).
+func (a *analyzer) resolveAlias(c colRef, preferred *string) (string, error) {
+	if c.alias != "" {
+		for _, r := range a.q.Tables {
+			if aliasOf(r) == c.alias {
+				if a.ds != nil && !a.tableHasColumn(c.alias, c.col) {
+					return "", fmt.Errorf("sqlparse: table %s has no column %q", a.q.BaseTable(c.alias), c.col)
+				}
+				return c.alias, nil
+			}
+		}
+		return "", fmt.Errorf("sqlparse: unknown table alias %q", c.alias)
+	}
+	if preferred != nil && a.tableHasColumn(*preferred, c.col) {
+		return *preferred, nil
+	}
+	if len(a.q.Tables) == 1 {
+		alias := aliasOf(a.q.Tables[0])
+		if a.ds != nil && !a.tableHasColumn(alias, c.col) {
+			return "", fmt.Errorf("sqlparse: table %s has no column %q", a.q.BaseTable(alias), c.col)
+		}
+		return alias, nil
+	}
+	if a.ds == nil {
+		return "", fmt.Errorf("sqlparse: ambiguous column %q (qualify it or pass a dataset)", c.col)
+	}
+	var match string
+	for _, r := range a.q.Tables {
+		if a.tableHasColumn(aliasOf(r), c.col) {
+			if match != "" && match != aliasOf(r) {
+				return "", fmt.Errorf("sqlparse: column %q is ambiguous between %s and %s", c.col, match, aliasOf(r))
+			}
+			match = aliasOf(r)
+		}
+	}
+	if match == "" {
+		return "", fmt.Errorf("sqlparse: column %q not found in any table", c.col)
+	}
+	return match, nil
+}
+
+func (a *analyzer) tableHasColumn(alias, col string) bool {
+	if a.ds == nil {
+		return false
+	}
+	base := a.q.BaseTable(alias)
+	t := a.ds.Table(base)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Schema().ColumnIndex(col)
+	return ok
+}
+
+// toPredicate converts an expression over exactly one table into a
+// predicate, returning the alias it applies to.
+func (a *analyzer) toPredicate(e expr, preferred *string) (string, predicate.Predicate, error) {
+	alias := ""
+	setAlias := func(x string) error {
+		if alias == "" {
+			alias = x
+			return nil
+		}
+		if alias != x {
+			return fmt.Errorf("sqlparse: predicate mixes tables %s and %s", alias, x)
+		}
+		return nil
+	}
+	var conv func(e expr) (predicate.Predicate, error)
+	conv = func(e expr) (predicate.Predicate, error) {
+		switch t := e.(type) {
+		case cmpExpr:
+			lc, lok := t.left.(colRef)
+			rc, rok := t.right.(colRef)
+			lv, lvok := t.left.(litVal)
+			rv, rvok := t.right.(litVal)
+			switch {
+			case lok && rvok:
+				x, err := a.resolveAlias(lc, preferred)
+				if err != nil {
+					return nil, err
+				}
+				if err := setAlias(x); err != nil {
+					return nil, err
+				}
+				return predicate.NewComparison(lc.col, t.op, rv.v), nil
+			case lvok && rok:
+				x, err := a.resolveAlias(rc, preferred)
+				if err != nil {
+					return nil, err
+				}
+				if err := setAlias(x); err != nil {
+					return nil, err
+				}
+				return predicate.NewComparison(rc.col, flip(t.op), lv.v), nil
+			case lok && rok:
+				xa, err := a.resolveAlias(lc, preferred)
+				if err != nil {
+					return nil, err
+				}
+				xb, err := a.resolveAlias(rc, preferred)
+				if err != nil {
+					return nil, err
+				}
+				if err := setAlias(xa); err != nil {
+					return nil, err
+				}
+				if err := setAlias(xb); err != nil {
+					return nil, err
+				}
+				return &predicate.ColumnComparison{Left: lc.col, Op: t.op, Right: rc.col}, nil
+			default:
+				return nil, fmt.Errorf("sqlparse: literal-only comparison is not a predicate")
+			}
+		case betweenExpr:
+			c, ok := t.operand.(colRef)
+			if !ok {
+				return nil, fmt.Errorf("sqlparse: BETWEEN needs a column")
+			}
+			x, err := a.resolveAlias(c, preferred)
+			if err != nil {
+				return nil, err
+			}
+			if err := setAlias(x); err != nil {
+				return nil, err
+			}
+			return predicate.NewAnd(
+				predicate.NewComparison(c.col, predicate.Ge, t.lo),
+				predicate.NewComparison(c.col, predicate.Le, t.hi),
+			), nil
+		case inExpr:
+			if t.sub != nil {
+				return nil, fmt.Errorf("sqlparse: IN-subquery cannot appear under OR or NOT")
+			}
+			c, ok := t.operand.(colRef)
+			if !ok {
+				return nil, fmt.Errorf("sqlparse: IN needs a column")
+			}
+			x, err := a.resolveAlias(c, preferred)
+			if err != nil {
+				return nil, err
+			}
+			if err := setAlias(x); err != nil {
+				return nil, err
+			}
+			if t.negate {
+				return predicate.NewNotIn(c.col, t.vals...), nil
+			}
+			return predicate.NewIn(c.col, t.vals...), nil
+		case likeExpr:
+			c, ok := t.operand.(colRef)
+			if !ok {
+				return nil, fmt.Errorf("sqlparse: LIKE needs a column")
+			}
+			x, err := a.resolveAlias(c, preferred)
+			if err != nil {
+				return nil, err
+			}
+			if err := setAlias(x); err != nil {
+				return nil, err
+			}
+			if t.negate {
+				return predicate.NewNotLike(c.col, t.pattern), nil
+			}
+			return predicate.NewLike(c.col, t.pattern), nil
+		case logicalExpr:
+			parts := make([]predicate.Predicate, 0, len(t.children))
+			for _, ch := range t.children {
+				p, err := conv(ch)
+				if err != nil {
+					return nil, err
+				}
+				parts = append(parts, p)
+			}
+			if t.and {
+				return predicate.NewAnd(parts...), nil
+			}
+			return predicate.NewOr(parts...), nil
+		case notExpr:
+			p, err := conv(t.child)
+			if err != nil {
+				return nil, err
+			}
+			return p.Negate(), nil
+		case existsExpr:
+			return nil, fmt.Errorf("sqlparse: EXISTS cannot appear under OR or NOT")
+		default:
+			return nil, fmt.Errorf("sqlparse: expression %T is not a predicate", e)
+		}
+	}
+	p, err := conv(e)
+	if err != nil {
+		return "", nil, err
+	}
+	if alias == "" {
+		return "", nil, fmt.Errorf("sqlparse: predicate references no column")
+	}
+	return alias, p, nil
+}
+
+// flip mirrors an operator for "literal op column" rewrites.
+func flip(op predicate.Op) predicate.Op {
+	switch op {
+	case predicate.Lt:
+		return predicate.Gt
+	case predicate.Le:
+		return predicate.Ge
+	case predicate.Gt:
+		return predicate.Lt
+	case predicate.Ge:
+		return predicate.Le
+	default:
+		return op
+	}
+}

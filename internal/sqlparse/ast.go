@@ -1,0 +1,93 @@
+package sqlparse
+
+import (
+	"mto/internal/predicate"
+	"mto/internal/value"
+	"mto/internal/workload"
+)
+
+// Parser-level expression AST. Unlike predicate.Predicate, operands carry
+// table aliases, because the analyzer must split predicates per table and
+// recognize join conditions.
+type expr interface{ isExpr() }
+
+// colRef is a (possibly unqualified) column reference.
+type colRef struct {
+	alias string // "" when unqualified
+	col   string
+}
+
+// litVal is a literal value.
+type litVal struct{ v value.Value }
+
+// cmpExpr is operand op operand.
+type cmpExpr struct {
+	left, right expr
+	op          predicate.Op
+}
+
+// betweenExpr is col BETWEEN lo AND hi.
+type betweenExpr struct {
+	operand expr
+	lo, hi  value.Value
+}
+
+// inExpr is col [NOT] IN (literals) or col [NOT] IN (subquery).
+type inExpr struct {
+	operand expr
+	vals    []value.Value
+	sub     *subquery
+	negate  bool
+}
+
+// likeExpr is col [NOT] LIKE 'pattern'.
+type likeExpr struct {
+	operand expr
+	pattern string
+	negate  bool
+}
+
+// existsExpr is [NOT] EXISTS (subquery); the correlation equijoin is found
+// inside the subquery's WHERE.
+type existsExpr struct {
+	sub    *subquery
+	negate bool
+}
+
+// logicalExpr is AND/OR over children.
+type logicalExpr struct {
+	and      bool
+	children []expr
+}
+
+// notExpr negates its child.
+type notExpr struct{ child expr }
+
+func (colRef) isExpr()      {}
+func (litVal) isExpr()      {}
+func (cmpExpr) isExpr()     {}
+func (betweenExpr) isExpr() {}
+func (inExpr) isExpr()      {}
+func (likeExpr) isExpr()    {}
+func (existsExpr) isExpr()  {}
+func (logicalExpr) isExpr() {}
+func (notExpr) isExpr()     {}
+
+// subquery is SELECT col FROM table [alias] [WHERE expr]. IN-subqueries
+// project one column; EXISTS-subqueries may project anything (ignored).
+type subquery struct {
+	projected *colRef // nil for EXISTS
+	table     string
+	alias     string
+	where     expr
+}
+
+// tableItem is one FROM entry plus its explicit-join metadata.
+type tableItem struct {
+	ref workload.TableRef
+	// joinType/on are set when the table was introduced by an explicit
+	// JOIN ... ON clause.
+	explicitJoin bool
+	joinType     workload.JoinType
+	on           expr
+}

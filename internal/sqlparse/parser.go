@@ -1,0 +1,485 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mto/internal/predicate"
+	"mto/internal/value"
+	"mto/internal/workload"
+)
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+// isKeyword reports whether the current token is the given keyword
+// (case-insensitive identifiers).
+func (p *parser) isKeyword(kw string) bool {
+	t := p.cur()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.isKeyword(kw) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return fmt.Errorf("sqlparse: expected %s at offset %d, found %q", kw, p.cur().pos, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	if p.cur().kind == tokPunct && p.cur().text == s {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return fmt.Errorf("sqlparse: expected %q at offset %d, found %q", s, p.cur().pos, p.cur().text)
+	}
+	return nil
+}
+
+// reserved keywords that terminate identifiers-as-aliases.
+var reserved = map[string]bool{
+	"select": true, "from": true, "where": true, "and": true, "or": true,
+	"not": true, "in": true, "like": true, "between": true, "exists": true,
+	"join": true, "inner": true, "left": true, "right": true, "outer": true,
+	"on": true, "as": true, "group": true, "order": true, "by": true,
+	"having": true, "limit": true, "date": true, "null": true,
+}
+
+// parseQuery parses one SELECT statement.
+func (p *parser) parseQuery() (*parsedQuery, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	// Skip the projection: any tokens up to the top-level FROM.
+	depth := 0
+	for {
+		t := p.cur()
+		if t.kind == tokEOF {
+			return nil, fmt.Errorf("sqlparse: missing FROM clause")
+		}
+		if t.kind == tokPunct && t.text == "(" {
+			depth++
+		}
+		if t.kind == tokPunct && t.text == ")" {
+			depth--
+		}
+		if depth == 0 && t.kind == tokIdent && strings.EqualFold(t.text, "from") {
+			break
+		}
+		p.i++
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	tables, err := p.parseFromList()
+	if err != nil {
+		return nil, err
+	}
+	q := &parsedQuery{tables: tables}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		q.where = w
+	}
+	// Trailing GROUP BY / ORDER BY / HAVING / LIMIT clauses are ignored:
+	// they do not affect block skipping.
+	for p.cur().kind != tokEOF && !(p.cur().kind == tokPunct && (p.cur().text == ";" || p.cur().text == ")")) {
+		p.i++
+	}
+	return q, nil
+}
+
+type parsedQuery struct {
+	tables []tableItem
+	where  expr
+}
+
+// parseFromList parses comma-separated tables and explicit JOIN clauses.
+func (p *parser) parseFromList() ([]tableItem, error) {
+	var out []tableItem
+	first, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, tableItem{ref: first})
+	for {
+		switch {
+		case p.acceptPunct(","):
+			ref, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, tableItem{ref: ref})
+		case p.isKeyword("JOIN") || p.isKeyword("INNER") || p.isKeyword("LEFT") || p.isKeyword("RIGHT"):
+			jt := workload.InnerJoin
+			switch {
+			case p.acceptKeyword("INNER"):
+			case p.acceptKeyword("LEFT"):
+				jt = workload.LeftOuterJoin
+				p.acceptKeyword("OUTER")
+			case p.acceptKeyword("RIGHT"):
+				jt = workload.RightOuterJoin
+				p.acceptKeyword("OUTER")
+			}
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			ref, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("ON"); err != nil {
+				return nil, err
+			}
+			on, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, tableItem{ref: ref, explicitJoin: true, joinType: jt, on: on})
+		default:
+			return out, nil
+		}
+	}
+}
+
+// parseTableRef parses "table [AS] alias".
+func (p *parser) parseTableRef() (workload.TableRef, error) {
+	t := p.cur()
+	if t.kind != tokIdent || reserved[strings.ToLower(t.text)] {
+		return workload.TableRef{}, fmt.Errorf("sqlparse: expected table name at offset %d, found %q", t.pos, t.text)
+	}
+	p.i++
+	ref := workload.TableRef{Table: t.text}
+	p.acceptKeyword("AS")
+	if a := p.cur(); a.kind == tokIdent && !reserved[strings.ToLower(a.text)] {
+		ref.Alias = a.text
+		p.i++
+	}
+	return ref, nil
+}
+
+// parseOr parses OR-separated conjunct groups.
+func (p *parser) parseOr() (expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	children := []expr{left}
+	for p.acceptKeyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, right)
+	}
+	if len(children) == 1 {
+		return left, nil
+	}
+	return logicalExpr{and: false, children: children}, nil
+}
+
+func (p *parser) parseAnd() (expr, error) {
+	left, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	children := []expr{left}
+	for p.acceptKeyword("AND") {
+		right, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, right)
+	}
+	if len(children) == 1 {
+		return left, nil
+	}
+	return logicalExpr{and: true, children: children}, nil
+}
+
+func (p *parser) parsePrimary() (expr, error) {
+	if p.acceptKeyword("NOT") {
+		child, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		return notExpr{child: child}, nil
+	}
+	if p.isKeyword("EXISTS") {
+		p.i++
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		sub, err := p.parseSubquery(false)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return existsExpr{sub: sub}, nil
+	}
+	if p.acceptPunct("(") {
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	return p.parseComparison()
+}
+
+// parseComparison parses operand (op operand | BETWEEN | IN | LIKE).
+func (p *parser) parseComparison() (expr, error) {
+	left, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	negate := p.acceptKeyword("NOT")
+	switch {
+	case p.acceptKeyword("BETWEEN"):
+		lo, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		b := expr(betweenExpr{operand: left, lo: lo, hi: hi})
+		if negate {
+			b = notExpr{child: b}
+		}
+		return b, nil
+	case p.acceptKeyword("IN"):
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		if p.isKeyword("SELECT") {
+			sub, err := p.parseSubquery(true)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return inExpr{operand: left, sub: sub, negate: negate}, nil
+		}
+		var vals []value.Value
+		for {
+			v, err := p.parseLiteral()
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, v)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return inExpr{operand: left, vals: vals, negate: negate}, nil
+	case p.acceptKeyword("LIKE"):
+		t := p.cur()
+		if t.kind != tokString {
+			return nil, fmt.Errorf("sqlparse: LIKE needs a string pattern at offset %d", t.pos)
+		}
+		p.i++
+		return likeExpr{operand: left, pattern: t.text, negate: negate}, nil
+	case negate:
+		return nil, fmt.Errorf("sqlparse: NOT must precede BETWEEN, IN, or LIKE at offset %d", p.cur().pos)
+	}
+	t := p.cur()
+	if t.kind != tokOp {
+		return nil, fmt.Errorf("sqlparse: expected comparison operator at offset %d, found %q", t.pos, t.text)
+	}
+	p.i++
+	var op predicate.Op
+	switch t.text {
+	case "=":
+		op = predicate.Eq
+	case "<>", "!=":
+		op = predicate.Ne
+	case "<":
+		op = predicate.Lt
+	case "<=":
+		op = predicate.Le
+	case ">":
+		op = predicate.Gt
+	case ">=":
+		op = predicate.Ge
+	default:
+		return nil, fmt.Errorf("sqlparse: unknown operator %q", t.text)
+	}
+	right, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	return cmpExpr{left: left, op: op, right: right}, nil
+}
+
+// parseOperand parses a column reference or literal.
+func (p *parser) parseOperand() (expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokIdent:
+		if strings.EqualFold(t.text, "date") && p.toks[p.i+1].kind == tokString {
+			v, err := p.parseLiteral()
+			if err != nil {
+				return nil, err
+			}
+			return litVal{v: v}, nil
+		}
+		if reserved[strings.ToLower(t.text)] {
+			return nil, fmt.Errorf("sqlparse: unexpected keyword %q at offset %d", t.text, t.pos)
+		}
+		p.i++
+		if p.acceptPunct(".") {
+			c := p.next()
+			if c.kind != tokIdent {
+				return nil, fmt.Errorf("sqlparse: expected column after %q.", t.text)
+			}
+			return colRef{alias: t.text, col: c.text}, nil
+		}
+		return colRef{col: t.text}, nil
+	case tokNumber, tokString:
+		v, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return litVal{v: v}, nil
+	default:
+		return nil, fmt.Errorf("sqlparse: expected operand at offset %d, found %q", t.pos, t.text)
+	}
+}
+
+// parseLiteral parses a number, string, or DATE 'yyyy-mm-dd', with an
+// optional leading minus on numbers.
+func (p *parser) parseLiteral() (value.Value, error) {
+	if p.cur().kind == tokPunct && p.cur().text == "-" {
+		p.i++
+		v, err := p.parseLiteral()
+		if err != nil {
+			return value.Null, err
+		}
+		switch v.Kind() {
+		case value.KindInt:
+			return value.Int(-v.Int()), nil
+		case value.KindFloat:
+			return value.Float(-v.Float()), nil
+		default:
+			return value.Null, fmt.Errorf("sqlparse: unary minus on non-number")
+		}
+	}
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.i++
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return value.Null, fmt.Errorf("sqlparse: bad number %q", t.text)
+			}
+			return value.Float(f), nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return value.Null, fmt.Errorf("sqlparse: bad number %q", t.text)
+		}
+		return value.Int(n), nil
+	case t.kind == tokString:
+		p.i++
+		return value.String(t.text), nil
+	case t.kind == tokIdent && strings.EqualFold(t.text, "date"):
+		p.i++
+		s := p.cur()
+		if s.kind != tokString {
+			return value.Null, fmt.Errorf("sqlparse: DATE needs a string at offset %d", s.pos)
+		}
+		p.i++
+		return value.DateFromString(s.text)
+	case t.kind == tokIdent && strings.EqualFold(t.text, "null"):
+		p.i++
+		return value.Null, nil
+	default:
+		return value.Null, fmt.Errorf("sqlparse: expected literal at offset %d, found %q", t.pos, t.text)
+	}
+}
+
+// parseSubquery parses SELECT col FROM table [alias] [WHERE ...]. When
+// projected is true the single projected column is recorded (IN-subquery);
+// otherwise the projection is skipped (EXISTS).
+func (p *parser) parseSubquery(projected bool) (*subquery, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	sub := &subquery{}
+	if projected {
+		op, err := p.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		cr, ok := op.(colRef)
+		if !ok {
+			return nil, fmt.Errorf("sqlparse: IN-subquery must project a column")
+		}
+		sub.projected = &cr
+	} else {
+		// Skip projection tokens until FROM.
+		for !p.isKeyword("FROM") {
+			if p.cur().kind == tokEOF {
+				return nil, fmt.Errorf("sqlparse: subquery missing FROM")
+			}
+			p.i++
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	ref, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	sub.table = ref.Table
+	sub.alias = ref.Alias
+	if sub.alias == "" {
+		sub.alias = ref.Table
+	}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		sub.where = w
+	}
+	return sub, nil
+}

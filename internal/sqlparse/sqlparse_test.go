@@ -1,0 +1,404 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mto/internal/predicate"
+	"mto/internal/relation"
+	"mto/internal/value"
+	"mto/internal/workload"
+)
+
+func testDS(t *testing.T) *relation.Dataset {
+	t.Helper()
+	ds := relation.NewDataset()
+	cust := relation.NewTable(relation.MustSchema("customer",
+		relation.Column{Name: "c_custkey", Type: value.KindInt, Unique: true},
+		relation.Column{Name: "c_nation", Type: value.KindString},
+		relation.Column{Name: "c_acctbal", Type: value.KindFloat},
+	))
+	orders := relation.NewTable(relation.MustSchema("orders",
+		relation.Column{Name: "o_orderkey", Type: value.KindInt, Unique: true},
+		relation.Column{Name: "o_custkey", Type: value.KindInt},
+		relation.Column{Name: "o_orderdate", Type: value.KindInt, Date: true},
+		relation.Column{Name: "o_totalprice", Type: value.KindFloat},
+	))
+	ds.MustAddTable(cust)
+	ds.MustAddTable(orders)
+	return ds
+}
+
+func TestParseSingleTable(t *testing.T) {
+	q, err := Parse(`SELECT COUNT(*) FROM orders WHERE o_totalprice > 100.5 AND o_orderdate < DATE '1995-01-01'`, testDS(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Tables) != 1 || q.Tables[0].Table != "orders" {
+		t.Fatalf("tables = %v", q.Tables)
+	}
+	f := q.FilterOn("orders")
+	s := f.String()
+	if !strings.Contains(s, "o_totalprice > 100.5") {
+		t.Errorf("filter = %s", s)
+	}
+	if !strings.Contains(s, "o_orderdate < "+value.MustDate("1995-01-01").String()) {
+		t.Errorf("date literal not parsed: %s", s)
+	}
+}
+
+func TestParseCommaJoin(t *testing.T) {
+	q, err := Parse(`
+		SELECT o.o_orderkey
+		FROM customer AS c, orders o
+		WHERE c.c_custkey = o.o_custkey
+		  AND c.c_nation = 'FRANCE'
+		  AND o.o_totalprice BETWEEN 100 AND 200`, testDS(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Joins) != 1 {
+		t.Fatalf("joins = %v", q.Joins)
+	}
+	j := q.Joins[0]
+	if j.Left != "c" || j.LeftColumn != "c_custkey" || j.Right != "o" || j.RightColumn != "o_custkey" {
+		t.Errorf("join = %v", j)
+	}
+	if j.Type != workload.InnerJoin {
+		t.Errorf("join type = %v", j.Type)
+	}
+	if got := q.FilterOn("c").String(); got != `c_nation = "FRANCE"` {
+		t.Errorf("c filter = %s", got)
+	}
+	if got := q.FilterOn("o").String(); !strings.Contains(got, "o_totalprice >= 100") {
+		t.Errorf("o filter = %s", got)
+	}
+}
+
+func TestParseExplicitJoins(t *testing.T) {
+	q, err := Parse(`
+		SELECT * FROM customer c
+		LEFT OUTER JOIN orders o ON c.c_custkey = o.o_custkey AND o.o_totalprice > 10
+		WHERE c.c_nation <> 'PERU'`, testDS(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Joins) != 1 || q.Joins[0].Type != workload.LeftOuterJoin {
+		t.Fatalf("joins = %v", q.Joins)
+	}
+	// The extra ON conjunct became a filter on o.
+	if got := q.FilterOn("o").String(); got != "o_totalprice > 10" {
+		t.Errorf("ON filter = %s", got)
+	}
+	if got := q.FilterOn("c").String(); got != "c_nation <> \"PERU\"" {
+		t.Errorf("where filter = %s", got)
+	}
+
+	q2, err := Parse(`SELECT * FROM customer c INNER JOIN orders o ON c.c_custkey = o.o_custkey`, testDS(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.Joins[0].Type != workload.InnerJoin {
+		t.Error("INNER JOIN type wrong")
+	}
+	q3, err := Parse(`SELECT * FROM customer c RIGHT JOIN orders o ON c.c_custkey = o.o_custkey`, testDS(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q3.Joins[0].Type != workload.RightOuterJoin {
+		t.Error("RIGHT JOIN type wrong")
+	}
+}
+
+func TestParseUnqualifiedColumns(t *testing.T) {
+	// With a dataset, unqualified columns resolve by schema.
+	q, err := Parse(`
+		SELECT * FROM customer, orders
+		WHERE c_custkey = o_custkey AND c_nation = 'CHINA' AND o_totalprice < 50`, testDS(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Joins) != 1 {
+		t.Fatalf("joins = %v", q.Joins)
+	}
+	if q.FilterOn("customer").String() != `c_nation = "CHINA"` {
+		t.Error("customer filter wrong")
+	}
+	// Without a dataset, multi-table unqualified columns are rejected.
+	if _, err := Parse(`SELECT * FROM customer, orders WHERE c_custkey = o_custkey`, nil); err == nil {
+		t.Error("ambiguous columns accepted without dataset")
+	}
+	// Single-table queries may stay unqualified even without a dataset.
+	if _, err := Parse(`SELECT * FROM orders WHERE o_totalprice < 5`, nil); err != nil {
+		t.Errorf("single-table unqualified: %v", err)
+	}
+}
+
+func TestParseInListLikeOrNot(t *testing.T) {
+	q, err := Parse(`
+		SELECT * FROM customer
+		WHERE c_nation IN ('FRANCE', 'GERMANY')
+		  AND c_nation NOT IN ('PERU')
+		  AND c_nation LIKE 'F%'
+		  AND c_nation NOT LIKE '%Z'
+		  AND NOT (c_acctbal < 0 OR c_acctbal > 100)`, testDS(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := q.FilterOn("customer").String()
+	for _, want := range []string{
+		`c_nation IN ("FRANCE", "GERMANY")`,
+		`c_nation NOT IN ("PERU")`,
+		`c_nation LIKE "F%"`,
+		`c_nation NOT LIKE "%Z"`,
+		"c_acctbal >= 0",
+		"c_acctbal <= 100",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("filter missing %q in %s", want, s)
+		}
+	}
+}
+
+func TestParseInSubquery(t *testing.T) {
+	q, err := Parse(`
+		SELECT * FROM orders o
+		WHERE o.o_custkey IN (
+			SELECT c.c_custkey FROM customer c WHERE c.c_nation = 'JAPAN')`, testDS(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Tables) != 2 {
+		t.Fatalf("tables = %v", q.Tables)
+	}
+	if len(q.Joins) != 1 {
+		t.Fatalf("joins = %v", q.Joins)
+	}
+	j := q.Joins[0]
+	if j.Type != workload.SemiJoin || j.CorrelatedInner != "c" {
+		t.Errorf("join = %+v", j)
+	}
+	if q.FilterOn("c").String() != `c_nation = "JAPAN"` {
+		t.Error("subquery filter lost")
+	}
+
+	// NOT IN → anti-semi.
+	q2, err := Parse(`
+		SELECT * FROM customer c
+		WHERE c.c_custkey NOT IN (SELECT o.o_custkey FROM orders o)`, testDS(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.Joins[0].Type != workload.LeftAntiSemiJoin {
+		t.Errorf("NOT IN join = %v", q2.Joins[0].Type)
+	}
+}
+
+func TestParseExists(t *testing.T) {
+	q, err := Parse(`
+		SELECT * FROM orders o
+		WHERE EXISTS (
+			SELECT 1 FROM customer c
+			WHERE o.o_custkey = c.c_custkey AND c.c_acctbal > 0)
+		AND o.o_totalprice > 500`, testDS(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Joins) != 1 || q.Joins[0].Type != workload.SemiJoin {
+		t.Fatalf("joins = %v", q.Joins)
+	}
+	if q.Joins[0].Left != "o" || q.Joins[0].Right != "c" {
+		t.Errorf("orientation = %+v", q.Joins[0])
+	}
+	if q.FilterOn("c").String() != "c_acctbal > 0" {
+		t.Error("exists filter lost")
+	}
+	// NOT EXISTS → anti-semi.
+	q2, err := Parse(`
+		SELECT * FROM customer c
+		WHERE NOT EXISTS (SELECT 1 FROM orders o WHERE o.o_custkey = c.c_custkey)`, testDS(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.Joins[0].Type != workload.LeftAntiSemiJoin {
+		t.Errorf("NOT EXISTS join = %v", q2.Joins[0].Type)
+	}
+	// Correlation required.
+	if _, err := Parse(`
+		SELECT * FROM customer c
+		WHERE EXISTS (SELECT 1 FROM orders o WHERE o.o_totalprice > 5)`, testDS(t)); err == nil {
+		t.Error("uncorrelated EXISTS accepted")
+	}
+}
+
+func TestParseSelfJoinAliasCollision(t *testing.T) {
+	// The subquery reuses the outer alias; the analyzer renames it.
+	q, err := Parse(`
+		SELECT * FROM orders o
+		WHERE o.o_custkey IN (SELECT o.o_custkey FROM orders o WHERE o.o_totalprice > 900)`, testDS(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Tables) != 2 {
+		t.Fatalf("tables = %v", q.Tables)
+	}
+	if q.Tables[1].Alias == "o" {
+		t.Error("alias collision not resolved")
+	}
+	// Inner scoping: the subquery's filter follows the renamed alias, not
+	// the outer table.
+	inner := q.Tables[1].Alias
+	if got := q.FilterOn(inner).String(); got != "o_totalprice > 900" {
+		t.Errorf("inner filter = %q", got)
+	}
+	if got := q.FilterOn("o").String(); got != "TRUE" {
+		t.Errorf("outer filter leaked: %q", got)
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseLiteralOnLeft(t *testing.T) {
+	q, err := Parse(`SELECT * FROM orders WHERE 100 < o_totalprice`, testDS(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.FilterOn("orders").String(); got != "o_totalprice > 100" {
+		t.Errorf("flipped comparison = %s", got)
+	}
+}
+
+func TestParseColumnComparison(t *testing.T) {
+	ds := relation.NewDataset()
+	l := relation.NewTable(relation.MustSchema("lineitem",
+		relation.Column{Name: "l_commitdate", Type: value.KindInt, Date: true},
+		relation.Column{Name: "l_receiptdate", Type: value.KindInt, Date: true},
+	))
+	ds.MustAddTable(l)
+	q, err := Parse(`SELECT * FROM lineitem WHERE l_commitdate < l_receiptdate`, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := q.FilterOn("lineitem")
+	if _, ok := f.(*predicate.ColumnComparison); !ok {
+		t.Errorf("filter = %T (%s)", f, f)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	ds := testDS(t)
+	cases := []string{
+		``,                           // empty
+		`SELECT`,                     // missing FROM
+		`SELECT * FROM`,              // missing table
+		`SELECT * FROM orders WHERE`, // missing predicate
+		`SELECT * FROM orders WHERE o_totalprice`,       // missing operator
+		`SELECT * FROM orders WHERE o_totalprice ><: 3`, // bad operator
+		`SELECT * FROM orders WHERE 'a' = 'b'`,          // literal-only
+		`SELECT * FROM orders WHERE o_totalprice LIKE 5`,
+		`SELECT * FROM orders WHERE nope < 3`,                                                                      // unknown column
+		`SELECT * FROM customer c, orders o WHERE c.c_acctbal < o.o_totalprice`,                                    // cross-table range
+		`SELECT * FROM customer c, orders o WHERE zz.c_acctbal < 1`,                                                // unknown alias
+		`SELECT * FROM orders WHERE o_totalprice BETWEEN 1`,                                                        // bad between
+		`SELECT * FROM orders WHERE o_orderdate < DATE 42`,                                                         // bad date
+		`SELECT * FROM orders WHERE o_orderdate < DATE 'nope'`,                                                     // bad date string
+		`SELECT * FROM orders WHERE o_custkey IN (SELECT 1 FROM customer)`,                                         // non-column projection
+		`SELECT * FROM orders o WHERE (o.o_totalprice > 1 OR o.o_custkey IN (SELECT c.c_custkey FROM customer c))`, // subquery under OR
+		`SELECT * FROM orders WHERE o_totalprice NOT > 3`,                                                          // stray NOT
+		`SELECT * FROM orders WHERE o_totalprice = 'unterminated`,                                                  // lexer error
+		`SELECT * FROM orders WHERE o_totalprice @ 3`,                                                              // bad char
+	}
+	for _, sql := range cases {
+		if _, err := Parse(sql, ds); err == nil {
+			t.Errorf("accepted invalid SQL: %s", sql)
+		}
+	}
+}
+
+func TestParseWorkloadAndMustParse(t *testing.T) {
+	ds := testDS(t)
+	w, err := ParseWorkload(ds,
+		`SELECT * FROM orders WHERE o_totalprice > 1`,
+		`SELECT * FROM customer WHERE c_acctbal < 0`,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 2 || w.Queries[0].ID != "q1" || w.Queries[1].ID != "q2" {
+		t.Errorf("workload = %v", w.Queries)
+	}
+	if _, err := ParseWorkload(ds, `garbage`); err == nil {
+		t.Error("bad statement accepted")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustParse should panic")
+			}
+		}()
+		MustParse(`garbage`, ds)
+	}()
+	if q := MustParse(`SELECT * FROM orders`, ds); q == nil {
+		t.Error("MustParse returned nil")
+	}
+}
+
+func TestParseCommentsAndStrings(t *testing.T) {
+	q, err := Parse(`
+		SELECT * FROM customer -- trailing comment
+		WHERE c_nation = 'O''BRIEN' -- escaped quote
+	`, testDS(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.FilterOn("customer").String(); got != `c_nation = "O'BRIEN"` {
+		t.Errorf("escaped string = %s", got)
+	}
+}
+
+func TestParsedQueryIsUsable(t *testing.T) {
+	// End-to-end: a parsed query routes like a hand-built one.
+	ds := testDS(t)
+	hand := workload.NewQuery("hand",
+		workload.TableRef{Table: "customer", Alias: "c"},
+		workload.TableRef{Table: "orders", Alias: "o"},
+	)
+	hand.AddJoin("c", "c_custkey", "o", "o_custkey")
+	hand.Filter("c", predicate.NewComparison("c_nation", predicate.Eq, value.String("FRANCE")))
+
+	parsed, err := Parse(`
+		SELECT * FROM customer c, orders o
+		WHERE c.c_custkey = o.o_custkey AND c.c_nation = 'FRANCE'`, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed.ID = "hand"
+	if parsed.String() != hand.String() {
+		t.Errorf("parsed differs from hand-built:\n%s\n%s", parsed, hand)
+	}
+}
+
+// TestParseNeverPanics feeds arbitrary byte soup and mutated valid queries
+// to the parser; it must return errors, never panic.
+func TestParseNeverPanics(t *testing.T) {
+	ds := testDS(t)
+	base := `SELECT * FROM customer c, orders o WHERE c.c_custkey = o.o_custkey AND c.c_nation IN ('A','B') AND o.o_totalprice BETWEEN 1 AND 2`
+	f := func(junk string, cut uint16) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on input: %v", r)
+			}
+		}()
+		_, _ = Parse(junk, ds)
+		// Truncations and splices of a valid query.
+		i := int(cut) % (len(base) + 1)
+		_, _ = Parse(base[:i], ds)
+		_, _ = Parse(base[:i]+junk+base[i:], ds)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,230 @@
+package value
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull:   "null",
+		KindInt:    "int",
+		KindFloat:  "float",
+		KindString: "string",
+		Kind(42):   "kind(42)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if got := Int(7).Int(); got != 7 {
+		t.Errorf("Int(7).Int() = %d", got)
+	}
+	if got := Float(2.5).Float(); got != 2.5 {
+		t.Errorf("Float(2.5).Float() = %g", got)
+	}
+	if got := String("abc").Str(); got != "abc" {
+		t.Errorf("String(abc).Str() = %q", got)
+	}
+	if !Null.IsNull() {
+		t.Error("Null.IsNull() = false")
+	}
+	var zero Value
+	if !zero.IsNull() {
+		t.Error("zero Value is not null")
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"IntOnString":   func() { String("x").Int() },
+		"FloatOnInt":    func() { Int(1).Float() },
+		"StrOnFloat":    func() { Float(1).Str() },
+		"AsFloatOnStr":  func() { String("x").AsFloat() },
+		"CompareStrInt": func() { String("x").Compare(Int(1)) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestDate(t *testing.T) {
+	d := Date(time.Date(1970, 1, 2, 13, 0, 0, 0, time.UTC))
+	if d.Int() != 1 {
+		t.Errorf("Date(1970-01-02) = %d days, want 1", d.Int())
+	}
+	v, err := DateFromString("1992-03-15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.FormatDate(); got != "1992-03-15" {
+		t.Errorf("round-trip date = %q", got)
+	}
+	if _, err := DateFromString("not-a-date"); err == nil {
+		t.Error("expected error for malformed date")
+	}
+	if MustDate("1995-01-01").Compare(MustDate("1994-12-31")) <= 0 {
+		t.Error("date ordering broken")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustDate should panic on bad input")
+			}
+		}()
+		MustDate("nope")
+	}()
+	if got := String("x").FormatDate(); got != `"x"` {
+		t.Errorf("FormatDate on non-int = %q", got)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Null, Null, 0},
+		{Null, Int(-100), -1},
+		{Int(-100), Null, 1},
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Int(3), Int(2), 1},
+		{Float(1.5), Float(2.5), -1},
+		{String("a"), String("b"), -1},
+		{String("b"), String("b"), 0},
+		{Int(2), Float(2.5), -1},
+		{Float(2.0), Int(2), 0},
+		{Float(3.0), Int(2), 1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEqualLess(t *testing.T) {
+	if !Int(2).Equal(Float(2)) {
+		t.Error("Int(2) should equal Float(2)")
+	}
+	if Int(2).Equal(String("2")) {
+		t.Error("Int(2) should not equal String(2)")
+	}
+	if !Int(1).Less(Int(2)) || Int(2).Less(Int(1)) {
+		t.Error("Less broken")
+	}
+	if !Null.Equal(Null) {
+		t.Error("Null should equal Null in storage order")
+	}
+}
+
+func TestComparable(t *testing.T) {
+	if !Int(1).Comparable(Float(2)) {
+		t.Error("int/float should be comparable")
+	}
+	if String("a").Comparable(Int(1)) {
+		t.Error("string/int should not be comparable")
+	}
+	if !Null.Comparable(String("a")) || !String("a").Comparable(Null) {
+		t.Error("null should be comparable to everything")
+	}
+}
+
+func TestHash(t *testing.T) {
+	if Int(3).Hash() != Float(3).Hash() {
+		t.Error("equal numeric values must hash equally")
+	}
+	if Int(3).Hash() == Int(4).Hash() {
+		t.Error("suspicious collision Int(3)/Int(4)")
+	}
+	if String("abc").Hash() == String("abd").Hash() {
+		t.Error("suspicious collision on strings")
+	}
+	_ = Null.Hash()
+	_ = Float(2.25).Hash() // non-integral float path
+}
+
+func TestString(t *testing.T) {
+	cases := map[string]Value{
+		"NULL": Null,
+		"42":   Int(42),
+		"2.5":  Float(2.5),
+		`"hi"`: String("hi"),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("%#v.String() = %q, want %q", v, got, want)
+		}
+	}
+	if got := (Value{kind: Kind(9)}).String(); got != "?" {
+		t.Errorf("unknown kind String() = %q", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if got := Min(Int(3), Int(5)); got.Int() != 3 {
+		t.Errorf("Min = %v", got)
+	}
+	if got := Max(Int(3), Int(5)); got.Int() != 5 {
+		t.Errorf("Max = %v", got)
+	}
+	if got := Min(Null, Int(-10)); !got.IsNull() {
+		t.Errorf("Min(Null, x) = %v, want Null", got)
+	}
+	if got := Max(String("a"), String("b")); got.Str() != "b" {
+		t.Errorf("Max strings = %v", got)
+	}
+}
+
+// Property: Compare is antisymmetric and consistent with Equal/Less for ints.
+func TestCompareProperties(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := Int(a), Int(b)
+		if va.Compare(vb) != -vb.Compare(va) {
+			return false
+		}
+		if va.Equal(vb) != (a == b) {
+			return false
+		}
+		return va.Less(vb) == (a < b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: equal values hash equally (ints vs floats holding integers).
+func TestHashEqualityProperty(t *testing.T) {
+	f := func(a int32) bool {
+		return Int(int64(a)).Hash() == Float(float64(a)).Hash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Compare is transitive on a mixed sample.
+func TestCompareTransitivity(t *testing.T) {
+	f := func(a, b, c int64) bool {
+		va, vb, vc := Int(a), Float(float64(b)), Int(c)
+		if va.Compare(vb) <= 0 && vb.Compare(vc) <= 0 {
+			return va.Compare(vc) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,380 @@
+// Package workload defines the structured query model MTO optimizes for: a
+// query is a set of table references (aliases), equijoin edges between them
+// (§4.1.1: inner, one-sided outer, semi, anti-semi, self, and correlated-
+// subquery joins over a single column), and a conjunction of simple filter
+// predicates per table reference.
+//
+// The model deliberately omits projection and aggregation details — only the
+// filter/join shape matters for block skipping — but retains everything the
+// paper's algorithms consume: predicate extraction per table (§3.2.1 step
+// 1a), join-direction legality for predicate induction (§4.1.1), and the
+// join-graph-sharing test used when routing queries through join-induced
+// cuts (§4.1.2).
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mto/internal/predicate"
+)
+
+// JoinType enumerates the supported equijoin variants (§4.1.1).
+type JoinType uint8
+
+// Join types. Induction directionality follows the paper's rules.
+const (
+	InnerJoin JoinType = iota
+	LeftOuterJoin
+	RightOuterJoin
+	FullOuterJoin
+	SemiJoin
+	LeftAntiSemiJoin
+	RightAntiSemiJoin
+)
+
+// String returns the SQL-ish name of the join type.
+func (j JoinType) String() string {
+	switch j {
+	case InnerJoin:
+		return "INNER"
+	case LeftOuterJoin:
+		return "LEFT OUTER"
+	case RightOuterJoin:
+		return "RIGHT OUTER"
+	case FullOuterJoin:
+		return "FULL OUTER"
+	case SemiJoin:
+		return "SEMI"
+	case LeftAntiSemiJoin:
+		return "LEFT ANTI SEMI"
+	case RightAntiSemiJoin:
+		return "RIGHT ANTI SEMI"
+	default:
+		return fmt.Sprintf("join(%d)", uint8(j))
+	}
+}
+
+// CanInduceLeftToRight reports whether a predicate on the left side may be
+// induced onto the right side for this join type (§4.1.1 rules).
+func (j JoinType) CanInduceLeftToRight() bool {
+	switch j {
+	case InnerJoin, LeftOuterJoin, SemiJoin, LeftAntiSemiJoin:
+		return true
+	default:
+		return false
+	}
+}
+
+// CanInduceRightToLeft reports whether a predicate on the right side may be
+// induced onto the left side for this join type.
+func (j JoinType) CanInduceRightToLeft() bool {
+	switch j {
+	case InnerJoin, RightOuterJoin, SemiJoin, RightAntiSemiJoin:
+		return true
+	default:
+		return false
+	}
+}
+
+// TableRef is one occurrence of a base table in a query. Self joins use the
+// same Table with distinct aliases, which MTO treats as two logical copies
+// of the table (§4.1.1).
+type TableRef struct {
+	Table string // base table name
+	Alias string // unique within the query; empty defaults to Table
+}
+
+func (r TableRef) alias() string {
+	if r.Alias != "" {
+		return r.Alias
+	}
+	return r.Table
+}
+
+// Join is a single-column equijoin edge between two table references.
+type Join struct {
+	Left, LeftColumn   string // alias and column of the left side
+	Right, RightColumn string // alias and column of the right side
+	Type               JoinType
+	// CorrelatedInner, when non-empty, names the side (Left or Right
+	// alias) that is a correlated subquery. Predicates may be induced
+	// from the outer query into the subquery but not back out (§4.1.1).
+	CorrelatedInner string
+}
+
+// String renders the join edge.
+func (j Join) String() string {
+	s := fmt.Sprintf("%s.%s = %s.%s [%s]", j.Left, j.LeftColumn, j.Right, j.RightColumn, j.Type)
+	if j.CorrelatedInner != "" {
+		s += fmt.Sprintf(" (correlated inner: %s)", j.CorrelatedInner)
+	}
+	return s
+}
+
+// Query is the structured form of one workload query.
+type Query struct {
+	// ID identifies the query (e.g. "tpch-q5#3") in reports.
+	ID string
+	// Tables lists the table references.
+	Tables []TableRef
+	// Joins lists the equijoin edges.
+	Joins []Join
+	// Filters maps a table alias to the conjunction of simple predicates
+	// the query applies to it. Absent aliases are unfiltered.
+	Filters map[string]predicate.Predicate
+	// Weight is the query's relative frequency in the workload (≥ 0);
+	// zero means 1.
+	Weight float64
+}
+
+// NewQuery returns a query over the given tables with no joins or filters.
+func NewQuery(id string, tables ...TableRef) *Query {
+	return &Query{ID: id, Tables: tables, Filters: map[string]predicate.Predicate{}}
+}
+
+// AddJoin appends an inner equijoin edge and returns the query.
+func (q *Query) AddJoin(leftAlias, leftCol, rightAlias, rightCol string) *Query {
+	q.Joins = append(q.Joins, Join{
+		Left: leftAlias, LeftColumn: leftCol,
+		Right: rightAlias, RightColumn: rightCol,
+		Type: InnerJoin,
+	})
+	return q
+}
+
+// AddTypedJoin appends a join edge with an explicit type.
+func (q *Query) AddTypedJoin(j Join) *Query {
+	q.Joins = append(q.Joins, j)
+	return q
+}
+
+// Filter conjoins p onto the alias's filter and returns the query.
+func (q *Query) Filter(alias string, p predicate.Predicate) *Query {
+	if q.Filters == nil {
+		q.Filters = map[string]predicate.Predicate{}
+	}
+	if existing, ok := q.Filters[alias]; ok {
+		q.Filters[alias] = predicate.NewAnd(existing, p)
+	} else {
+		q.Filters[alias] = p
+	}
+	return q
+}
+
+// EffectiveWeight returns Weight, defaulting to 1.
+func (q *Query) EffectiveWeight() float64 {
+	if q.Weight > 0 {
+		return q.Weight
+	}
+	return 1
+}
+
+// BaseTable returns the base table for an alias ("" if unknown).
+func (q *Query) BaseTable(alias string) string {
+	for _, r := range q.Tables {
+		if r.alias() == alias {
+			return r.Table
+		}
+	}
+	return ""
+}
+
+// Aliases returns all table aliases in declaration order.
+func (q *Query) Aliases() []string {
+	out := make([]string, len(q.Tables))
+	for i, r := range q.Tables {
+		out[i] = r.alias()
+	}
+	return out
+}
+
+// AliasesOf returns the aliases referring to the given base table.
+func (q *Query) AliasesOf(table string) []string {
+	var out []string
+	for _, r := range q.Tables {
+		if r.Table == table {
+			out = append(out, r.alias())
+		}
+	}
+	return out
+}
+
+// FilterOn returns the filter for an alias (TRUE when absent).
+func (q *Query) FilterOn(alias string) predicate.Predicate {
+	if p, ok := q.Filters[alias]; ok {
+		return p
+	}
+	return predicate.True()
+}
+
+// TouchesTable reports whether the query references the base table.
+func (q *Query) TouchesTable(table string) bool {
+	return len(q.AliasesOf(table)) > 0
+}
+
+// Validate checks referential consistency: unique aliases, join edges over
+// declared aliases, filters over declared aliases, weights non-negative.
+func (q *Query) Validate() error {
+	seen := map[string]bool{}
+	for _, r := range q.Tables {
+		if r.Table == "" {
+			return fmt.Errorf("workload: %s: empty table name", q.ID)
+		}
+		a := r.alias()
+		if seen[a] {
+			return fmt.Errorf("workload: %s: duplicate alias %q", q.ID, a)
+		}
+		seen[a] = true
+	}
+	for _, j := range q.Joins {
+		if !seen[j.Left] || !seen[j.Right] {
+			return fmt.Errorf("workload: %s: join %s references unknown alias", q.ID, j)
+		}
+		if j.Left == j.Right {
+			return fmt.Errorf("workload: %s: join %s joins an alias to itself", q.ID, j)
+		}
+		if j.LeftColumn == "" || j.RightColumn == "" {
+			return fmt.Errorf("workload: %s: join %s missing column", q.ID, j)
+		}
+		if ci := j.CorrelatedInner; ci != "" && ci != j.Left && ci != j.Right {
+			return fmt.Errorf("workload: %s: correlated inner %q not a join side", q.ID, ci)
+		}
+	}
+	for a := range q.Filters {
+		if !seen[a] {
+			return fmt.Errorf("workload: %s: filter on unknown alias %q", q.ID, a)
+		}
+	}
+	if q.Weight < 0 {
+		return fmt.Errorf("workload: %s: negative weight", q.ID)
+	}
+	return nil
+}
+
+// String renders a compact description of the query.
+func (q *Query) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Q[%s](", q.ID)
+	for i, r := range q.Tables {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(r.alias())
+	}
+	sb.WriteString(")")
+	for _, j := range q.Joins {
+		fmt.Fprintf(&sb, " ⋈ %s", j)
+	}
+	aliases := make([]string, 0, len(q.Filters))
+	for a := range q.Filters {
+		aliases = append(aliases, a)
+	}
+	sort.Strings(aliases)
+	for _, a := range aliases {
+		fmt.Fprintf(&sb, " σ[%s: %s]", a, q.Filters[a])
+	}
+	return sb.String()
+}
+
+// Workload is an ordered multiset of queries.
+type Workload struct {
+	Queries []*Query
+}
+
+// NewWorkload returns a workload over qs.
+func NewWorkload(qs ...*Query) *Workload { return &Workload{Queries: qs} }
+
+// Add appends a query.
+func (w *Workload) Add(q *Query) { w.Queries = append(w.Queries, q) }
+
+// Len returns the number of queries.
+func (w *Workload) Len() int { return len(w.Queries) }
+
+// TotalWeight returns the sum of effective weights.
+func (w *Workload) TotalWeight() float64 {
+	total := 0.0
+	for _, q := range w.Queries {
+		total += q.EffectiveWeight()
+	}
+	return total
+}
+
+// Validate validates every query.
+func (w *Workload) Validate() error {
+	ids := map[string]bool{}
+	for _, q := range w.Queries {
+		if err := q.Validate(); err != nil {
+			return err
+		}
+		if q.ID != "" && ids[q.ID] {
+			return fmt.Errorf("workload: duplicate query id %q", q.ID)
+		}
+		ids[q.ID] = true
+	}
+	return nil
+}
+
+// TablesTouched returns the set of base tables referenced by any query,
+// sorted.
+func (w *Workload) TablesTouched() []string {
+	set := map[string]bool{}
+	for _, q := range w.Queries {
+		for _, r := range q.Tables {
+			set[r.Table] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SplitConjuncts flattens a predicate into its top-level conjuncts. Each
+// conjunct is one candidate cut for qd-tree construction (§2.1.3: "the set
+// of filter predicates that appear in the query workload").
+func SplitConjuncts(p predicate.Predicate) []predicate.Predicate {
+	if a, ok := p.(*predicate.And); ok {
+		var out []predicate.Predicate
+		for _, c := range a.Children {
+			out = append(out, SplitConjuncts(c)...)
+		}
+		return out
+	}
+	if c, ok := p.(predicate.Const); ok && bool(c) {
+		return nil
+	}
+	return []predicate.Predicate{p}
+}
+
+// SimplePredicates extracts, for each base table, the distinct simple
+// predicate conjuncts the workload applies to it (§3.2.1 step 1a). The
+// result maps base table → deduplicated candidate predicates in first-seen
+// order.
+func SimplePredicates(w *Workload) map[string][]predicate.Predicate {
+	out := map[string][]predicate.Predicate{}
+	seen := map[string]map[string]bool{}
+	for _, q := range w.Queries {
+		for alias, f := range q.Filters {
+			table := q.BaseTable(alias)
+			if table == "" {
+				continue
+			}
+			for _, conj := range SplitConjuncts(f) {
+				key := conj.String()
+				if seen[table] == nil {
+					seen[table] = map[string]bool{}
+				}
+				if seen[table][key] {
+					continue
+				}
+				seen[table][key] = true
+				out[table] = append(out[table], conj)
+			}
+		}
+	}
+	return out
+}

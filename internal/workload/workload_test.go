@@ -1,0 +1,202 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"mto/internal/predicate"
+	"mto/internal/value"
+)
+
+func TestJoinTypeString(t *testing.T) {
+	names := map[JoinType]string{
+		InnerJoin:         "INNER",
+		LeftOuterJoin:     "LEFT OUTER",
+		RightOuterJoin:    "RIGHT OUTER",
+		FullOuterJoin:     "FULL OUTER",
+		SemiJoin:          "SEMI",
+		LeftAntiSemiJoin:  "LEFT ANTI SEMI",
+		RightAntiSemiJoin: "RIGHT ANTI SEMI",
+		JoinType(99):      "join(99)",
+	}
+	for jt, want := range names {
+		if got := jt.String(); got != want {
+			t.Errorf("JoinType(%d) = %q, want %q", jt, got, want)
+		}
+	}
+}
+
+func TestQueryBuilders(t *testing.T) {
+	q := NewQuery("q1",
+		TableRef{Table: "a"},
+		TableRef{Table: "b", Alias: "bb"},
+	)
+	q.AddJoin("a", "k", "bb", "ak")
+	q.Filter("a", predicate.NewComparison("x", predicate.Lt, value.Int(10)))
+	q.Filter("a", predicate.NewComparison("y", predicate.Gt, value.Int(5)))
+	q.Filter("bb", predicate.NewIn("z", value.Int(1)))
+
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if q.BaseTable("bb") != "b" || q.BaseTable("a") != "a" || q.BaseTable("zz") != "" {
+		t.Error("BaseTable wrong")
+	}
+	if al := q.Aliases(); len(al) != 2 || al[1] != "bb" {
+		t.Errorf("Aliases = %v", al)
+	}
+	if al := q.AliasesOf("b"); len(al) != 1 || al[0] != "bb" {
+		t.Errorf("AliasesOf(b) = %v", al)
+	}
+	if !q.TouchesTable("a") || q.TouchesTable("c") {
+		t.Error("TouchesTable wrong")
+	}
+	// Repeated Filter conjoins.
+	f := q.FilterOn("a")
+	if _, ok := f.(*predicate.And); !ok {
+		t.Errorf("conjoined filter = %T", f)
+	}
+	if q.FilterOn("bb") == nil {
+		t.Error("FilterOn(bb) nil")
+	}
+	if q.FilterOn("unfiltered").String() != "TRUE" {
+		t.Error("missing filter should be TRUE")
+	}
+	if q.EffectiveWeight() != 1 {
+		t.Error("default weight should be 1")
+	}
+	q.Weight = 2.5
+	if q.EffectiveWeight() != 2.5 {
+		t.Error("explicit weight ignored")
+	}
+	if s := q.String(); !strings.Contains(s, "q1") || !strings.Contains(s, "bb") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestQueryValidateErrors(t *testing.T) {
+	cases := map[string]*Query{
+		"empty table": NewQuery("q", TableRef{}),
+		"dup alias":   NewQuery("q", TableRef{Table: "a"}, TableRef{Table: "a"}),
+		"unknown join alias": func() *Query {
+			q := NewQuery("q", TableRef{Table: "a"})
+			return q.AddJoin("a", "k", "nope", "k")
+		}(),
+		"self-alias join": func() *Query {
+			q := NewQuery("q", TableRef{Table: "a"})
+			return q.AddJoin("a", "k", "a", "k")
+		}(),
+		"missing join column": func() *Query {
+			q := NewQuery("q", TableRef{Table: "a"}, TableRef{Table: "b"})
+			return q.AddJoin("a", "", "b", "k")
+		}(),
+		"bad correlated inner": func() *Query {
+			q := NewQuery("q", TableRef{Table: "a"}, TableRef{Table: "b"})
+			return q.AddTypedJoin(Join{
+				Left: "a", LeftColumn: "k", Right: "b", RightColumn: "k",
+				CorrelatedInner: "zzz",
+			})
+		}(),
+		"filter on unknown alias": func() *Query {
+			q := NewQuery("q", TableRef{Table: "a"})
+			q.Filters["zzz"] = predicate.True()
+			return q
+		}(),
+		"negative weight": func() *Query {
+			q := NewQuery("q", TableRef{Table: "a"})
+			q.Weight = -1
+			return q
+		}(),
+	}
+	for name, q := range cases {
+		if err := q.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid query", name)
+		}
+	}
+}
+
+func TestWorkload(t *testing.T) {
+	q1 := NewQuery("q1", TableRef{Table: "a"})
+	q2 := NewQuery("q2", TableRef{Table: "b"})
+	q2.Weight = 3
+	w := NewWorkload(q1)
+	w.Add(q2)
+	if w.Len() != 2 {
+		t.Error("Len wrong")
+	}
+	if w.TotalWeight() != 4 {
+		t.Errorf("TotalWeight = %g", w.TotalWeight())
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tt := w.TablesTouched(); len(tt) != 2 || tt[0] != "a" || tt[1] != "b" {
+		t.Errorf("TablesTouched = %v", tt)
+	}
+	dup := NewWorkload(q1, q1)
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate query id accepted")
+	}
+}
+
+func TestSplitConjuncts(t *testing.T) {
+	p1 := predicate.NewComparison("x", predicate.Lt, value.Int(1))
+	p2 := predicate.NewComparison("y", predicate.Gt, value.Int(2))
+	p3 := predicate.NewOr(p1, p2)
+	and := predicate.NewAnd(p1, predicate.NewAnd(p2, p3))
+	got := SplitConjuncts(and)
+	if len(got) != 3 {
+		t.Fatalf("SplitConjuncts = %d parts", len(got))
+	}
+	if got[2].String() != p3.String() {
+		t.Error("OR conjunct should stay whole")
+	}
+	if got := SplitConjuncts(predicate.True()); got != nil {
+		t.Error("TRUE should split to nothing")
+	}
+	if got := SplitConjuncts(p1); len(got) != 1 {
+		t.Error("single predicate should split to itself")
+	}
+}
+
+func TestSimplePredicates(t *testing.T) {
+	pa := predicate.NewComparison("x", predicate.Lt, value.Int(100))
+	pb := predicate.NewComparison("y", predicate.Gt, value.Int(200))
+	q1 := NewQuery("q1", TableRef{Table: "A"}, TableRef{Table: "B"})
+	q1.Filter("A", pa)
+	q1.Filter("B", pb)
+	q2 := NewQuery("q2", TableRef{Table: "A"})
+	q2.Filter("A", predicate.NewAnd(pa, predicate.NewComparison("z", predicate.Eq, value.Int(7))))
+
+	w := NewWorkload(q1, q2)
+	sp := SimplePredicates(w)
+	if len(sp["A"]) != 2 {
+		t.Errorf("A candidates = %v", sp["A"])
+	}
+	if len(sp["B"]) != 1 {
+		t.Errorf("B candidates = %v", sp["B"])
+	}
+	// Dedup across queries: pa appears once.
+	for _, p := range sp["A"] {
+		if p.String() == pa.String() && p != predicate.Predicate(pa) {
+			// identity not required, only dedup by rendering
+			break
+		}
+	}
+	count := 0
+	for _, p := range sp["A"] {
+		if p.String() == pa.String() {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("pa extracted %d times", count)
+	}
+	// Aliased self-join query contributes under the base table.
+	q3 := NewQuery("q3", TableRef{Table: "A", Alias: "a2"})
+	q3.Filter("a2", predicate.NewComparison("w", predicate.Ne, value.Int(0)))
+	sp = SimplePredicates(NewWorkload(q3))
+	if len(sp["A"]) != 1 {
+		t.Errorf("aliased extraction = %v", sp)
+	}
+}

@@ -1,0 +1,67 @@
+// Package zonemap implements per-block zone maps: the min/max (per column)
+// metadata cloud warehouses keep in memory to skip blocks during query
+// execution (Fig. 1 of the paper). A zone map is evaluated against a query
+// predicate with three-valued logic; TriFalse means the block can be skipped.
+package zonemap
+
+import (
+	"mto/internal/predicate"
+	"mto/internal/relation"
+	"mto/internal/value"
+)
+
+// ZoneMap summarizes the value ranges of one block of rows.
+type ZoneMap struct {
+	ranges predicate.Ranges
+	rows   int
+}
+
+// Build computes the zone map for the given rows of t. Columns whose values
+// are all null in the block get an Empty interval, so any comparison over
+// them evaluates to false and the block is skippable for such filters.
+func Build(t *relation.Table, rows []int32) *ZoneMap {
+	schema := t.Schema()
+	zm := &ZoneMap{ranges: make(predicate.Ranges, schema.NumColumns()), rows: len(rows)}
+	for c := 0; c < schema.NumColumns(); c++ {
+		var min, max value.Value
+		seen := false
+		for _, r := range rows {
+			v := t.Value(int(r), c)
+			if v.IsNull() {
+				continue
+			}
+			if !seen {
+				min, max, seen = v, v, true
+				continue
+			}
+			min, max = value.Min(min, v), value.Max(max, v)
+		}
+		name := schema.Column(c).Name
+		if !seen {
+			zm.ranges[name] = predicate.Interval{Empty: true}
+			continue
+		}
+		zm.ranges[name] = predicate.NewInterval(min, max, true, true)
+	}
+	return zm
+}
+
+// NumRows returns the number of rows summarized.
+func (z *ZoneMap) NumRows() int { return z.rows }
+
+// Ranges exposes the per-column intervals (shared, do not mutate).
+func (z *ZoneMap) Ranges() predicate.Ranges { return z.ranges }
+
+// Column returns the interval for one column.
+func (z *ZoneMap) Column(name string) predicate.Interval { return z.ranges.Get(name) }
+
+// MaybeMatches reports whether any row in the block could satisfy p.
+// A false result is a proof the block can be skipped.
+func (z *ZoneMap) MaybeMatches(p predicate.Predicate) bool {
+	return p.EvalRanges(z.ranges) != predicate.TriFalse
+}
+
+// AllMatch reports whether every row in the block provably satisfies p.
+func (z *ZoneMap) AllMatch(p predicate.Predicate) bool {
+	return p.EvalRanges(z.ranges) == predicate.TriTrue
+}

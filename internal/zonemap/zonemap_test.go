@@ -1,0 +1,85 @@
+package zonemap
+
+import (
+	"testing"
+
+	"mto/internal/predicate"
+	"mto/internal/relation"
+	"mto/internal/value"
+)
+
+func buildTable(t *testing.T) *relation.Table {
+	t.Helper()
+	tab := relation.NewTable(relation.MustSchema("t",
+		relation.Column{Name: "x", Type: value.KindInt},
+		relation.Column{Name: "s", Type: value.KindString},
+		relation.Column{Name: "n", Type: value.KindFloat},
+	))
+	tab.MustAppendRow(value.Int(10), value.String("m"), value.Null)
+	tab.MustAppendRow(value.Int(20), value.String("a"), value.Null)
+	tab.MustAppendRow(value.Int(15), value.String("z"), value.Null)
+	tab.MustAppendRow(value.Int(99), value.String("q"), value.Float(1))
+	return tab
+}
+
+func TestBuildRanges(t *testing.T) {
+	tab := buildTable(t)
+	zm := Build(tab, []int32{0, 1, 2})
+	if zm.NumRows() != 3 {
+		t.Errorf("NumRows = %d", zm.NumRows())
+	}
+	x := zm.Column("x")
+	if x.Min.Int() != 10 || x.Max.Int() != 20 {
+		t.Errorf("x zone = %v", x)
+	}
+	s := zm.Column("s")
+	if s.Min.Str() != "a" || s.Max.Str() != "z" {
+		t.Errorf("s zone = %v", s)
+	}
+	if !zm.Column("n").Empty {
+		t.Error("all-null column should have empty interval")
+	}
+	if len(zm.Ranges()) != 3 {
+		t.Errorf("Ranges has %d columns", len(zm.Ranges()))
+	}
+}
+
+func TestSkipping(t *testing.T) {
+	tab := buildTable(t)
+	zm := Build(tab, []int32{0, 1, 2}) // x in [10,20]
+	if zm.MaybeMatches(predicate.NewComparison("x", predicate.Gt, value.Int(50))) {
+		t.Error("should skip x > 50")
+	}
+	if !zm.MaybeMatches(predicate.NewComparison("x", predicate.Gt, value.Int(15))) {
+		t.Error("should not skip x > 15")
+	}
+	if !zm.AllMatch(predicate.NewComparison("x", predicate.Le, value.Int(20))) {
+		t.Error("x <= 20 covers the whole block")
+	}
+	if zm.AllMatch(predicate.NewComparison("x", predicate.Le, value.Int(15))) {
+		t.Error("x <= 15 does not cover the whole block")
+	}
+	// Filters on the all-null column always skip.
+	if zm.MaybeMatches(predicate.NewComparison("n", predicate.Gt, value.Float(0))) {
+		t.Error("all-null column filter should skip the block")
+	}
+	// A different slice of rows has a different zone.
+	zm2 := Build(tab, []int32{3})
+	if !zm2.MaybeMatches(predicate.NewComparison("n", predicate.Gt, value.Float(0))) {
+		t.Error("non-null block should not skip")
+	}
+	if !zm2.Column("x").IsPoint() {
+		t.Error("single-row zone should be a point")
+	}
+}
+
+func TestEmptyBlock(t *testing.T) {
+	tab := buildTable(t)
+	zm := Build(tab, nil)
+	if zm.NumRows() != 0 {
+		t.Error("empty block rows")
+	}
+	if zm.MaybeMatches(predicate.NewComparison("x", predicate.Eq, value.Int(10))) {
+		t.Error("empty block should always skip")
+	}
+}

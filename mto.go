@@ -1,0 +1,442 @@
+// Package mto is an instance-optimized data layout framework for
+// multi-table analytical datasets, reproducing "Instance-Optimized Data
+// Layouts for Cloud Analytics Workloads" (Ding et al., SIGMOD 2021).
+//
+// Given a dataset (a set of columnar tables) and a query workload (joins +
+// filter predicates), MTO learns one qd-tree per table that assigns records
+// to storage blocks so that the workload's queries can skip as many blocks
+// as possible. Its distinguishing idea is sideways information passing at
+// layout time: filter predicates are pushed through equijoins as
+// join-induced predicates and become candidate cuts for the joined tables'
+// trees.
+//
+// The typical flow:
+//
+//	ds := mto.NewDataset()            // build tables, add rows
+//	w := mto.NewWorkload(...)         // describe the expected queries
+//	sys, err := mto.Open(ds, w, mto.Config{BlockSize: 500_000})
+//	res, err := sys.Execute(query)    // res.BlocksRead, res.Seconds, ...
+//
+// A System owns the learned layout, a simulated block store with I/O
+// accounting, and an execution engine with zone-map skipping. It also
+// exposes the paper's adaptivity mechanisms: partial reorganization under
+// workload shift (Reorganize) and incremental maintenance under inserts
+// (Insert).
+package mto
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"mto/internal/block"
+	"mto/internal/core"
+	"mto/internal/engine"
+	"mto/internal/layout"
+	"mto/internal/predicate"
+	"mto/internal/qdtree"
+	"mto/internal/relation"
+	"mto/internal/sqlparse"
+	"mto/internal/value"
+	"mto/internal/workload"
+)
+
+// Re-exported data-model types. These are the building blocks for datasets
+// and workloads; see the examples/ directory for end-to-end usage.
+type (
+	// Value is a typed scalar (int, float, string, date, or null).
+	Value = value.Value
+	// Column describes one table attribute.
+	Column = relation.Column
+	// Schema is an ordered set of columns.
+	Schema = relation.Schema
+	// Table is an append-only columnar table.
+	Table = relation.Table
+	// Dataset is a named collection of tables.
+	Dataset = relation.Dataset
+	// Query is one structured query: table refs, join edges, filters.
+	Query = workload.Query
+	// TableRef is one table occurrence in a query.
+	TableRef = workload.TableRef
+	// Join is an equijoin edge.
+	Join = workload.Join
+	// JoinType enumerates inner/outer/semi/anti-semi joins.
+	JoinType = workload.JoinType
+	// Workload is an ordered multiset of queries.
+	Workload = workload.Workload
+	// Predicate is a filter predicate AST node.
+	Predicate = predicate.Predicate
+	// Op is a comparison operator.
+	Op = predicate.Op
+)
+
+// Scalar constructors.
+var (
+	Int      = value.Int
+	Float    = value.Float
+	String   = value.String
+	Date     = value.Date
+	MustDate = value.MustDate
+	Null     = value.Null
+)
+
+// Column kinds.
+const (
+	KindInt    = value.KindInt
+	KindFloat  = value.KindFloat
+	KindString = value.KindString
+)
+
+// Comparison operators.
+const (
+	Eq = predicate.Eq
+	Ne = predicate.Ne
+	Lt = predicate.Lt
+	Le = predicate.Le
+	Gt = predicate.Gt
+	Ge = predicate.Ge
+)
+
+// Join types.
+const (
+	InnerJoin         = workload.InnerJoin
+	LeftOuterJoin     = workload.LeftOuterJoin
+	RightOuterJoin    = workload.RightOuterJoin
+	FullOuterJoin     = workload.FullOuterJoin
+	SemiJoin          = workload.SemiJoin
+	LeftAntiSemiJoin  = workload.LeftAntiSemiJoin
+	RightAntiSemiJoin = workload.RightAntiSemiJoin
+)
+
+// Dataset / schema / workload constructors.
+var (
+	NewDataset  = relation.NewDataset
+	NewSchema   = relation.NewSchema
+	MustSchema  = relation.MustSchema
+	NewTable    = relation.NewTable
+	NewQuery    = workload.NewQuery
+	NewWorkload = workload.NewWorkload
+)
+
+// Predicate constructors.
+var (
+	Compare        = predicate.NewComparison
+	In             = predicate.NewIn
+	NotIn          = predicate.NewNotIn
+	Like           = predicate.NewLike
+	NotLike        = predicate.NewNotLike
+	And            = predicate.NewAnd
+	Or             = predicate.NewOr
+	TruePredicate  = predicate.True
+	FalsePredicate = predicate.False
+)
+
+// Between returns col >= lo AND col <= hi.
+func Between(col string, lo, hi Value) Predicate {
+	return And(Compare(col, Ge, lo), Compare(col, Le, hi))
+}
+
+// Config tunes layout learning and the simulated store.
+type Config struct {
+	// BlockSize is the target records per storage block. Required.
+	BlockSize int
+	// SampleRate optimizes on a uniform sample (§4.2); 0 or 1 disables.
+	SampleRate float64
+	// DisableJoinInduction turns MTO into STO (single-table qd-trees).
+	DisableJoinInduction bool
+	// MaxInductionDepth caps join-induced predicate paths (default 4).
+	MaxInductionDepth int
+	// LeafOrderKeys optionally orders records inside each qd-tree leaf by
+	// a named column per table, keeping zone maps effective for range
+	// filters within large leaves.
+	LeafOrderKeys map[string]string
+	// Seed drives sampling.
+	Seed int64
+	// CostModel overrides the simulated I/O cost calibration.
+	CostModel *block.CostModel
+}
+
+// System is a learned multi-table layout installed into a simulated block
+// store, ready to execute queries with block skipping.
+//
+// A System is safe for concurrent Execute calls. Mutating operations
+// (Reorganize, Insert) serialize with queries; ReorganizeAsync runs the
+// §5.1.1 shadow workflow — reorganizing a copy while queries keep hitting
+// the current layout, then swapping atomically.
+type System struct {
+	mu     sync.RWMutex
+	opt    *core.Optimizer
+	design *layout.Design
+	store  *block.Store
+	ds     *relation.Dataset
+	eng    *engine.Engine
+
+	reorgActive atomic.Bool
+}
+
+// Open learns the layout for ds under w and installs it.
+func Open(ds *Dataset, w *Workload, cfg Config) (*System, error) {
+	opt, err := core.Optimize(ds, w, core.Options{
+		BlockSize:         cfg.BlockSize,
+		SampleRate:        cfg.SampleRate,
+		JoinInduction:     !cfg.DisableJoinInduction,
+		MaxInductionDepth: cfg.MaxInductionDepth,
+		LeafOrderKeys:     cfg.LeafOrderKeys,
+		Seed:              cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	design, err := opt.BuildDesign()
+	if err != nil {
+		return nil, err
+	}
+	cost := block.DefaultCostModel()
+	if cfg.CostModel != nil {
+		cost = *cfg.CostModel
+	}
+	store := block.NewStore(cost)
+	if _, err := design.Install(store, nil, 0); err != nil {
+		return nil, err
+	}
+	s := &System{opt: opt, design: design, store: store, ds: ds}
+	s.resetEngine()
+	return s, nil
+}
+
+func (s *System) resetEngine() {
+	s.eng = engine.New(s.store, s.design, s.ds, engine.CloudDWOptions())
+}
+
+// Result is one query's execution outcome.
+type Result = engine.Result
+
+// Execute runs q against the layout, skipping blocks via the per-table
+// qd-trees and zone maps, and returns I/O metrics and simulated runtime.
+func (s *System) Execute(q *Query) (*Result, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.eng.Execute(q)
+}
+
+// Stats summarizes the learned qd-trees (cut counts, induction depths,
+// memory — the paper's Table 2 quantities).
+type Stats = qdtree.Stats
+
+// Stats returns aggregate tree statistics.
+func (s *System) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.opt.Stats()
+}
+
+// TreeDump renders one table's qd-tree as text.
+func (s *System) TreeDump(table string) (string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t := s.opt.Tree(table)
+	if t == nil {
+		return "", fmt.Errorf("mto: no tree for table %q", table)
+	}
+	return t.Dump(), nil
+}
+
+// Timings reports offline optimization and record-routing times.
+type Timings = core.Timings
+
+// Timings returns the offline time breakdown.
+func (s *System) Timings() Timings { return s.opt.Timings() }
+
+// TotalBlocks returns the number of blocks across all tables.
+func (s *System) TotalBlocks() int { return s.store.TotalBlocks() }
+
+// IOStats returns cumulative simulated I/O counters.
+func (s *System) IOStats() block.Stats { return s.store.Stats() }
+
+// ReorgOptions parameterizes the §5.1 reward function.
+type ReorgOptions struct {
+	// ExpectedQueries is q: how many queries from the observed
+	// distribution are expected before the next workload shift.
+	ExpectedQueries float64
+	// WriteReadRatio is w (default 100).
+	WriteReadRatio float64
+}
+
+// ReorgReport summarizes an applied (possibly partial) reorganization.
+type ReorgReport struct {
+	// FracDataReorganized is the fraction of records moved.
+	FracDataReorganized float64
+	// BlocksRewritten counts physical block writes.
+	BlocksRewritten int
+	// PlanSeconds is the wall-clock re-optimization time.
+	PlanSeconds float64
+	// SimWriteSeconds is the simulated cost of rewriting the blocks.
+	SimWriteSeconds float64
+}
+
+// Reorganize adapts the layout to an observed (shifted) workload: it plans
+// the max-reward set of qd-tree subtrees to rebuild (§5.1), applies the
+// plan, and reinstalls the affected blocks. A non-positive reward plan
+// leaves the layout untouched. Queries are blocked while it runs; use
+// ReorganizeAsync to keep serving them (§5.1.1).
+func (s *System) Reorganize(observed *Workload, opts ReorgOptions) (ReorgReport, error) {
+	if s.reorgActive.Load() {
+		return ReorgReport{}, fmt.Errorf("mto: a background reorganization is in progress")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reorganizeLocked(s.opt, s.design, s.store, observed, opts, true)
+}
+
+// reorganizeLocked runs plan+apply against the given state. When inPlace is
+// true the system's engine is rebuilt afterwards.
+func (s *System) reorganizeLocked(opt *core.Optimizer, design *layout.Design, store *block.Store,
+	observed *Workload, opts ReorgOptions, inPlace bool) (ReorgReport, error) {
+	var report ReorgReport
+	plans, err := opt.PlanReorg(observed, core.ReorgConfig{
+		Q: opts.ExpectedQueries,
+		W: opts.WriteReadRatio,
+	}, design)
+	if err != nil {
+		return report, err
+	}
+	for _, p := range plans {
+		report.PlanSeconds += p.PlanSeconds
+	}
+	stats, err := opt.ApplyReorg(plans, design, store)
+	if err != nil {
+		return report, err
+	}
+	report.FracDataReorganized = stats.FracDataReorganized
+	report.BlocksRewritten = stats.BlocksRewritten
+	report.SimWriteSeconds = stats.SimSeconds
+	if inPlace {
+		s.resetEngine()
+	}
+	return report, nil
+}
+
+// AsyncReorg is delivered when a background reorganization finishes.
+type AsyncReorg struct {
+	Report ReorgReport
+	Err    error
+}
+
+// ReorganizeAsync performs the reorganization on a shadow copy of the
+// layout while queries continue against the current one, then swaps the
+// new layout in atomically (§5.1.1: "a separate process performs partial
+// reorganization using a partial copy of the data; after reorganization
+// completes, the new layout is swapped in"). At most one background
+// reorganization may run at a time, and Insert/Reorganize are rejected
+// while one is active (their effects would be lost at the swap).
+func (s *System) ReorganizeAsync(observed *Workload, opts ReorgOptions) (<-chan AsyncReorg, error) {
+	if !s.reorgActive.CompareAndSwap(false, true) {
+		return nil, fmt.Errorf("mto: a background reorganization is already in progress")
+	}
+	done := make(chan AsyncReorg, 1)
+	// Snapshot under the read lock; the shadow state shares only
+	// immutable pieces with the live one.
+	s.mu.RLock()
+	shadowOpt := s.opt.Clone()
+	shadowDesign := s.design.Clone()
+	cost := s.store.Cost()
+	s.mu.RUnlock()
+	go func() {
+		defer s.reorgActive.Store(false)
+		shadowStore := block.NewStore(cost)
+		report, err := s.reorganizeLocked(shadowOpt, shadowDesign, shadowStore, observed, opts, false)
+		if err != nil {
+			done <- AsyncReorg{Report: report, Err: err}
+			return
+		}
+		// Swap the finished layout in.
+		s.mu.Lock()
+		s.opt = shadowOpt
+		s.design = shadowDesign
+		s.store = shadowStore
+		s.resetEngine()
+		s.mu.Unlock()
+		done <- AsyncReorg{Report: report}
+	}()
+	return done, nil
+}
+
+// InsertReport summarizes an absorbed insert (§5.2).
+type InsertReport = core.ChangeStats
+
+// Insert absorbs rows newly appended to the named base table: join-induced
+// cuts with the table on their induction path are updated incrementally,
+// and the new records are routed to blocks. rows are the indexes of the
+// already-appended records.
+func (s *System) Insert(table string, rows []int) (InsertReport, error) {
+	if s.reorgActive.Load() {
+		return InsertReport{}, fmt.Errorf("mto: a background reorganization is in progress")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, err := s.opt.ApplyInsert(table, rows, s.design, s.store)
+	if err != nil {
+		return st, err
+	}
+	s.resetEngine()
+	return st, nil
+}
+
+// Name reports "MTO" or "STO" depending on the configuration.
+func (s *System) Name() string { return s.opt.Name() }
+
+// SaveLayout writes the learned layout (per-table qd-trees and optimizer
+// options) to w as JSON. Literal join-induced key sets are not persisted —
+// they are rebuilt against the dataset on load, so a saved layout stays
+// valid across data changes.
+func (s *System) SaveLayout(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.opt.Save(w)
+}
+
+// OpenSaved reconstructs a System from a layout previously written by
+// SaveLayout, re-evaluating join-induced cuts against ds and re-routing
+// every record. w is the workload used for future Reorganize calls (it may
+// be nil when reorganization is not needed).
+func OpenSaved(r io.Reader, ds *Dataset, w *Workload, cfg Config) (*System, error) {
+	opt, err := core.Load(r, ds, w)
+	if err != nil {
+		return nil, err
+	}
+	design, err := opt.BuildDesign()
+	if err != nil {
+		return nil, err
+	}
+	cost := block.DefaultCostModel()
+	if cfg.CostModel != nil {
+		cost = *cfg.CostModel
+	}
+	store := block.NewStore(cost)
+	if _, err := design.Install(store, nil, 0); err != nil {
+		return nil, err
+	}
+	s := &System{opt: opt, design: design, store: store, ds: ds}
+	s.resetEngine()
+	return s, nil
+}
+
+// ParseSQL parses one SQL SELECT statement into a Query. The supported
+// subset covers the filter/join shapes that matter for layout: comma joins
+// and explicit [INNER|LEFT|RIGHT] JOIN ... ON, comparisons, BETWEEN, IN
+// lists, [NOT] LIKE, AND/OR/NOT, DATE 'yyyy-mm-dd' literals, and [NOT]
+// IN / [NOT] EXISTS subqueries (mapped to semi / anti-semi joins). ds, when
+// non-nil, resolves unqualified column names against table schemas.
+func ParseSQL(sql string, ds *Dataset) (*Query, error) { return sqlparse.Parse(sql, ds) }
+
+// ParseSQLWorkload parses several SQL statements into one workload with ids
+// q1, q2, ...
+func ParseSQLWorkload(ds *Dataset, sqls ...string) (*Workload, error) {
+	return sqlparse.ParseWorkload(ds, sqls...)
+}
+
+// ReadCSV parses CSV (with a header row) into a table with the given
+// schema; see Table.WriteCSV for the inverse. Empty fields are NULL and
+// Date-flagged columns accept ISO dates.
+func ReadCSV(schema *Schema, r io.Reader) (*Table, error) { return relation.ReadCSV(schema, r) }
