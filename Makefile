@@ -1,0 +1,25 @@
+# Verification targets. `make check` is the full gate CI runs: build, vet,
+# unit tests, and the race-enabled suite that guards the parallel workload
+# executor's concurrency-safety invariant.
+
+GO ?= go
+
+.PHONY: build test vet race check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+check: build vet test race
+
+# Replay-speedup and paper-figure benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...

@@ -7,6 +7,7 @@ package mto
 // runs the same harnesses at larger scales with full printed tables.
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -256,6 +257,33 @@ func BenchmarkFig15b(b *testing.B) {
 				b.ReportMetric(r.VsBaselineNorm, "mto-norm-at-4x-data")
 			}
 		}
+	}
+}
+
+// BenchmarkWorkloadReplay measures full-workload replay wall-clock on an
+// already-deployed SSB layout at several parallelism levels. Replay is the
+// dominant cost of every experiment harness; on a multi-core runner the
+// parallelism-4 case should finish the same workload at least 2× faster
+// than sequential while producing identical metrics.
+func BenchmarkWorkloadReplay(b *testing.B) {
+	s := benchScale()
+	s.SF = 0.02
+	bench := experiments.SSBBench(s)
+	d, err := experiments.DeployMethod(bench, experiments.MethodBaseline, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parallel-%d", par), func(b *testing.B) {
+			bench.Parallel = par
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.Replay(bench, d, true)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Blocks), "workload-blocks")
+			}
+		})
 	}
 }
 

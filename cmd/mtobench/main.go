@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	mtobench -exp fig10a [-sf 0.02] [-per-template 8] [-seed 1]
+//	mtobench -exp fig10a [-sf 0.02] [-per-template 8] [-seed 1] [-parallel N]
 //	mtobench -exp all
 //
 // Experiments: fig10a fig10bc fig11 fig12 fig13a fig13b fig14a fig14b
@@ -48,6 +48,7 @@ func main() {
 		perTemplate = flag.Int("per-template", 8, "TPC-H queries per template")
 		seed        = flag.Int64("seed", 1, "random seed")
 		bench       = flag.String("bench", "", "restrict to one bench (ssb, tpch, tpcds) where applicable")
+		parallel    = flag.Int("parallel", 0, "concurrent queries during workload replay (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
 	)
 	flag.StringVar(&csvDir, "csv", "", "also write each experiment's rows as CSV into this directory")
 	flag.Parse()
@@ -56,6 +57,7 @@ func main() {
 	scale.SF = *sf
 	scale.PerTemplate = *perTemplate
 	scale.Seed = *seed
+	scale.Parallel = *parallel
 
 	if err := runExperiment(*exp, *bench, scale); err != nil {
 		fmt.Fprintln(os.Stderr, "mtobench:", err)

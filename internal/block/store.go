@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // CostModel converts I/O and compute events into simulated wall-clock
@@ -62,11 +63,21 @@ func (s Stats) Sub(o Stats) Stats {
 
 // Store is the simulated multi-table block store ("Cloud DW" stand-in). It
 // owns one TableLayout per table and meters every block access.
+//
+// A Store is safe for concurrent use. Layout lookups take a read lock and
+// the I/O counters are atomics, so concurrent ReadBlock calls (the hot path
+// of parallel workload execution) never serialize on a single mutex;
+// layout-mutating operations (SetLayout, ReplaceBlocks) take the write
+// lock and exclude readers.
 type Store struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	layouts map[string]*TableLayout
-	stats   Stats
 	cost    CostModel
+
+	blocksRead    atomic.Int64
+	blocksWritten atomic.Int64
+	rowsRead      atomic.Int64
+	rowsWritten   atomic.Int64
 }
 
 // NewStore returns an empty store with the given cost model.
@@ -88,8 +99,8 @@ func (s *Store) SetLayout(table string, tl *TableLayout) float64 {
 	for _, b := range tl.blocks {
 		rows += int64(len(b.Rows))
 	}
-	s.stats.BlocksWritten += int64(len(tl.blocks))
-	s.stats.RowsWritten += rows
+	s.blocksWritten.Add(int64(len(tl.blocks)))
+	s.rowsWritten.Add(rows)
 	return float64(len(tl.blocks)) * s.cost.BlockWriteSeconds
 }
 
@@ -141,8 +152,8 @@ func (s *Store) ReplaceBlocks(table string, oldIDs map[int]bool, newGroups [][]i
 	if written < 0 {
 		written = 0
 	}
-	s.stats.BlocksWritten += written
-	s.stats.RowsWritten += int64(newRows)
+	s.blocksWritten.Add(written)
+	s.rowsWritten.Add(int64(newRows))
 	return float64(written) * s.cost.BlockWriteSeconds, nil
 }
 
@@ -158,15 +169,15 @@ func maxGroupLen(groups [][]int32) int {
 
 // Layout returns the named table's layout, or nil.
 func (s *Store) Layout(table string) *TableLayout {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.layouts[table]
 }
 
 // Tables returns the stored table names, sorted.
 func (s *Store) Tables() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]string, 0, len(s.layouts))
 	for t := range s.layouts {
 		out = append(out, t)
@@ -177,9 +188,9 @@ func (s *Store) Tables() []string {
 
 // ReadBlock meters the read of one block and returns it.
 func (s *Store) ReadBlock(table string, id int) (*Block, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
 	tl, ok := s.layouts[table]
+	s.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("block: no layout for table %q", table)
 	}
@@ -187,16 +198,16 @@ func (s *Store) ReadBlock(table string, id int) (*Block, error) {
 		return nil, fmt.Errorf("block: %s has no block %d", table, id)
 	}
 	b := tl.blocks[id]
-	s.stats.BlocksRead++
-	s.stats.RowsRead += int64(len(b.Rows))
+	s.blocksRead.Add(1)
+	s.rowsRead.Add(int64(len(b.Rows)))
 	return b, nil
 }
 
 // TotalBlocks returns the number of blocks across the given tables (all
 // tables when none specified).
 func (s *Store) TotalBlocks(tables ...string) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if len(tables) == 0 {
 		for t := range s.layouts {
 			tables = append(tables, t)
@@ -213,7 +224,10 @@ func (s *Store) TotalBlocks(tables ...string) int {
 
 // Stats returns a snapshot of the I/O counters.
 func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return Stats{
+		BlocksRead:    s.blocksRead.Load(),
+		BlocksWritten: s.blocksWritten.Load(),
+		RowsRead:      s.rowsRead.Load(),
+		RowsWritten:   s.rowsWritten.Load(),
+	}
 }

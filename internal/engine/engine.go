@@ -15,6 +15,7 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"mto/internal/block"
 	"mto/internal/layout"
@@ -102,13 +103,21 @@ func (r *Result) FractionOfBlocks() float64 {
 }
 
 // Engine executes queries against one installed design.
+//
+// An Engine is safe for concurrent Execute calls: all per-query state is
+// local to a call, and the lazily built secondary-index caches below are
+// guarded by mu. RunWorkload exploits this to replay workloads in parallel.
 type Engine struct {
 	store  *block.Store
 	design *layout.Design
 	ds     *relation.Dataset
 	opts   Options
 
-	// Secondary-index state, built lazily per indexed table.
+	// Secondary-index state, built lazily per indexed table. mu guards
+	// both maps; entries are immutable once stored, so holders may read
+	// them after releasing the lock. keyIdx caches failed builds as nil
+	// entries so unindexable columns are not retried on every query.
+	mu      sync.Mutex
 	keyIdx  map[string]*relation.KeyIndex
 	blockOf map[string][]int32 // table → row → block ID
 }

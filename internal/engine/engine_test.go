@@ -434,6 +434,111 @@ func TestSecondaryIndexPruning(t *testing.T) {
 	}
 }
 
+// TestUnrelatedSINotCharged is the regression test for reducer accounting:
+// configuring a secondary index on a column that no join edge uses must not
+// charge SemiJoinSetupSeconds — no reducer is actually built.
+func TestUnrelatedSINotCharged(t *testing.T) {
+	ds := starDS(t, 100, 10000, 9)
+	store, design := installBaseline(t, ds, 500)
+	q := joinQuery("q", 3)
+
+	plain, err := New(store, design, ds, DefaultOptions()).Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SI on fact.v, but the join is on fact.did: runtimeBlockPrune runs
+	// (the SI option enables it) yet builds nothing.
+	unrelated := DefaultOptions()
+	unrelated.SecondaryIndexes = map[string]string{"fact": "v"}
+	withSI, err := New(store, design, ds, unrelated).Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Seconds != withSI.Seconds {
+		t.Errorf("unrelated SI changed cost: %v vs %v (phantom reducer charged)",
+			plain.Seconds, withSI.Seconds)
+	}
+	if plain.BlocksRead != withSI.BlocksRead {
+		t.Errorf("unrelated SI changed I/O: %d vs %d", plain.BlocksRead, withSI.BlocksRead)
+	}
+}
+
+// TestUnknownJoinColumnIsNoOp is the regression test for keysOf's nil
+// return: a join column missing from the materialized side's schema must
+// make runtime pruning a no-op, not prune every candidate block.
+func TestUnknownJoinColumnIsNoOp(t *testing.T) {
+	ds := starDS(t, 100, 10000, 10)
+	store, design := installBaseline(t, ds, 500)
+	q := workload.NewQuery("badcol",
+		workload.TableRef{Table: "dim"},
+		workload.TableRef{Table: "fact"},
+	)
+	// dim has no column "nope": the dim side materializes first and its
+	// key set for the edge is unknowable.
+	q.AddJoin("dim", "nope", "fact", "did")
+	q.Filter("dim", predicate.NewComparison("id", predicate.Lt, value.Int(10)))
+
+	plain, err := New(store, design, ds, DefaultOptions()).Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []Options{
+		CloudDWOptions(),
+		{SemiJoinReduction: false, SecondaryIndexes: map[string]string{"fact": "did"},
+			RangeSetSize: 20, MaxReductionPasses: 8},
+	} {
+		pruned, err := New(store, design, ds, opts).Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := pruned.PerTable["fact"].BlocksRead, plain.PerTable["fact"].BlocksRead; got != want {
+			t.Errorf("opts %+v: unknown join column pruned fact to %d blocks, want %d (no-op)",
+				opts, got, want)
+		}
+	}
+}
+
+// TestMergeRangesMixedKinds is the regression test for hull with
+// non-comparable bounds: coalescing intervals of different value kinds must
+// widen to unbounded (conservative) rather than keep one side's bound —
+// and must not panic inside Interval.Intersect.
+func TestMergeRangesMixedKinds(t *testing.T) {
+	ints := func(lo, hi int64) predicate.Interval {
+		return predicate.NewInterval(value.Int(lo), value.Int(hi), true, true)
+	}
+	strs := func(lo, hi string) predicate.Interval {
+		return predicate.NewInterval(value.String(lo), value.String(hi), true, true)
+	}
+	mixed := []predicate.Interval{ints(0, 10), ints(5, 20), strs("a", "m"), strs("p", "z")}
+
+	// Without coalescing pressure the kinds stay separate.
+	got := mergeRanges(append([]predicate.Interval(nil), mixed...), 10)
+	if len(got) != 3 {
+		t.Fatalf("phase-1 merge = %v, want 3 ranges", got)
+	}
+
+	// Forcing k=1 merges across kinds: the hull must be unbounded on both
+	// sides so no value covered by either input can escape it.
+	got = mergeRanges(append([]predicate.Interval(nil), mixed...), 1)
+	if len(got) != 1 {
+		t.Fatalf("coalesced = %v, want 1 range", got)
+	}
+	if !got[0].Min.IsNull() || !got[0].Max.IsNull() {
+		t.Errorf("mixed-kind hull = %v, want unbounded", got[0])
+	}
+	for _, v := range []value.Value{value.Int(-5), value.Int(100), value.String("zz")} {
+		if !got[0].Contains(v) {
+			t.Errorf("conservative hull excludes %v", v)
+		}
+	}
+
+	// Direct hull check: a's bound must not survive a non-comparable merge.
+	h := hull(ints(1, 10), strs("a", "z"))
+	if !h.Min.IsNull() || !h.Max.IsNull() {
+		t.Errorf("hull(int, string) = %v, want unbounded", h)
+	}
+}
+
 func TestPruningStageAccounting(t *testing.T) {
 	ds := starDS(t, 1000, 10000, 8)
 	d, err := layout.SortKeyDesign(ds, layout.SortKeys{"fact": "did", "dim": "id"}, 100)

@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+
+	"mto/internal/workload"
+)
+
+// RunOptions configures RunWorkload.
+type RunOptions struct {
+	// Parallelism bounds the number of queries executing concurrently.
+	// Values <= 0 select runtime.GOMAXPROCS(0); 1 runs the workload
+	// sequentially on the calling goroutine.
+	Parallelism int
+}
+
+// TableTotals aggregates one base table's I/O across a workload.
+type TableTotals struct {
+	Table       string
+	BlocksRead  int
+	RowsScanned int
+	// Queries counts the workload queries that touched the table.
+	Queries int
+}
+
+// WorkloadResult is the outcome of replaying a whole workload. All
+// aggregates are computed from the per-query results in input order, so
+// they are identical whether the workload ran sequentially or in parallel.
+type WorkloadResult struct {
+	// Results holds one Result per input query, in input order.
+	Results []*Result
+	// Blocks is the total blocks read across all queries.
+	Blocks int
+	// TotalBlocks sums each query's accessed-base-table block counts (the
+	// denominator of the paper's "fraction of blocks" metric).
+	TotalBlocks int
+	// Seconds is the total simulated execution time.
+	Seconds float64
+	// Fraction is the mean per-query fraction of blocks accessed.
+	Fraction float64
+	// PerTable maps base table → workload-level access totals.
+	PerTable map[string]*TableTotals
+}
+
+// RunWorkload replays the queries against the engine, fanning them out
+// over a bounded worker pool. Per-query results land in input order and
+// every aggregate is folded in input order, so the outcome — including
+// floating-point Seconds totals — is byte-identical to a sequential
+// replay; only wall-clock time changes. The first error (by input order)
+// aborts the run.
+//
+// The engine's caches and the underlying block store are concurrency-safe,
+// so one engine can serve all workers; simulated I/O metering in
+// Store.Stats() is exact regardless of interleaving.
+func RunWorkload(e *Engine, queries []*workload.Query, opts RunOptions) (*WorkloadResult, error) {
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+
+	results := make([]*Result, len(queries))
+	errs := make([]error, len(queries))
+	if workers <= 1 {
+		for i, q := range queries {
+			res, err := e.Execute(q)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = res
+		}
+		return aggregate(results), nil
+	}
+
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i], errs[i] = e.Execute(queries[i])
+			}
+		}()
+	}
+	for i := range queries {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	// Report the first failure by input order — deterministic no matter
+	// which worker hit it first.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return aggregate(results), nil
+}
+
+// aggregate folds per-query results into workload totals in input order.
+func aggregate(results []*Result) *WorkloadResult {
+	out := &WorkloadResult{
+		Results:  results,
+		PerTable: map[string]*TableTotals{},
+	}
+	for _, res := range results {
+		out.Blocks += res.BlocksRead
+		out.TotalBlocks += res.TotalBlocks
+		out.Seconds += res.Seconds
+		out.Fraction += res.FractionOfBlocks()
+		for table, ta := range res.PerTable {
+			tt := out.PerTable[table]
+			if tt == nil {
+				tt = &TableTotals{Table: table}
+				out.PerTable[table] = tt
+			}
+			tt.BlocksRead += ta.BlocksRead
+			tt.RowsScanned += ta.RowsScanned
+			tt.Queries++
+		}
+	}
+	if n := len(results); n > 0 {
+		out.Fraction /= float64(n)
+	}
+	return out
+}

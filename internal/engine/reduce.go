@@ -93,16 +93,26 @@ func (e *Engine) runtimeBlockPrune(q *workload.Query, ts *tableState,
 			continue
 		}
 		otherTbl := e.ds.Table(other.table)
-		keySet := keysOf(otherTbl, other.rows, otherCol)
-		reducers++
+		if _, ok := otherTbl.Schema().ColumnIndex(otherCol); !ok {
+			// The join column is missing from the materialized side's
+			// schema: there are no keys to reduce with. Skip the edge —
+			// treating the nil key set as "no keys survive" would wrongly
+			// prune every candidate block.
+			continue
+		}
 		if e.opts.SecondaryIndexes[ts.table] == myCol {
-			e.secondaryIndexPrune(ts, myCol, keySet)
+			if e.secondaryIndexPrune(ts, myCol, keysOf(otherTbl, other.rows, otherCol)) {
+				reducers++
+			}
 			continue
 		}
 		if !e.opts.SemiJoinReduction {
-			continue // SI configured for a different column only
+			// SI configured for a different column only: no reducer is
+			// built, so no setup time is charged.
+			continue
 		}
-		keys := sortedKeys(keySet)
+		keys := sortedKeys(keysOf(otherTbl, other.rows, otherCol))
+		reducers++
 		tl := e.store.Layout(ts.table)
 		kept := ts.candidates[:0]
 		for _, id := range ts.candidates {
@@ -116,30 +126,53 @@ func (e *Engine) runtimeBlockPrune(q *workload.Query, ts *tableState,
 	return reducers
 }
 
+// keyIndexFor returns the table.col key index, building and caching it on
+// first use. nil means the column cannot be indexed; the failure is cached
+// too, so unindexable columns are not retried on every query.
+func (e *Engine) keyIndexFor(table, col string) *relation.KeyIndex {
+	cacheKey := table + "." + col
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ki, ok := e.keyIdx[cacheKey]; ok {
+		return ki
+	}
+	ki, err := relation.BuildKeyIndex(e.ds.Table(table), col)
+	if err != nil {
+		ki = nil
+	}
+	e.keyIdx[cacheKey] = ki
+	return ki
+}
+
+// blockOfFor returns the table's row → block ID mapping, building and
+// caching it on first use.
+func (e *Engine) blockOfFor(table string) []int32 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if m, ok := e.blockOf[table]; ok {
+		return m
+	}
+	m := make([]int32, e.ds.Table(table).NumRows())
+	for _, b := range e.store.Layout(table).Blocks() {
+		for _, r := range b.Rows {
+			m[r] = int32(b.ID)
+		}
+	}
+	e.blockOf[table] = m
+	return m
+}
+
 // secondaryIndexPrune keeps only candidate blocks that physically contain a
 // row whose indexed column matches one of the keys. Unlike zone-interval
-// pruning, it works without any clustering of the join column.
-func (e *Engine) secondaryIndexPrune(ts *tableState, col string, keys map[value.Value]struct{}) {
-	ki := e.keyIdx[ts.table+"."+col]
+// pruning, it works without any clustering of the join column. Reports
+// whether an index probe ran (false for unindexable column types, where no
+// reducer is built and nothing is pruned).
+func (e *Engine) secondaryIndexPrune(ts *tableState, col string, keys map[value.Value]struct{}) bool {
+	ki := e.keyIndexFor(ts.table, col)
 	if ki == nil {
-		idx, err := relation.BuildKeyIndex(e.ds.Table(ts.table), col)
-		if err != nil {
-			return // unindexable column type: no pruning
-		}
-		ki = idx
-		e.keyIdx[ts.table+"."+col] = ki
+		return false
 	}
-	blockOf := e.blockOf[ts.table]
-	if blockOf == nil {
-		tl := e.store.Layout(ts.table)
-		blockOf = make([]int32, e.ds.Table(ts.table).NumRows())
-		for _, b := range tl.Blocks() {
-			for _, r := range b.Rows {
-				blockOf[r] = int32(b.ID)
-			}
-		}
-		e.blockOf[ts.table] = blockOf
-	}
+	blockOf := e.blockOfFor(ts.table)
 	needed := map[int32]bool{}
 	for k := range keys {
 		for _, r := range ki.Lookup(k) {
@@ -153,6 +186,7 @@ func (e *Engine) secondaryIndexPrune(ts *tableState, col string, keys map[value.
 		}
 	}
 	ts.candidates = kept
+	return true
 }
 
 func aliasOnTable(q *workload.Query, alias, table string) bool {
@@ -219,7 +253,9 @@ func (e *Engine) dipPrune(q *workload.Query, tables map[string]*tableState,
 		iv := dstLayout.Block(id).Zone.Column(dstCol)
 		ok := false
 		for _, r := range ranges {
-			if !iv.Intersect(r).Empty {
+			// Non-comparable bounds cannot prove disjointness: keep the
+			// block rather than panic inside Intersect.
+			if !boundsComparable(iv, r) || !iv.Intersect(r).Empty {
 				ok = true
 				break
 			}
@@ -260,7 +296,7 @@ func mergeRanges(intervals []predicate.Interval, k int) []predicate.Interval {
 	merged := []predicate.Interval{intervals[0]}
 	for _, iv := range intervals[1:] {
 		last := &merged[len(merged)-1]
-		if !last.Intersect(iv).Empty || touching(*last, iv) {
+		if overlapsOrTouches(*last, iv) {
 			*last = hull(*last, iv)
 		} else {
 			merged = append(merged, iv)
@@ -289,11 +325,38 @@ func touching(a, b predicate.Interval) bool {
 	return a.Max.Compare(b.Min) >= 0
 }
 
+// boundsComparable reports whether every pair of bounds across a and b can
+// be ordered (Null bounds order against anything).
+func boundsComparable(a, b predicate.Interval) bool {
+	return a.Min.Comparable(b.Min) && a.Min.Comparable(b.Max) &&
+		a.Max.Comparable(b.Min) && a.Max.Comparable(b.Max)
+}
+
+// overlapsOrTouches reports whether a and b can be unioned into one
+// contiguous interval. Intervals with non-comparable bounds (mixed value
+// kinds) are treated as disjoint here — Interval.Intersect would panic on
+// them — and only merge, conservatively, in the coalesce phase via hull.
+func overlapsOrTouches(a, b predicate.Interval) bool {
+	if !boundsComparable(a, b) {
+		return false
+	}
+	return !a.Intersect(b).Empty || touching(a, b)
+}
+
+// hull returns an interval covering both a and b. Non-comparable bounds
+// (mixed value kinds) widen the merged side to unbounded: keeping either
+// bound could exclude values the other interval covers, and a diP built
+// from a too-narrow hull wrongly prunes blocks.
 func hull(a, b predicate.Interval) predicate.Interval {
 	out := a
-	if b.Min.IsNull() {
+	switch {
+	case b.Min.IsNull():
 		out.Min, out.MinInc = value.Null, true
-	} else if !out.Min.IsNull() && out.Min.Comparable(b.Min) && b.Min.Less(out.Min) {
+	case out.Min.IsNull():
+		// keep unbounded
+	case !out.Min.Comparable(b.Min):
+		out.Min, out.MinInc = value.Null, true
+	case b.Min.Less(out.Min):
 		out.Min, out.MinInc = b.Min, b.MinInc
 	}
 	switch {
@@ -301,7 +364,9 @@ func hull(a, b predicate.Interval) predicate.Interval {
 		out.Max, out.MaxInc = value.Null, true
 	case out.Max.IsNull():
 		// keep unbounded
-	case out.Max.Comparable(b.Max) && out.Max.Less(b.Max):
+	case !out.Max.Comparable(b.Max):
+		out.Max, out.MaxInc = value.Null, true
+	case out.Max.Less(b.Max):
 		out.Max, out.MaxInc = b.Max, b.MaxInc
 	}
 	return out

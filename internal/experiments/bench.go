@@ -28,6 +28,10 @@ type Bench struct {
 	SampleRate float64
 	// Seed drives jittered installs and any per-bench randomness.
 	Seed int64
+	// Parallel bounds concurrent query executions during workload replay:
+	// 0 selects GOMAXPROCS, 1 forces sequential replay. Results are
+	// identical either way (engine.RunWorkload is deterministic).
+	Parallel int
 }
 
 // Scale configures how large the experiment datasets are. The paper runs
@@ -40,6 +44,9 @@ type Scale struct {
 	BlockSizeH   int
 	BlockSizeDS  int
 	Seed         int64
+	// Parallel is the workload-replay parallelism passed to each Bench
+	// (0 = GOMAXPROCS, 1 = sequential).
+	Parallel int
 }
 
 // DefaultScale is used by the CLI and benchmarks unless overridden.
@@ -64,6 +71,7 @@ func SSBBench(s Scale) *Bench {
 		BlockSize:  s.BlockSizeSSB,
 		SampleRate: 0.25,
 		Seed:       s.Seed,
+		Parallel:   s.Parallel,
 	}
 }
 
@@ -77,6 +85,7 @@ func TPCHBench(s Scale) *Bench {
 		BlockSize:  s.BlockSizeH,
 		SampleRate: 0.25,
 		Seed:       s.Seed,
+		Parallel:   s.Parallel,
 	}
 }
 
@@ -90,6 +99,7 @@ func TPCDSBench(s Scale) *Bench {
 		BlockSize:  s.BlockSizeDS,
 		SampleRate: 0.25,
 		Seed:       s.Seed,
+		Parallel:   s.Parallel,
 	}
 }
 

@@ -100,15 +100,11 @@ func Fig14a(s Scale) ([]Fig14aRow, error) {
 			row.FracDataReorganized = stats.FracDataReorganized
 		}
 		eng := engine.New(setup.deployment.Store, setup.deployment.Design, setup.bench.Dataset, engine.CloudDWOptions())
-		total := 0.0
-		for _, q := range setup.observed.Queries {
-			res, err := eng.Execute(q)
-			if err != nil {
-				return nil, err
-			}
-			total += res.Seconds
+		wr, err := engine.RunWorkload(eng, setup.observed.Queries, engine.RunOptions{Parallelism: s.Parallel})
+		if err != nil {
+			return nil, err
 		}
-		row.AvgQuerySeconds = total / float64(setup.observed.Len())
+		row.AvgQuerySeconds = wr.Seconds / float64(setup.observed.Len())
 		rows = append(rows, row)
 	}
 	return rows, nil
@@ -206,15 +202,11 @@ func Fig14b(s Scale) ([]Fig14bRow, error) {
 		}
 
 		eng := engine.New(d.Store, d.Design, partial.ds, engine.CloudDWOptions())
-		total := 0.0
-		for _, q := range w.Queries {
-			res, err := eng.Execute(q)
-			if err != nil {
-				return nil, err
-			}
-			total += res.Seconds
+		wr, err := engine.RunWorkload(eng, w.Queries, engine.RunOptions{Parallelism: s.Parallel})
+		if err != nil {
+			return nil, err
 		}
-		row.AvgQuerySeconds = total / float64(w.Len())
+		row.AvgQuerySeconds = wr.Seconds / float64(w.Len())
 		rows = append(rows, row)
 	}
 	return rows, nil

@@ -174,44 +174,57 @@ type QueryMetric struct {
 	Seconds  float64
 }
 
-// run executes the bench workload against a deployment.
+// run replays the bench workload against a deployment via the parallel
+// workload runner. b.Parallel bounds the worker pool (0 = GOMAXPROCS,
+// 1 = sequential); the aggregates are identical at any parallelism.
 func run(b *Bench, d *Deployment, opts engine.Options) (*RunResult, error) {
 	eng := engine.New(d.Store, d.Design, b.Dataset, opts)
+	wr, err := engine.RunWorkload(eng, b.Workload.Queries, engine.RunOptions{Parallelism: b.Parallel})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", d.Method, err)
+	}
 	out := &RunResult{
 		Method:          d.Method,
+		Blocks:          wr.Blocks,
+		Fraction:        wr.Fraction,
+		Seconds:         wr.Seconds,
 		OptimizeSeconds: d.OptimizeSeconds,
 		RoutingSeconds:  d.RoutingSeconds,
+		PerQuery:        make([]QueryMetric, 0, len(wr.Results)),
 	}
-	for _, q := range b.Workload.Queries {
-		res, err := eng.Execute(q)
-		if err != nil {
-			return nil, fmt.Errorf("%s on %s: %w", d.Method, q.ID, err)
-		}
-		out.Blocks += res.BlocksRead
-		out.Fraction += res.FractionOfBlocks()
-		out.Seconds += res.Seconds
+	for _, res := range wr.Results {
 		out.PerQuery = append(out.PerQuery, QueryMetric{
-			ID:       q.ID,
+			ID:       res.Query,
 			Blocks:   res.BlocksRead,
 			Fraction: res.FractionOfBlocks(),
 			Seconds:  res.Seconds,
 		})
 	}
-	if n := len(out.PerQuery); n > 0 {
-		out.Fraction /= float64(n)
-	}
 	return out, nil
+}
+
+// DeployMethod builds and installs one method's layout without executing
+// the workload. cloudDW selects the jittered-install mode of §6.1.2.
+func DeployMethod(b *Bench, method string, cloudDW bool) (*Deployment, error) {
+	mode := installUniform
+	if cloudDW {
+		mode = installJittered
+	}
+	return deploy(b, method, mode)
+}
+
+// Replay executes the bench workload against an existing deployment,
+// letting callers (replay benchmarks, parallelism sweeps) rerun a workload
+// without paying the deploy cost again.
+func Replay(b *Bench, d *Deployment, cloudDW bool) (*RunResult, error) {
+	return run(b, d, engineOptions(b, d.Method, cloudDW))
 }
 
 // RunMethod deploys and executes one method on a bench: the workhorse for
 // Fig. 10-style comparisons. cloudDW selects the jittered-install,
 // semi-join-reduction execution mode of §6.1.2.
 func RunMethod(b *Bench, method string, cloudDW bool) (*RunResult, *Deployment, error) {
-	mode := installUniform
-	if cloudDW {
-		mode = installJittered
-	}
-	d, err := deploy(b, method, mode)
+	d, err := DeployMethod(b, method, cloudDW)
 	if err != nil {
 		return nil, nil, err
 	}

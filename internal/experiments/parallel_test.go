@@ -1,0 +1,53 @@
+package experiments
+
+import "testing"
+
+// TestParallelReplayMatchesSequential deploys Baseline and MTO on SSB and
+// TPC-H, then replays each workload sequentially and at parallelism 4
+// against the same deployment, requiring identical per-query metrics and
+// workload totals (the acceptance bar for the parallel runner).
+func TestParallelReplayMatchesSequential(t *testing.T) {
+	s := DefaultScale()
+	s.SF = 0.005
+	s.PerTemplate = 2
+
+	for _, name := range []string{"ssb", "tpch"} {
+		for _, method := range []string{MethodBaseline, MethodMTO} {
+			b, err := BenchByName(name, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := DeployMethod(b, method, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			b.Parallel = 1
+			seq, err := Replay(b, d, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.Parallel = 4
+			par, err := Replay(b, d, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if seq.Blocks != par.Blocks || seq.Fraction != par.Fraction || seq.Seconds != par.Seconds {
+				t.Errorf("%s/%s: totals differ: seq={%d %g %g} par={%d %g %g}",
+					name, method, seq.Blocks, seq.Fraction, seq.Seconds,
+					par.Blocks, par.Fraction, par.Seconds)
+			}
+			if len(seq.PerQuery) != len(par.PerQuery) {
+				t.Fatalf("%s/%s: per-query counts differ: %d vs %d",
+					name, method, len(seq.PerQuery), len(par.PerQuery))
+			}
+			for i := range seq.PerQuery {
+				if seq.PerQuery[i] != par.PerQuery[i] {
+					t.Errorf("%s/%s: query %d differs: seq=%+v par=%+v",
+						name, method, i, seq.PerQuery[i], par.PerQuery[i])
+				}
+			}
+		}
+	}
+}

@@ -212,12 +212,28 @@ func (s *System) resetEngine() {
 // Result is one query's execution outcome.
 type Result = engine.Result
 
+// WorkloadResult aggregates a whole workload's execution: per-query
+// results in input order plus workload-level totals.
+type WorkloadResult = engine.WorkloadResult
+
 // Execute runs q against the layout, skipping blocks via the per-table
 // qd-trees and zone maps, and returns I/O metrics and simulated runtime.
 func (s *System) Execute(q *Query) (*Result, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.eng.Execute(q)
+}
+
+// ExecuteWorkload replays the queries over a bounded worker pool
+// (parallelism 0 selects GOMAXPROCS, 1 runs sequentially). Per-query
+// results land in input order and every aggregate — including simulated
+// Seconds — is identical to a sequential replay; only wall-clock time
+// changes. Queries see one consistent layout: mutating operations
+// (Reorganize, Insert, a ReorganizeAsync swap) wait for the replay.
+func (s *System) ExecuteWorkload(queries []*Query, parallelism int) (*WorkloadResult, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return engine.RunWorkload(s.eng, queries, engine.RunOptions{Parallelism: parallelism})
 }
 
 // Stats summarizes the learned qd-trees (cut counts, induction depths,

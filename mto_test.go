@@ -332,3 +332,31 @@ func TestConcurrentExecutes(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestExecuteWorkload(t *testing.T) {
+	ds, w := buildDemo(t)
+	sys, err := Open(ds, w, Config{BlockSize: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := sys.ExecuteWorkload(w.Queries, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := sys.ExecuteWorkload(w.Queries, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Results) != len(w.Queries) {
+		t.Fatalf("got %d results, want %d", len(seq.Results), len(w.Queries))
+	}
+	if seq.Blocks != par.Blocks || seq.Seconds != par.Seconds {
+		t.Errorf("parallel replay diverged: seq={%d %g} par={%d %g}",
+			seq.Blocks, seq.Seconds, par.Blocks, par.Seconds)
+	}
+	for i, q := range w.Queries {
+		if seq.Results[i].Query != q.ID || par.Results[i].Query != q.ID {
+			t.Errorf("result %d out of input order", i)
+		}
+	}
+}
