@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench
+.PHONY: build test vet race check bench bench-build
 
 build:
 	$(GO) build ./...
@@ -21,5 +21,12 @@ race:
 check: build vet test race
 
 # Replay-speedup and paper-figure benchmarks.
-bench:
+bench: bench-build
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# Construction/routing benchmarks with a JSON perf snapshot. Compares the
+# bitset-based qd-tree build against the retained seed implementation and
+# records the results in BENCH_build.json.
+bench-build:
+	$(GO) test -run='^$$' -bench='Build|AssignRecords|Optimize' -benchmem -count=1 \
+		./internal/qdtree ./internal/core | $(GO) run ./cmd/benchjson -out BENCH_build.json

@@ -15,9 +15,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"mto/internal/experiments"
 )
@@ -48,7 +51,9 @@ func main() {
 		perTemplate = flag.Int("per-template", 8, "TPC-H queries per template")
 		seed        = flag.Int64("seed", 1, "random seed")
 		bench       = flag.String("bench", "", "restrict to one bench (ssb, tpch, tpcds) where applicable")
-		parallel    = flag.Int("parallel", 0, "concurrent queries during workload replay (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
+		parallel    = flag.Int("parallel", 0, "worker budget for workload replay AND the offline build/routing phases (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
+		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprofile  = flag.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
 	)
 	flag.StringVar(&csvDir, "csv", "", "also write each experiment's rows as CSV into this directory")
 	flag.Parse()
@@ -59,10 +64,56 @@ func main() {
 	scale.Seed = *seed
 	scale.Parallel = *parallel
 
-	if err := runExperiment(*exp, *bench, scale); err != nil {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mtobench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "mtobench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	err := runExperiment(*exp, *bench, scale)
+	if *memprofile != "" {
+		f, merr := os.Create(*memprofile)
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "mtobench:", merr)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if merr := pprof.WriteHeapProfile(f); merr != nil {
+			fmt.Fprintln(os.Stderr, "mtobench:", merr)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+	if err != nil {
+		if *cpuprofile != "" {
+			pprof.StopCPUProfile() // flush before the hard exit below
+		}
 		fmt.Fprintln(os.Stderr, "mtobench:", err)
 		os.Exit(1)
 	}
+}
+
+// printTimings prints the Timings breakdown (Table 3's OptimizeSeconds /
+// RoutingSeconds split) for every optimizer deployed by an experiment.
+func printTimings(out io.Writer) {
+	timings := experiments.DrainTimings()
+	if len(timings) == 0 {
+		return
+	}
+	fmt.Fprintln(out, "offline timings:")
+	for _, t := range timings {
+		fmt.Fprintf(out, "  %-8s %-8s optimize %8.3fs   routing %8.3fs\n",
+			t.Bench, t.Method, t.OptimizeSeconds, t.RoutingSeconds)
+	}
+	fmt.Fprintln(out)
 }
 
 func benchesFor(name string, s experiments.Scale) ([]*experiments.Bench, error) {
@@ -280,5 +331,6 @@ func runExperiment(exp, bench string, s experiments.Scale) error {
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
+	printTimings(out)
 	return nil
 }

@@ -77,7 +77,7 @@ func (o *Optimizer) ApplyInsert(table string, newRows []int, design *layout.Desi
 
 	// Route the inserted records through the table's tree.
 	sub := tbl.SelectRows(newRows)
-	subGroups := tree.AssignRecords(sub)
+	subGroups := tree.AssignRecordsParallel(sub, o.opts.Parallelism)
 	groups := td.Groups()
 	if len(subGroups) != len(groups) {
 		return stats, fmt.Errorf("core: tree has %d leaves but design has %d groups",

@@ -1,0 +1,32 @@
+package core
+
+import (
+	"testing"
+
+	"mto/internal/datagen"
+)
+
+// BenchmarkOptimize measures end-to-end layout learning (sampling, induced
+// predicate evaluation, per-table qd-tree builds) on a small SSB instance —
+// the offline path mtobench pays before every replay.
+func BenchmarkOptimize(b *testing.B) {
+	ds := datagen.SSB(datagen.SSBConfig{ScaleFactor: 0.005, Seed: 1})
+	w := datagen.SSBWorkload(2)
+	opts := Options{
+		BlockSize:     500,
+		SampleRate:    0.25,
+		JoinInduction: true,
+		Seed:          1,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt, err := Optimize(ds, w, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := opt.BuildDesign(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

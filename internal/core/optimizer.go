@@ -49,6 +49,12 @@ type Options struct {
 	// ordering by the table's natural sort key (e.g. a date) keeps zone
 	// maps effective for range filters inside large leaves.
 	LeafOrderKeys map[string]string
+	// Parallelism bounds the worker budget of the offline phases: each
+	// table's qd-tree build fans candidate precompute, cut scoring, and
+	// subtree recursion across it, and record routing splits each table
+	// into row chunks. <= 0 selects GOMAXPROCS, 1 forces the sequential
+	// paths. The learned layout is byte-identical at any setting.
+	Parallelism int
 	// Seed drives sampling.
 	Seed int64
 }
@@ -188,6 +194,7 @@ func Optimize(ds *relation.Dataset, w *workload.Workload, opts Options) (*Optimi
 				SampleRate:   rate,
 				CASampleRate: opts.SampleRate,
 				DisableCA:    opts.DisableCA,
+				Parallelism:  opts.Parallelism,
 			})
 			mu.Lock()
 			defer mu.Unlock()
@@ -296,7 +303,7 @@ func (o *Optimizer) BuildDesign() (*layout.Design, error) {
 		go func(i int, name string, tree *qdtree.Tree) {
 			defer wg.Done()
 			tbl := o.ds.Table(name)
-			groups := tree.AssignRecords(tbl)
+			groups := tree.AssignRecordsParallel(tbl, o.opts.Parallelism)
 			if col := o.opts.LeafOrderKeys[name]; col != "" {
 				for _, g := range groups {
 					sortRowsBy(tbl, g, col)

@@ -191,9 +191,10 @@ func (o *Optimizer) planTableReorg(table string, observed *workload.Workload,
 		}
 		sub := tbl.SelectRows(intsOf(rows))
 		newTree, err := qdtree.Build(sub, qdtree.BuildQueries(observed, table), cuts, qdtree.Config{
-			Table:      table,
-			BlockSize:  o.opts.BlockSize,
-			SampleRate: 1,
+			Table:       table,
+			BlockSize:   o.opts.BlockSize,
+			SampleRate:  1,
+			Parallelism: o.opts.Parallelism,
 		})
 		if err != nil {
 			return nil, err
@@ -370,7 +371,7 @@ func (o *Optimizer) ApplyReorg(plans map[string]*ReorgPlan, design *layout.Desig
 			// Route the subtree's records through its replacement.
 			rows := choiceRows[i]
 			sub := tbl.SelectRows(intsOf(rows))
-			newGroups := c.newTree.AssignRecords(sub)
+			newGroups := c.newTree.AssignRecordsParallel(sub, o.opts.Parallelism)
 			// Translate sub-relative row indexes back to base rows.
 			for li, g := range newGroups {
 				base := make([]int32, len(g))

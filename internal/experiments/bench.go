@@ -28,9 +28,11 @@ type Bench struct {
 	SampleRate float64
 	// Seed drives jittered installs and any per-bench randomness.
 	Seed int64
-	// Parallel bounds concurrent query executions during workload replay:
-	// 0 selects GOMAXPROCS, 1 forces sequential replay. Results are
-	// identical either way (engine.RunWorkload is deterministic).
+	// Parallel bounds the worker budget everywhere the bench fans out:
+	// concurrent query executions during workload replay, and the offline
+	// phases (qd-tree construction, record routing, per-table layout
+	// sorts). 0 selects GOMAXPROCS, 1 forces the sequential paths.
+	// Results and learned layouts are byte-identical at any setting.
 	Parallel int
 }
 
@@ -44,7 +46,8 @@ type Scale struct {
 	BlockSizeH   int
 	BlockSizeDS  int
 	Seed         int64
-	// Parallel is the workload-replay parallelism passed to each Bench
+	// Parallel is the worker budget passed to each Bench, bounding both
+	// workload replay and the offline build/routing phases
 	// (0 = GOMAXPROCS, 1 = sequential).
 	Parallel int
 }

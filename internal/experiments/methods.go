@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"mto/internal/block"
 	"mto/internal/core"
@@ -45,15 +46,48 @@ const (
 	installJittered                    // Cloud DW: fill factor in [0.3, 1]
 )
 
+// BuildTiming is one optimizer deployment's offline cost breakdown, kept in
+// a package-level log so mtobench can print a Timings summary after each
+// experiment (Table 3's OptimizeSeconds / RoutingSeconds split).
+type BuildTiming struct {
+	Bench           string
+	Method          string
+	OptimizeSeconds float64
+	RoutingSeconds  float64
+}
+
+var (
+	timingMu  sync.Mutex
+	timingLog []BuildTiming
+)
+
+func recordTiming(t BuildTiming) {
+	timingMu.Lock()
+	timingLog = append(timingLog, t)
+	timingMu.Unlock()
+}
+
+// DrainTimings returns the offline timings recorded since the last drain,
+// in deployment order, and clears the log.
+func DrainTimings() []BuildTiming {
+	timingMu.Lock()
+	defer timingMu.Unlock()
+	out := timingLog
+	timingLog = nil
+	return out
+}
+
 // deploy builds and installs the named method's layout for the bench.
+// b.Parallel bounds the offline worker budget (qd-tree build, record
+// routing, per-table sorts) exactly as it bounds replay.
 func deploy(b *Bench, method string, mode installMode) (*Deployment, error) {
 	d := &Deployment{Method: method, Store: newBlockStore()}
 	var err error
 	switch method {
 	case MethodBaseline, MethodBaselineDiPs, MethodBaselineSI:
-		d.Design, err = layout.SortKeyDesign(b.Dataset, b.SortKeys, b.BlockSize)
+		d.Design, err = layout.SortKeyDesignParallel(b.Dataset, b.SortKeys, b.BlockSize, b.Parallel)
 	case MethodZOrder:
-		d.Design, err = layout.ZOrderDesign(b.Dataset, zOrderColumnsFor(b), b.BlockSize)
+		d.Design, err = layout.ZOrderDesignParallel(b.Dataset, zOrderColumnsFor(b), b.BlockSize, b.Parallel)
 	case MethodSTO, MethodSTODiPs, MethodSTOSI, MethodMTO:
 		opt, oerr := core.Optimize(b.Dataset, b.Workload, core.Options{
 			BlockSize:     b.BlockSize,
@@ -61,6 +95,7 @@ func deploy(b *Bench, method string, mode installMode) (*Deployment, error) {
 			JoinInduction: method == MethodMTO,
 			LeafOrderKeys: map[string]string(b.SortKeys),
 			Seed:          b.Seed,
+			Parallelism:   b.Parallel,
 		})
 		if oerr != nil {
 			return nil, oerr
@@ -70,6 +105,12 @@ func deploy(b *Bench, method string, mode installMode) (*Deployment, error) {
 		if err == nil {
 			d.OptimizeSeconds = opt.Timings().OptimizeSeconds
 			d.RoutingSeconds = opt.Timings().RoutingSeconds
+			recordTiming(BuildTiming{
+				Bench:           b.Name,
+				Method:          method,
+				OptimizeSeconds: d.OptimizeSeconds,
+				RoutingSeconds:  d.RoutingSeconds,
+			})
 		}
 	default:
 		return nil, fmt.Errorf("experiments: unknown method %q", method)

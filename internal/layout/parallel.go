@@ -1,0 +1,52 @@
+package layout
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// forEachTable runs fn(i) for every index in [0, n) across a bounded worker
+// pool and returns the first error in index order — so a parallel design
+// build fails identically to a sequential one. parallelism <= 0 selects
+// GOMAXPROCS; 1 runs on the calling goroutine.
+func forEachTable(n, parallelism int, fn func(i int) error) error {
+	workers := parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

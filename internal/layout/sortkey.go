@@ -15,16 +15,29 @@ type SortKeys map[string]string
 // SortKeyDesign builds the Baseline layout: each table's rows are sorted by
 // its configured column and stored contiguously; queries read every block
 // and rely on zone maps for skipping. Tables missing from keys are kept in
-// insertion order.
+// insertion order. Per-table sorts run on GOMAXPROCS workers; see
+// SortKeyDesignParallel for an explicit budget.
 func SortKeyDesign(ds *relation.Dataset, keys SortKeys, blockSize int) (*Design, error) {
+	return SortKeyDesignParallel(ds, keys, blockSize, 0)
+}
+
+// SortKeyDesignParallel is SortKeyDesign with an explicit worker budget
+// (<= 0 selects GOMAXPROCS, 1 builds sequentially). Tables sort
+// independently, so the design is identical at any parallelism.
+func SortKeyDesignParallel(ds *relation.Dataset, keys SortKeys, blockSize, parallelism int) (*Design, error) {
 	d := NewDesign("Baseline", blockSize)
-	for _, name := range ds.TableNames() {
-		t := ds.Table(name)
-		rows, err := sortedRows(t, keys[name])
-		if err != nil {
-			return nil, err
-		}
-		d.SetTable(t, [][]int32{rows}, nil)
+	names := ds.TableNames()
+	sorted := make([][]int32, len(names))
+	err := forEachTable(len(names), parallelism, func(i int) error {
+		rows, err := sortedRows(ds.Table(names[i]), keys[names[i]])
+		sorted[i] = rows
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range names {
+		d.SetTable(ds.Table(name), [][]int32{sorted[i]}, nil)
 	}
 	return d, nil
 }

@@ -16,25 +16,37 @@ type ZOrderColumns map[string][]string
 // ZOrderDesign builds the Z-order layout: each configured table's rows are
 // sorted by the Morton (Z) value of their rank-normalized column values and
 // stored contiguously; skipping happens via zone maps only, as with the
-// sort-key Baseline.
+// sort-key Baseline. Per-table orderings run on GOMAXPROCS workers; see
+// ZOrderDesignParallel for an explicit budget.
 func ZOrderDesign(ds *relation.Dataset, cols ZOrderColumns, blockSize int) (*Design, error) {
+	return ZOrderDesignParallel(ds, cols, blockSize, 0)
+}
+
+// ZOrderDesignParallel is ZOrderDesign with an explicit worker budget
+// (<= 0 selects GOMAXPROCS, 1 builds sequentially). Tables order
+// independently, so the design is identical at any parallelism.
+func ZOrderDesignParallel(ds *relation.Dataset, cols ZOrderColumns, blockSize, parallelism int) (*Design, error) {
 	d := NewDesign("ZOrder", blockSize)
-	for _, name := range ds.TableNames() {
-		t := ds.Table(name)
-		zc := cols[name]
+	names := ds.TableNames()
+	ordered := make([][]int32, len(names))
+	err := forEachTable(len(names), parallelism, func(i int) error {
+		t := ds.Table(names[i])
+		zc := cols[names[i]]
+		var rows []int32
+		var rerr error
 		if len(zc) == 0 {
-			rows, err := sortedRows(t, "")
-			if err != nil {
-				return nil, err
-			}
-			d.SetTable(t, [][]int32{rows}, nil)
-			continue
+			rows, rerr = sortedRows(t, "")
+		} else {
+			rows, rerr = zOrderedRows(t, zc)
 		}
-		rows, err := zOrderedRows(t, zc)
-		if err != nil {
-			return nil, err
-		}
-		d.SetTable(t, [][]int32{rows}, nil)
+		ordered[i] = rows
+		return rerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range names {
+		d.SetTable(ds.Table(name), [][]int32{ordered[i]}, nil)
 	}
 	return d, nil
 }

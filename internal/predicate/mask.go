@@ -1,0 +1,218 @@
+package predicate
+
+import (
+	"mto/internal/relation"
+	"mto/internal/value"
+)
+
+// CompileMask evaluates p over every row of t at once, setting bit r of
+// mask (stored in mask[r>>6]) for each matching row. It covers the same
+// fast shapes as Compile — comparisons and IN lists over int, float, and
+// string columns, plus AND/OR over such children — but dispatches the
+// operator once outside the row loop, so bulk membership precompute runs a
+// tight per-type loop instead of a closure call per row. mask must be
+// zeroed and hold at least (t.NumRows()+63)/64 words.
+//
+// It reports false, leaving mask untouched, when p needs the generic
+// per-row path (callers then fall back to Compile).
+func CompileMask(p Predicate, t *relation.Table, mask []uint64) bool {
+	n := t.NumRows()
+	switch q := p.(type) {
+	case *Comparison:
+		ci, ok := t.Schema().ColumnIndex(q.Column)
+		if !ok {
+			return true // no such column: matches nothing, mask stays zero
+		}
+		col := t.Schema().Column(ci)
+		if col.Type == value.KindInt && q.Value.Kind() == value.KindInt {
+			maskCompare(t.Ints(ci), q.Op, q.Value.Int(), mask)
+			clearNulls(t.Nulls(ci), mask)
+			return true
+		}
+		if col.Type == value.KindFloat && !q.Value.IsNull() &&
+			(q.Value.Kind() == value.KindFloat || q.Value.Kind() == value.KindInt) {
+			maskCompare(t.Floats(ci), q.Op, q.Value.AsFloat(), mask)
+			clearNulls(t.Nulls(ci), mask)
+			return true
+		}
+		if col.Type == value.KindString && q.Value.Kind() == value.KindString {
+			maskCompare(t.Strings(ci), q.Op, q.Value.Str(), mask)
+			clearNulls(t.Nulls(ci), mask)
+			return true
+		}
+		return false
+	case *InList:
+		ci, ok := t.Schema().ColumnIndex(q.Column)
+		if !ok {
+			return true
+		}
+		switch t.Schema().Column(ci).Type {
+		case value.KindInt:
+			set := make(map[int64]struct{}, len(q.Values))
+			hasNullLit := false
+			for _, v := range q.Values {
+				switch {
+				case v.IsNull():
+					hasNullLit = true
+				case v.Kind() == value.KindInt:
+					set[v.Int()] = struct{}{}
+				}
+			}
+			maskInList(t.Ints(ci), set, q.Negate_, hasNullLit, mask)
+			clearNulls(t.Nulls(ci), mask)
+			return true
+		case value.KindString:
+			set := make(map[string]struct{}, len(q.Values))
+			hasNullLit := false
+			for _, v := range q.Values {
+				switch {
+				case v.IsNull():
+					hasNullLit = true
+				case v.Kind() == value.KindString:
+					set[v.Str()] = struct{}{}
+				}
+			}
+			maskInList(t.Strings(ci), set, q.Negate_, hasNullLit, mask)
+			clearNulls(t.Nulls(ci), mask)
+			return true
+		}
+		return false
+	case *And:
+		scratch := make([]uint64, len(mask))
+		for i, c := range q.Children {
+			if i == 0 {
+				if !CompileMask(c, t, mask) {
+					return false
+				}
+				continue
+			}
+			for w := range scratch {
+				scratch[w] = 0
+			}
+			if !CompileMask(c, t, scratch) {
+				// Mask may hold partial conjunct state; reset before failing.
+				for w := range mask {
+					mask[w] = 0
+				}
+				return false
+			}
+			for w := range mask {
+				mask[w] &= scratch[w]
+			}
+		}
+		return true
+	case *Or:
+		for _, c := range q.Children {
+			if !CompileMask(c, t, mask) {
+				for w := range mask {
+					mask[w] = 0
+				}
+				return false
+			}
+		}
+		return true
+	case Const:
+		if bool(q) {
+			setAll(mask, n)
+		}
+		return true
+	}
+	return false
+}
+
+// maskCompare sets the bit of every row whose value satisfies (v op lit).
+// The operator switch runs once; each arm is a tight branchless loop (the
+// bool-to-bit conversion compiles to a flag set, so ~50%-selective cuts pay
+// no branch mispredictions).
+func maskCompare[T int64 | float64 | string](vals []T, op Op, lit T, mask []uint64) {
+	switch op {
+	case Eq:
+		for r, v := range vals {
+			var b uint64
+			if v == lit {
+				b = 1
+			}
+			mask[r>>6] |= b << (uint(r) & 63)
+		}
+	case Ne:
+		for r, v := range vals {
+			var b uint64
+			if v != lit {
+				b = 1
+			}
+			mask[r>>6] |= b << (uint(r) & 63)
+		}
+	case Lt:
+		for r, v := range vals {
+			var b uint64
+			if v < lit {
+				b = 1
+			}
+			mask[r>>6] |= b << (uint(r) & 63)
+		}
+	case Le:
+		for r, v := range vals {
+			var b uint64
+			if v <= lit {
+				b = 1
+			}
+			mask[r>>6] |= b << (uint(r) & 63)
+		}
+	case Gt:
+		for r, v := range vals {
+			var b uint64
+			if v > lit {
+				b = 1
+			}
+			mask[r>>6] |= b << (uint(r) & 63)
+		}
+	default: // Ge
+		for r, v := range vals {
+			var b uint64
+			if v >= lit {
+				b = 1
+			}
+			mask[r>>6] |= b << (uint(r) & 63)
+		}
+	}
+}
+
+// maskInList mirrors Compile's IN semantics: NOT IN with a null literal
+// matches nothing.
+func maskInList[T int64 | string](vals []T, set map[T]struct{}, neg, hasNullLit bool, mask []uint64) {
+	if neg && hasNullLit {
+		return
+	}
+	if neg {
+		for r, v := range vals {
+			if _, found := set[v]; !found {
+				mask[r>>6] |= 1 << (uint(r) & 63)
+			}
+		}
+		return
+	}
+	for r, v := range vals {
+		if _, found := set[v]; found {
+			mask[r>>6] |= 1 << (uint(r) & 63)
+		}
+	}
+}
+
+// clearNulls clears the bits of null rows (nulls never match a predicate).
+func clearNulls(nulls []bool, mask []uint64) {
+	for r, isNull := range nulls {
+		if isNull {
+			mask[r>>6] &^= 1 << (uint(r) & 63)
+		}
+	}
+}
+
+// setAll sets bits [0, n), leaving the last word's tail clear.
+func setAll(mask []uint64, n int) {
+	for w := 0; w < n>>6; w++ {
+		mask[w] = ^uint64(0)
+	}
+	if rem := n & 63; rem != 0 {
+		mask[n>>6] = (1 << uint(rem)) - 1
+	}
+}

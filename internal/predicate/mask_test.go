@@ -1,0 +1,124 @@
+package predicate
+
+import (
+	"math/rand"
+	"testing"
+
+	"mto/internal/relation"
+	"mto/internal/value"
+)
+
+// maskRows runs CompileMask and decodes the bitmask into per-row booleans.
+func maskRows(t *testing.T, p Predicate, tab *relation.Table) ([]bool, bool) {
+	t.Helper()
+	n := tab.NumRows()
+	mask := make([]uint64, (n+63)/64)
+	if !CompileMask(p, tab, mask) {
+		return nil, false
+	}
+	out := make([]bool, n)
+	for r := 0; r < n; r++ {
+		out[r] = mask[r>>6]&(1<<(uint(r)&63)) != 0
+	}
+	return out, true
+}
+
+// TestCompileMaskMatchesCompile pins the bulk path to the per-row compiled
+// path on every supported predicate shape, including null rows.
+func TestCompileMaskMatchesCompile(t *testing.T) {
+	tab := testTable(t)
+	preds := []Predicate{
+		NewComparison("x", Lt, value.Int(15)),
+		NewComparison("x", Le, value.Int(15)),
+		NewComparison("x", Eq, value.Int(25)),
+		NewComparison("x", Ne, value.Int(25)),
+		NewComparison("x", Gt, value.Int(5)),
+		NewComparison("x", Ge, value.Int(15)),
+		NewComparison("f", Lt, value.Float(2.0)),
+		NewComparison("f", Ge, value.Int(1)),
+		NewComparison("s", Eq, value.String("banana")),
+		NewComparison("s", Lt, value.String("b")),
+		NewIn("x", value.Int(5), value.Int(25)),
+		NewNotIn("x", value.Int(5), value.Int(25)),
+		NewNotIn("x", value.Int(5), value.Null),
+		NewIn("s", value.String("apple"), value.String("apricot")),
+		NewNotIn("s", value.String("apple")),
+		NewAnd(NewComparison("x", Gt, value.Int(5)), NewComparison("y", Eq, value.Int(10))),
+		NewOr(NewComparison("x", Eq, value.Int(5)), NewComparison("y", Eq, value.Int(0))),
+		True(),
+		False(),
+		NewComparison("missing", Lt, value.Int(1)),
+	}
+	for _, p := range preds {
+		got, ok := maskRows(t, p, tab)
+		if !ok {
+			t.Errorf("%s: CompileMask refused a supported shape", p)
+			continue
+		}
+		fn := Compile(p, tab)
+		for r := 0; r < tab.NumRows(); r++ {
+			if want := fn(r); got[r] != want {
+				t.Errorf("%s: row %d mask=%v compile=%v", p, r, got[r], want)
+			}
+		}
+	}
+}
+
+// TestCompileMaskFallback verifies unsupported shapes refuse cleanly and
+// leave the mask untouched.
+func TestCompileMaskFallback(t *testing.T) {
+	tab := testTable(t)
+	unsupported := []Predicate{
+		NewLike("s", "ap%"),
+		NewColumnComparisonPred(t),
+		NewAnd(NewComparison("x", Gt, value.Int(5)), NewLike("s", "a%")),
+		NewOr(NewComparison("x", Gt, value.Int(5)), NewLike("s", "a%")),
+	}
+	for _, p := range unsupported {
+		mask := make([]uint64, 1)
+		if CompileMask(p, tab, mask) {
+			t.Errorf("%s: expected fallback", p)
+		}
+		if mask[0] != 0 {
+			t.Errorf("%s: fallback left mask dirty: %x", p, mask[0])
+		}
+	}
+}
+
+func NewColumnComparisonPred(t *testing.T) Predicate {
+	t.Helper()
+	return &ColumnComparison{Left: "x", Op: Lt, Right: "y"}
+}
+
+// TestCompileMaskLargeRandom cross-checks the branchless word loops against
+// Compile on a table spanning several mask words with interspersed nulls.
+func TestCompileMaskLargeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tab := relation.NewTable(relation.MustSchema("big",
+		relation.Column{Name: "v", Type: value.KindInt},
+	))
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if rng.Intn(10) == 0 {
+			tab.MustAppendRow(value.Null)
+		} else {
+			tab.MustAppendRow(value.Int(int64(rng.Intn(100))))
+		}
+	}
+	for _, p := range []Predicate{
+		NewComparison("v", Lt, value.Int(50)),
+		NewComparison("v", Ge, value.Int(93)),
+		NewIn("v", value.Int(1), value.Int(2), value.Int(3)),
+	} {
+		got, ok := maskRows(t, p, tab)
+		if !ok {
+			t.Fatalf("%s: refused", p)
+		}
+		fn := Compile(p, tab)
+		for r := 0; r < n; r++ {
+			if want := fn(r); got[r] != want {
+				t.Fatalf("%s: row %d mask=%v compile=%v", p, r, got[r], want)
+			}
+		}
+	}
+}

@@ -2,6 +2,9 @@ package qdtree
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"mto/internal/predicate"
 	"mto/internal/relation"
@@ -51,6 +54,12 @@ type Config struct {
 	// DisableCA turns off cardinality adjustment (the Fig. 13a ablation):
 	// sampled counts are scaled by 1/s uniformly, ignoring join thinning.
 	DisableCA bool
+	// Parallelism bounds the goroutines the build may use: candidate
+	// membership precompute, per-node cut scoring, and the left/right
+	// subtree recursion all draw from one shared budget. Values <= 0
+	// select runtime.GOMAXPROCS(0); 1 builds sequentially on the caller.
+	// The resulting tree is byte-identical at any setting.
+	Parallelism int
 }
 
 func (c Config) validate() error {
@@ -77,6 +86,11 @@ func (c Config) validate() error {
 // When built on a sample, induced cuts among the candidates must already be
 // evaluated against the sampled dataset; cardinality adjustment corrects
 // their block-size estimates (§4.2).
+//
+// Candidate scoring and the subtree recursion run across a bounded worker
+// budget (Config.Parallelism) with a deterministic argmax reduction —
+// highest score wins, ties break to the lowest cut index — so the parallel
+// build produces a byte-identical tree to the sequential one.
 func Build(tbl *relation.Table, queries []BuildQuery, cuts []Cut, cfg Config) (*Tree, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -86,64 +100,246 @@ func Build(tbl *relation.Table, queries []BuildQuery, cuts []Cut, cfg Config) (*
 	}
 	tree := &Tree{Table: cfg.Table, BlockSize: cfg.BlockSize}
 
-	// Precompute each candidate's membership over the build table once.
-	matches := make([][]bool, len(cuts))
-	for i, c := range cuts {
-		fn := c.CompileRecord(tbl)
-		m := make([]bool, tbl.NumRows())
-		for r := range m {
-			m[r] = fn(r)
-		}
-		matches[i] = m
+	n := tbl.NumRows()
+	est := float64(n) / cfg.SampleRate
+	// A root that can never split — no queries to skip for, no candidate
+	// cuts, or fewer than two blocks of data — needs no O(cuts × rows)
+	// membership precompute: return the single-leaf tree immediately.
+	if len(queries) == 0 || len(cuts) == 0 || n < 2 || est < 2*float64(cfg.BlockSize) {
+		tree.Root = &Node{LeafIndex: -1, SampleRows: n, EstRows: est, Region: predicate.Ranges{}}
+		tree.Reindex()
+		return tree, nil
 	}
 
-	rows := make([]int32, tbl.NumRows())
-	for i := range rows {
-		rows[i] = int32(i)
-	}
-	b := &builder{cuts: cuts, matches: matches, cfg: cfg}
-	tree.Root = b.split(rows, queries, predicate.Ranges{}, map[string]bool{}, 1,
-		float64(len(rows))/cfg.SampleRate, nil)
+	b := newBuilder(cuts, cfg)
+	b.precomputeMatches(tbl)
+	tree.Root = b.split(fullRowSet(n), queries, predicate.Ranges{}, map[string]bool{}, 1, est, nil)
 	tree.Reindex()
 	return tree, nil
 }
 
 type builder struct {
 	cuts    []Cut
-	matches [][]bool
+	matches []bitset // per-cut row membership over the build table
 	cfg     Config
+	// spare holds the worker tokens beyond the calling goroutine. Scoring
+	// fan-out and subtree recursion acquire tokens non-blockingly, so the
+	// build never exceeds its budget and never deadlocks on itself.
+	spare chan struct{}
 }
 
-// split builds the subtree for the given rows. k is the accumulated CA
+func newBuilder(cuts []Cut, cfg Config) *builder {
+	p := cfg.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	b := &builder{cuts: cuts, cfg: cfg}
+	if p > 1 {
+		b.spare = make(chan struct{}, p-1)
+		for i := 0; i < p-1; i++ {
+			b.spare <- struct{}{}
+		}
+	}
+	return b
+}
+
+// acquire takes one spare worker token if immediately available.
+func (b *builder) acquire() bool {
+	select {
+	case <-b.spare:
+		return true
+	default:
+		return false
+	}
+}
+
+func (b *builder) release() { b.spare <- struct{}{} }
+
+// maskCompiler is an optional Cut fast path: fill a zeroed per-row bitmask
+// in one bulk pass, reporting false to fall back to CompileRecord.
+type maskCompiler interface {
+	CompileMask(t *relation.Table, mask []uint64) bool
+}
+
+// routePreparer is an optional Cut fast path: bind a node region once and
+// route many queries against it without re-refining the region per query.
+type routePreparer interface {
+	PrepareRoute(region predicate.Ranges) func(rc *RouteContext) (left, right bool)
+}
+
+// precomputeMatches evaluates every candidate's membership bitset over the
+// build table, fanning cuts out across the worker budget. Cuts exposing the
+// bulk mask path fill their bitset in a single vectorized pass.
+func (b *builder) precomputeMatches(tbl *relation.Table) {
+	n := tbl.NumRows()
+	b.matches = make([]bitset, len(b.cuts))
+	one := func(i int) {
+		m := newBitset(n)
+		if mc, ok := b.cuts[i].(maskCompiler); ok && mc.CompileMask(tbl, m) {
+			b.matches[i] = m
+			return
+		}
+		fn := b.cuts[i].CompileRecord(tbl)
+		for r := 0; r < n; r++ {
+			if fn(r) {
+				m.set(r)
+			}
+		}
+		b.matches[i] = m
+	}
+
+	extra := 0
+	for extra < len(b.cuts)-1 && b.acquire() {
+		extra++
+	}
+	if extra == 0 {
+		for i := range b.cuts {
+			one(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(extra + 1)
+	for w := 0; w <= extra; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(b.cuts) {
+					return
+				}
+				one(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < extra; i++ {
+		b.release()
+	}
+}
+
+// Route decisions of the winning cut are cached during scoring, so the
+// query partition in split never re-evaluates cut.Route.
+type routeBits uint8
+
+const (
+	routeLeft  routeBits = 1
+	routeRight routeBits = 2
+)
+
+// candidate is one cut's scoring outcome at a node.
+type candidate struct {
+	idx    int
+	score  float64
+	countL int
+	estL   float64
+	kNew   float64
+	routes []routeBits // per build query, the cut's Route decisions
+}
+
+// better reports whether c should replace cur: higher score wins, ties
+// break to the lowest cut index — the same winner a sequential left-to-
+// right scan picks, making the parallel reduction deterministic.
+func better(c, cur *candidate) bool {
+	if cur == nil {
+		return true
+	}
+	if c.score != cur.score {
+		return c.score > cur.score
+	}
+	return c.idx < cur.idx
+}
+
+// split builds the subtree for the given row set. k is the accumulated CA
 // divisor product s^{|joins on yes-path|}; est is the node's full-data
 // cardinality estimate.
-func (b *builder) split(rows []int32, queries []BuildQuery, region predicate.Ranges,
+func (b *builder) split(rows *rowSet, queries []BuildQuery, region predicate.Ranges,
 	pathJoins map[string]bool, k float64, est float64, parent *Node) *Node {
 
 	node := &Node{
 		Parent:     parent,
 		LeafIndex:  -1,
-		SampleRows: len(rows),
+		SampleRows: rows.count,
 		EstRows:    est,
 		Region:     region,
 	}
 	// A node smaller than two blocks cannot split into two valid blocks.
-	if est < 2*float64(b.cfg.BlockSize) || len(rows) < 2 || len(queries) == 0 {
+	if est < 2*float64(b.cfg.BlockSize) || rows.count < 2 || len(queries) == 0 {
 		return node
 	}
 
-	bestIdx, bestScore, bestCountL, bestEstL, bestKNew := -1, 0.0, 0, 0.0, 1.0
-	s := b.cfg.SampleRate
-	for i, cut := range b.cuts {
-		countL := 0
-		m := b.matches[i]
-		for _, r := range rows {
-			if m[r] {
-				countL++
-			}
+	best := b.bestCut(rows, queries, region, pathJoins, k, est)
+	if best == nil {
+		return node // no cut skips anything: leaf
+	}
+
+	cut := b.cuts[best.idx]
+	node.Cut = cut
+
+	// Partition rows (bitset AND / AND-NOT against the winning membership).
+	leftRows, rightRows := rows.partition(b.matches[best.idx])
+
+	// Partition queries by the routing decisions cached from scoring.
+	var leftQs, rightQs []BuildQuery
+	for qi, lr := range best.routes {
+		if lr&routeLeft != 0 {
+			leftQs = append(leftQs, queries[qi])
 		}
-		if countL == 0 || countL == len(rows) {
-			continue // degenerate split
+		if lr&routeRight != 0 {
+			rightQs = append(rightQs, queries[qi])
+		}
+	}
+
+	// The yes child accumulates the cut's joins for CA de-duplication; the
+	// no child keeps the parent's context (§4.2).
+	leftJoins := pathJoins
+	leftK := k
+	if jk := cut.JoinKeys(); len(jk) > 0 && !b.cfg.DisableCA {
+		leftJoins = make(map[string]bool, len(pathJoins)+len(jk))
+		for j := range pathJoins {
+			leftJoins[j] = true
+		}
+		for _, j := range jk {
+			leftJoins[j] = true
+		}
+		leftK = k * best.kNew
+	}
+
+	leftRegion, rightRegion := cut.LeftRanges(region), cut.RightRanges(region)
+	estR := est - best.estL
+	if b.acquire() {
+		var right *Node
+		done := make(chan struct{})
+		go func() {
+			right = b.split(rightRows, rightQs, rightRegion, pathJoins, k, estR, node)
+			b.release()
+			close(done)
+		}()
+		node.Left = b.split(leftRows, leftQs, leftRegion, leftJoins, leftK, best.estL, node)
+		<-done
+		node.Right = right
+	} else {
+		node.Left = b.split(leftRows, leftQs, leftRegion, leftJoins, leftK, best.estL, node)
+		node.Right = b.split(rightRows, rightQs, rightRegion, pathJoins, k, estR, node)
+	}
+	return node
+}
+
+// bestCut scores every candidate at a node — fanning cuts across any spare
+// workers — and returns the deterministic argmax, or nil when no cut yields
+// a valid, positively scoring split.
+func (b *builder) bestCut(rows *rowSet, queries []BuildQuery, region predicate.Ranges,
+	pathJoins map[string]bool, k, est float64) *candidate {
+
+	s := b.cfg.SampleRate
+	// scoreCut evaluates cut i, writing per-query route decisions into the
+	// caller-owned scratch; the returned candidate aliases scratch.
+	scoreCut := func(i int, scratch []routeBits) *candidate {
+		cut := b.cuts[i]
+		countL := rows.andCount(b.matches[i])
+		if countL == 0 || countL == rows.count {
+			return nil // degenerate split
 		}
 		kNew := 1.0
 		if !b.cfg.DisableCA {
@@ -165,74 +361,84 @@ func (b *builder) split(rows []int32, queries []BuildQuery, region predicate.Ran
 		}
 		estR := est - estL
 		if estL < float64(b.cfg.BlockSize) || estR < float64(b.cfg.BlockSize) {
-			continue // children must each fill at least one block
+			return nil // children must each fill at least one block
+		}
+		route := func(rc *RouteContext) (bool, bool) { return cut.Route(rc, region) }
+		if rp, ok := cut.(routePreparer); ok {
+			route = rp.PrepareRoute(region)
 		}
 		score := 0.0
 		for qi := range queries {
 			bq := &queries[qi]
 			rc := RouteContext{Query: bq.Query, Alias: bq.Alias, Filter: bq.Filter}
-			l, r := cut.Route(&rc, region)
-			if !l {
+			l, r := route(&rc)
+			var lr routeBits
+			if l {
+				lr |= routeLeft
+			} else {
 				score += bq.Weight * estL
 			}
-			if !r {
+			if r {
+				lr |= routeRight
+			} else {
 				score += bq.Weight * estR
 			}
+			scratch[qi] = lr
 		}
-		if score > bestScore {
-			bestIdx, bestScore = i, score
-			bestCountL, bestEstL, bestKNew = countL, estL, kNew
+		if score <= 0 {
+			return nil // a cut no query skips on cannot win
 		}
-	}
-	if bestIdx < 0 {
-		return node // no cut skips anything: leaf
+		return &candidate{idx: i, score: score, countL: countL, estL: estL, kNew: kNew, routes: scratch}
 	}
 
-	cut := b.cuts[bestIdx]
-	node.Cut = cut
-
-	// Partition rows.
-	m := b.matches[bestIdx]
-	leftRows := make([]int32, 0, bestCountL)
-	rightRows := make([]int32, 0, len(rows)-bestCountL)
-	for _, r := range rows {
-		if m[r] {
-			leftRows = append(leftRows, r)
-		} else {
-			rightRows = append(rightRows, r)
-		}
-	}
-
-	// Partition queries by routing decision.
-	var leftQs, rightQs []BuildQuery
-	for qi := range queries {
-		bq := queries[qi]
-		rc := RouteContext{Query: bq.Query, Alias: bq.Alias, Filter: bq.Filter}
-		l, r := cut.Route(&rc, region)
-		if l {
-			leftQs = append(leftQs, bq)
-		}
-		if r {
-			rightQs = append(rightQs, bq)
+	// scan runs scoreCut over indexes from next, keeping its local best and
+	// handing the scratch buffer off to accepted candidates.
+	scan := func(next func() int) *candidate {
+		scratch := make([]routeBits, len(queries))
+		var local *candidate
+		for {
+			i := next()
+			if i >= len(b.cuts) {
+				return local
+			}
+			if c := scoreCut(i, scratch); c != nil && better(c, local) {
+				local = c
+				scratch = make([]routeBits, len(queries))
+			}
 		}
 	}
 
-	// The yes child accumulates the cut's joins for CA de-duplication; the
-	// no child keeps the parent's context (§4.2).
-	leftJoins := pathJoins
-	leftK := k
-	if jk := cut.JoinKeys(); len(jk) > 0 && !b.cfg.DisableCA {
-		leftJoins = make(map[string]bool, len(pathJoins)+len(jk))
-		for j := range pathJoins {
-			leftJoins[j] = true
-		}
-		for _, j := range jk {
-			leftJoins[j] = true
-		}
-		leftK = k * bestKNew
+	extra := 0
+	for extra < len(b.cuts)-1 && b.acquire() {
+		extra++
+	}
+	if extra == 0 {
+		i := 0
+		return scan(func() int { i++; return i - 1 })
 	}
 
-	node.Left = b.split(leftRows, leftQs, cut.LeftRanges(region), leftJoins, leftK, bestEstL, node)
-	node.Right = b.split(rightRows, rightQs, cut.RightRanges(region), pathJoins, k, est-bestEstL, node)
-	return node
+	var next atomic.Int64
+	take := func() int { return int(next.Add(1)) - 1 }
+	locals := make([]*candidate, extra+1)
+	var wg sync.WaitGroup
+	wg.Add(extra)
+	for w := 1; w <= extra; w++ {
+		go func(w int) {
+			defer wg.Done()
+			locals[w] = scan(take)
+		}(w)
+	}
+	locals[0] = scan(take)
+	wg.Wait()
+	for i := 0; i < extra; i++ {
+		b.release()
+	}
+
+	var best *candidate
+	for _, c := range locals {
+		if c != nil && better(c, best) {
+			best = c
+		}
+	}
+	return best
 }

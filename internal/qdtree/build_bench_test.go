@@ -1,0 +1,101 @@
+package qdtree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mto/internal/predicate"
+	"mto/internal/relation"
+	"mto/internal/value"
+	"mto/internal/workload"
+)
+
+// benchBuildFixture is a synthetic single-table workload sized so the
+// membership-count loop dominates construction: 200k rows, 24 candidate
+// cuts, and a block size small enough for a deep tree. BenchmarkBuild vs
+// BenchmarkBuildSeed measures the bitset rewrite's speedup (the acceptance
+// bar is >= 2x).
+func benchBuildFixture(b *testing.B) benchFixture {
+	b.Helper()
+	const n = 200_000
+	rng := rand.New(rand.NewSource(42))
+	tab := relation.NewTable(relation.MustSchema("T",
+		relation.Column{Name: "x", Type: value.KindInt},
+		relation.Column{Name: "y", Type: value.KindInt},
+	))
+	for i := 0; i < n; i++ {
+		tab.MustAppendRow(value.Int(int64(rng.Intn(1000))), value.Int(int64(rng.Intn(1000))))
+	}
+
+	var cuts []Cut
+	var qs []*workload.Query
+	for i := 0; i < 12; i++ {
+		px := predicate.NewComparison("x", predicate.Lt, value.Int(int64(75*(i+1))))
+		py := predicate.NewComparison("y", predicate.Lt, value.Int(int64(75*(i+1))))
+		cuts = append(cuts, NewSimpleCut(px), NewSimpleCut(py))
+		if i%3 == 0 {
+			qs = append(qs,
+				singleTableQuery(fmt.Sprintf("qx%d", i), px),
+				singleTableQuery(fmt.Sprintf("qy%d", i), py),
+			)
+		}
+	}
+	w := workload.NewWorkload(qs...)
+	return benchFixture{
+		tbl:     tab,
+		queries: BuildQueries(w, "T"),
+		cuts:    cuts,
+		cfg:     Config{Table: "T", BlockSize: n / 256, SampleRate: 1, Parallelism: 1},
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	fx := benchBuildFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(fx.tbl, fx.queries, fx.cuts, fx.cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildParallel uses the full GOMAXPROCS budget (identical output).
+func BenchmarkBuildParallel(b *testing.B) {
+	fx := benchBuildFixture(b)
+	fx.cfg.Parallelism = 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(fx.tbl, fx.queries, fx.cuts, fx.cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildSeed measures the retained pre-bitset reference (see
+// seed_ref_test.go) on the same fixture.
+func BenchmarkBuildSeed(b *testing.B) {
+	fx := benchBuildFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := seedBuild(fx.tbl, fx.queries, fx.cuts, fx.cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAssignRecords(b *testing.B) {
+	fx := benchBuildFixture(b)
+	tree, err := Build(fx.tbl, fx.queries, fx.cuts, fx.cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.AssignRecords(fx.tbl)
+	}
+}

@@ -66,6 +66,13 @@ func (c *SimpleCut) CompileRecord(t *relation.Table) func(row int) bool {
 	return predicate.Compile(c.Pred, t)
 }
 
+// CompileMask is the bulk membership fast path (see maskCompiler): it fills
+// mask with the predicate's matches in one vectorized pass when the
+// predicate shape allows, instead of a closure call per row.
+func (c *SimpleCut) CompileMask(t *relation.Table, mask []uint64) bool {
+	return predicate.CompileMask(c.Pred, t, mask)
+}
+
 // Route implements Cut: a child is visited unless the query's filter is
 // provably unsatisfiable within the child's region.
 func (c *SimpleCut) Route(rc *RouteContext, region predicate.Ranges) (bool, bool) {
@@ -74,6 +81,20 @@ func (c *SimpleCut) Route(rc *RouteContext, region predicate.Ranges) (bool, bool
 	left := !l.HasEmpty() && rc.Filter.EvalRanges(l) != predicate.TriFalse
 	right := !r.HasEmpty() && rc.Filter.EvalRanges(r) != predicate.TriFalse
 	return left, right
+}
+
+// PrepareRoute binds the node region once and returns a router over it, so
+// candidate scoring can route every query against the same refined child
+// regions instead of re-deriving them per query. The returned router gives
+// exactly Route's answers.
+func (c *SimpleCut) PrepareRoute(region predicate.Ranges) func(rc *RouteContext) (left, right bool) {
+	l, r := c.LeftRanges(region), c.RightRanges(region)
+	lEmpty, rEmpty := l.HasEmpty(), r.HasEmpty()
+	return func(rc *RouteContext) (bool, bool) {
+		left := !lEmpty && rc.Filter.EvalRanges(l) != predicate.TriFalse
+		right := !rEmpty && rc.Filter.EvalRanges(r) != predicate.TriFalse
+		return left, right
+	}
 }
 
 // LeftRanges implements Cut.

@@ -1,37 +1,36 @@
 package qdtree
 
 import (
+	"runtime"
+	"sync"
+
 	"mto/internal/relation"
 	"mto/internal/workload"
 )
 
-// AssignRecords routes every row of tbl through the tree (§2.1.2) and
-// returns the row groups in leaf order: groups[i] holds the rows assigned
-// to leaf i. Induced cuts must be evaluated against the dataset tbl belongs
-// to before calling.
-func (t *Tree) AssignRecords(tbl *relation.Table) [][]int32 {
-	leaves := t.Leaves()
-	groups := make([][]int32, len(leaves))
+// compiledNode is the tree compiled once against a table: per-node record
+// matchers bound to the table's column vectors. The matchers are read-only
+// closures, so one compiled tree routes row chunks concurrently.
+type compiledNode struct {
+	match       func(int) bool
+	left, right *compiledNode
+	leafIndex   int
+}
 
-	type compiled struct {
-		match       func(int) bool
-		left, right *compiled
-		leafIndex   int
+func compileTree(n *Node, tbl *relation.Table) *compiledNode {
+	if n.IsLeaf() {
+		return &compiledNode{leafIndex: n.LeafIndex}
 	}
-	var compile func(n *Node) *compiled
-	compile = func(n *Node) *compiled {
-		if n.IsLeaf() {
-			return &compiled{leafIndex: n.LeafIndex}
-		}
-		return &compiled{
-			match: n.Cut.CompileRecord(tbl),
-			left:  compile(n.Left),
-			right: compile(n.Right),
-		}
+	return &compiledNode{
+		match: n.Cut.CompileRecord(tbl),
+		left:  compileTree(n.Left, tbl),
+		right: compileTree(n.Right, tbl),
 	}
-	root := compile(t.Root)
+}
 
-	for r := 0; r < tbl.NumRows(); r++ {
+// routeRange routes rows [lo, hi) into per-leaf buckets.
+func (root *compiledNode) routeRange(lo, hi int, buckets [][]int32) {
+	for r := lo; r < hi; r++ {
 		node := root
 		for node.match != nil {
 			if node.match(r) {
@@ -40,7 +39,80 @@ func (t *Tree) AssignRecords(tbl *relation.Table) [][]int32 {
 				node = node.right
 			}
 		}
-		groups[node.leafIndex] = append(groups[node.leafIndex], int32(r))
+		buckets[node.leafIndex] = append(buckets[node.leafIndex], int32(r))
+	}
+}
+
+// minRouteChunk is the smallest per-worker row range worth a goroutine.
+const minRouteChunk = 4096
+
+// AssignRecords routes every row of tbl through the tree (§2.1.2) and
+// returns the row groups in leaf order: groups[i] holds the rows assigned
+// to leaf i, in ascending row order. Induced cuts must be evaluated against
+// the dataset tbl belongs to before calling. Routing uses GOMAXPROCS
+// workers; see AssignRecordsParallel for an explicit budget.
+func (t *Tree) AssignRecords(tbl *relation.Table) [][]int32 {
+	return t.AssignRecordsParallel(tbl, 0)
+}
+
+// AssignRecordsParallel is AssignRecords with an explicit worker budget:
+// the tree is compiled once, the table is cut into contiguous row chunks
+// routed concurrently, and per-chunk leaf buckets are concatenated in chunk
+// order — so the groups are byte-identical at any parallelism (<= 0 selects
+// GOMAXPROCS, 1 routes sequentially on the caller).
+func (t *Tree) AssignRecordsParallel(tbl *relation.Table, parallelism int) [][]int32 {
+	leaves := t.Leaves()
+	root := compileTree(t.Root, tbl)
+	n := tbl.NumRows()
+
+	workers := parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if mw := n / minRouteChunk; workers > mw {
+		workers = mw
+	}
+	if workers <= 1 {
+		groups := make([][]int32, len(leaves))
+		root.routeRange(0, n, groups)
+		return groups
+	}
+
+	chunk := (n + workers - 1) / workers
+	perChunk := make([][][]int32, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for c := 0; c < workers; c++ {
+		go func(c int) {
+			defer wg.Done()
+			lo := c * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			buckets := make([][]int32, len(leaves))
+			root.routeRange(lo, hi, buckets)
+			perChunk[c] = buckets
+		}(c)
+	}
+	wg.Wait()
+
+	// Merge per-chunk buckets in chunk order: chunks are ascending row
+	// ranges, so each group keeps the sequential ascending order.
+	groups := make([][]int32, len(leaves))
+	for li := range groups {
+		total := 0
+		for _, buckets := range perChunk {
+			total += len(buckets[li])
+		}
+		if total == 0 {
+			continue // keep nil, as the sequential path would
+		}
+		g := make([]int32, 0, total)
+		for _, buckets := range perChunk {
+			g = append(g, buckets[li]...)
+		}
+		groups[li] = g
 	}
 	return groups
 }

@@ -168,6 +168,10 @@ func (t *Table) IsNullAt(row, col int) bool {
 	return n != nil && n[row]
 }
 
+// Nulls exposes a column's null mask for hot loops, or nil when the column
+// has no nulls. Callers must not mutate it.
+func (t *Table) Nulls(col int) []bool { return t.cols[col].nulls }
+
 // Row materializes one row as values; convenient but allocates.
 func (t *Table) Row(row int) []value.Value {
 	out := make([]value.Value, len(t.cols))

@@ -153,6 +153,11 @@ type Config struct {
 	LeafOrderKeys map[string]string
 	// Seed drives sampling.
 	Seed int64
+	// Parallelism bounds the worker budget of offline optimization:
+	// qd-tree construction (candidate precompute, cut scoring, subtree
+	// recursion) and record routing. 0 selects GOMAXPROCS, 1 forces the
+	// sequential paths; the learned layout is identical at any setting.
+	Parallelism int
 	// CostModel overrides the simulated I/O cost calibration.
 	CostModel *block.CostModel
 }
@@ -184,6 +189,7 @@ func Open(ds *Dataset, w *Workload, cfg Config) (*System, error) {
 		MaxInductionDepth: cfg.MaxInductionDepth,
 		LeafOrderKeys:     cfg.LeafOrderKeys,
 		Seed:              cfg.Seed,
+		Parallelism:       cfg.Parallelism,
 	})
 	if err != nil {
 		return nil, err
