@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench bench-build
+.PHONY: build test vet race check bench bench-build bench-replay
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ race:
 check: build vet test race
 
 # Replay-speedup and paper-figure benchmarks.
-bench: bench-build
+bench: bench-build bench-replay
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
 # Construction/routing benchmarks with a JSON perf snapshot. Compares the
@@ -30,3 +30,11 @@ bench: bench-build
 bench-build:
 	$(GO) test -run='^$$' -bench='Build|AssignRecords|Optimize' -benchmem -count=1 \
 		./internal/qdtree ./internal/core | $(GO) run ./cmd/benchjson -out BENCH_build.json
+
+# Query-execution benchmarks with a JSON perf snapshot. Compares the
+# vectorized scan/join kernels against the retained scalar reference path
+# (and the parallel replay sweep) and records the results in
+# BENCH_replay.json.
+bench-replay:
+	$(GO) test -run='^$$' -bench='ExecuteWorkload|WorkloadReplay' -benchmem -count=1 \
+		. | $(GO) run ./cmd/benchjson -out BENCH_replay.json

@@ -9,7 +9,10 @@
 // The engine's result — per-alias surviving row counts under full semantic
 // reduction — is a function of the data and the query only, never of the
 // layout, which the test suite uses as a cross-layout correctness
-// invariant.
+// invariant. The one exception is an anti join's non-preserved side: its
+// rows never reach the result (they only supply the key set — the very
+// irrelevance that makes the side block-prunable per §4.1.1), so its count
+// reflects whichever blocks the layout let the engine skip.
 package engine
 
 import (
@@ -113,13 +116,15 @@ type Engine struct {
 	ds     *relation.Dataset
 	opts   Options
 
-	// Secondary-index state, built lazily per indexed table. mu guards
-	// both maps; entries are immutable once stored, so holders may read
-	// them after releasing the lock. keyIdx caches failed builds as nil
-	// entries so unindexable columns are not retried on every query.
+	// Lazily built cross-query caches. mu guards all four maps; entries
+	// are immutable once stored, so holders may read them after releasing
+	// the lock. keyIdx and dicts cache failed builds as nil entries so
+	// unindexable/unencodable columns are not retried on every query.
 	mu      sync.Mutex
 	keyIdx  map[string]*relation.KeyIndex
 	blockOf map[string][]int32 // table → row → block ID
+	dicts   map[string]*relation.ColumnDict
+	xlate   map[string][]int32 // "tgt.col|src.col" → target code → source code
 }
 
 // New returns an engine over the store/design pair.
@@ -134,10 +139,13 @@ func New(store *block.Store, design *layout.Design, ds *relation.Dataset, opts O
 		store: store, design: design, ds: ds, opts: opts,
 		keyIdx:  map[string]*relation.KeyIndex{},
 		blockOf: map[string][]int32{},
+		dicts:   map[string]*relation.ColumnDict{},
+		xlate:   map[string][]int32{},
 	}
 }
 
-// aliasState tracks one table reference during execution.
+// aliasState tracks one table reference during scalar (reference)
+// execution.
 type aliasState struct {
 	alias  string
 	table  string
@@ -145,84 +153,57 @@ type aliasState struct {
 	rows   []int32 // surviving row indexes (after scan + filters)
 }
 
-// tableState tracks one base table's block set during execution.
+// tableState tracks one base table's block set during execution. Both the
+// vectorized and the reference path stage candidates through it, so the
+// per-stage accounting is computed identically.
 type tableState struct {
 	table      string
 	candidates []int // block IDs still scheduled for reading
 	read       bool
 	rowsRead   int
 	blocksRead int
-	aliases    []*aliasState
 
 	afterRouting, afterZoneMap, afterDiPs int
 }
 
-// Execute runs q and returns its metrics.
+// Execute runs q and returns its metrics via the vectorized kernels.
+// ExecuteReference is the retained scalar path; the two produce identical
+// Results (pinned by the kernel identity tests).
 func (e *Engine) Execute(q *workload.Query) (*Result, error) {
-	if err := q.Validate(); err != nil {
-		return nil, err
-	}
-	cost := e.store.Cost()
-	res := &Result{
-		Query:         q.ID,
-		PerTable:      map[string]*TableAccess{},
-		SurvivingRows: map[string]int{},
-		Seconds:       cost.QueryOverheadSeconds,
-	}
+	return e.executeKernel(q)
+}
 
-	// Group aliases by base table and compute candidate block sets:
-	// layout routing ∩ zone-map skipping.
+// plan validates q, groups its base tables in first-reference order, and
+// runs layout routing: each table's candidate set starts as the block IDs
+// the installed design's router returns.
+func (e *Engine) plan(q *workload.Query) (map[string]*tableState, []string, error) {
+	if err := q.Validate(); err != nil {
+		return nil, nil, err
+	}
 	tables := map[string]*tableState{}
 	var order []string
-	aliasStates := map[string]*aliasState{}
 	for _, alias := range q.Aliases() {
 		base := q.BaseTable(alias)
-		as := &aliasState{alias: alias, table: base, filter: q.FilterOn(alias)}
-		aliasStates[alias] = as
-		ts := tables[base]
-		if ts == nil {
-			ids, ok := e.design.BlocksFor(q, base)
-			if !ok {
-				return nil, fmt.Errorf("engine: query %s touches unknown table %q", q.ID, base)
-			}
-			ts = &tableState{table: base, candidates: ids, afterRouting: len(ids)}
-			tables[base] = ts
-			order = append(order, base)
+		if tables[base] != nil {
+			continue
 		}
-		ts.aliases = append(ts.aliases, as)
-	}
-
-	// Zone-map skipping: a block survives if any alias's filter might
-	// match it.
-	for _, ts := range tables {
-		tl := e.store.Layout(ts.table)
-		if tl == nil {
-			return nil, fmt.Errorf("engine: no layout installed for %q", ts.table)
+		ids, ok := e.design.BlocksFor(q, base)
+		if !ok {
+			return nil, nil, fmt.Errorf("engine: query %s touches unknown table %q", q.ID, base)
 		}
-		kept := ts.candidates[:0]
-		for _, id := range ts.candidates {
-			b := tl.Block(id)
-			for _, as := range ts.aliases {
-				if b.Zone.MaybeMatches(as.filter) {
-					kept = append(kept, id)
-					break
-				}
-			}
+		if e.store.Layout(base) == nil {
+			return nil, nil, fmt.Errorf("engine: no layout installed for %q", base)
 		}
-		ts.candidates = kept
-		ts.afterZoneMap = len(kept)
+		tables[base] = &tableState{table: base, candidates: ids, afterRouting: len(ids)}
+		order = append(order, base)
 	}
+	return tables, order, nil
+}
 
-	// diPs: plan-time pruning from zone-map range sets (§3.1.1).
-	if e.opts.DiPs {
-		e.applyDiPs(q, tables)
-	}
-	for _, ts := range tables {
-		ts.afterDiPs = len(ts.candidates)
-	}
-
-	// Materialize tables smallest-first so semi-join reduction can use
-	// exact keys from already-read tables to prune later ones.
+// matOrderOf returns the tables smallest-candidate-set-first, so semi-join
+// reduction can use exact keys from already-read tables to prune later
+// ones.
+func matOrderOf(tables map[string]*tableState, order []string) []string {
 	matOrder := append([]string(nil), order...)
 	sort.Slice(matOrder, func(i, j int) bool {
 		a, b := tables[matOrder[i]], tables[matOrder[j]]
@@ -231,21 +212,22 @@ func (e *Engine) Execute(q *workload.Query) (*Result, error) {
 		}
 		return a.table < b.table
 	})
-	reducers := 0
-	for _, name := range matOrder {
-		ts := tables[name]
-		if e.opts.SemiJoinReduction || e.opts.SecondaryIndexes[name] != "" {
-			reducers += e.runtimeBlockPrune(q, ts, aliasStates, tables)
-		}
-		if err := e.readAndFilter(ts); err != nil {
-			return nil, err
-		}
+	return matOrder
+}
+
+// assemble folds the staged table metrics and join accounting into a
+// Result. Both execution paths share it, so the floating-point additions
+// happen in the same order and the simulated Seconds agree bit for bit.
+func (e *Engine) assemble(q *workload.Query, order []string, tables map[string]*tableState,
+	surviving map[string]int, joinProbes, reducers int) *Result {
+
+	cost := e.store.Cost()
+	res := &Result{
+		Query:         q.ID,
+		PerTable:      map[string]*TableAccess{},
+		SurvivingRows: surviving,
+		Seconds:       cost.QueryOverheadSeconds,
 	}
-
-	// Semantic reduction fixpoint: surviving rows per alias.
-	joinProbes := e.semanticReduce(q, aliasStates)
-
-	// Assemble metrics.
 	for _, name := range order {
 		ts := tables[name]
 		ta := &TableAccess{
@@ -263,40 +245,7 @@ func (e *Engine) Execute(q *workload.Query) (*Result, error) {
 		res.Seconds += float64(ta.BlocksRead)*cost.BlockReadSeconds +
 			float64(ta.RowsScanned)*cost.TupleScanSeconds
 	}
-	for alias, as := range aliasStates {
-		res.SurvivingRows[alias] = len(as.rows)
-	}
 	res.Seconds += float64(joinProbes)*cost.TupleJoinSeconds +
 		float64(reducers)*cost.SemiJoinSetupSeconds
-	return res, nil
-}
-
-// readAndFilter meters the reads of the table's candidate blocks and
-// computes each alias's filtered row set.
-func (e *Engine) readAndFilter(ts *tableState) error {
-	tbl := e.ds.Table(ts.table)
-	if tbl == nil {
-		return fmt.Errorf("engine: dataset missing table %q", ts.table)
-	}
-	matchers := make([]func(int) bool, len(ts.aliases))
-	for i, as := range ts.aliases {
-		matchers[i] = predicate.Compile(as.filter, tbl)
-	}
-	for _, id := range ts.candidates {
-		b, err := e.store.ReadBlock(ts.table, id)
-		if err != nil {
-			return err
-		}
-		ts.blocksRead++
-		ts.rowsRead += b.NumRows()
-		for i, as := range ts.aliases {
-			for _, r := range b.Rows {
-				if matchers[i](int(r)) {
-					as.rows = append(as.rows, r)
-				}
-			}
-		}
-	}
-	ts.read = true
-	return nil
+	return res
 }

@@ -1,0 +1,100 @@
+// Package engine_test holds the black-box kernel identity tests: they pin
+// Execute (vectorized kernels) to ExecuteReference (retained scalar path)
+// over full SSB and TPC-H benchmark workloads, which requires importing the
+// experiments harness — hence the external test package, avoiding the
+// import cycle engine → experiments → engine.
+package engine_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"mto/internal/engine"
+	"mto/internal/experiments"
+)
+
+func identityScale() experiments.Scale {
+	s := experiments.DefaultScale()
+	s.SF = 0.005
+	s.PerTemplate = 2
+	return s
+}
+
+func identityOptions() map[string]engine.Options {
+	withDips := engine.CloudDWOptions()
+	withDips.DiPs = true
+	return map[string]engine.Options{
+		"default":      engine.DefaultOptions(),
+		"cloudDW":      engine.CloudDWOptions(),
+		"cloudDW+diPs": withDips,
+	}
+}
+
+// TestKernelIdentityOnBenchmarks asserts, per query, that the vectorized
+// kernels return a Result byte-identical to the scalar reference path —
+// same PerTable metrics, same SurvivingRows, bit-identical simulated
+// Seconds — across the SSB and TPC-H workloads under every engine option
+// set the experiments use.
+func TestKernelIdentityOnBenchmarks(t *testing.T) {
+	s := identityScale()
+	for _, bench := range []*experiments.Bench{
+		experiments.SSBBench(s), experiments.TPCHBench(s),
+	} {
+		d, err := experiments.DeployMethod(bench, experiments.MethodBaseline, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, opts := range identityOptions() {
+			e := engine.New(d.Store, d.Design, bench.Dataset, opts)
+			for _, q := range bench.Workload.Queries {
+				got, err := e.Execute(q)
+				if err != nil {
+					t.Fatalf("%s/%s/%s: kernel: %v", bench.Name, name, q.ID, err)
+				}
+				want, err := e.ExecuteReference(q)
+				if err != nil {
+					t.Fatalf("%s/%s/%s: reference: %v", bench.Name, name, q.ID, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%s/%s/%s: kernel diverges from reference:\n got %+v\nwant %+v",
+						bench.Name, name, q.ID, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestKernelIdentityUnderParallelReplay asserts whole-workload identity
+// through RunWorkload: kernel and reference replays, sequential and
+// parallel, all fold to the same WorkloadResult (including the
+// floating-point Seconds totals). Run under -race this doubles as the
+// concurrency-safety check for the engine's dictionary caches.
+func TestKernelIdentityUnderParallelReplay(t *testing.T) {
+	s := identityScale()
+	bench := experiments.SSBBench(s)
+	d, err := experiments.DeployMethod(bench, experiments.MethodBaseline, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engine.New(d.Store, d.Design, bench.Dataset, engine.CloudDWOptions())
+
+	base, err := engine.RunWorkload(e, bench.Workload.Queries,
+		engine.RunOptions{Parallelism: 1, Reference: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 4} {
+		for _, ref := range []bool{false, true} {
+			name := fmt.Sprintf("parallel=%d reference=%v", par, ref)
+			wr, err := engine.RunWorkload(e, bench.Workload.Queries,
+				engine.RunOptions{Parallelism: par, Reference: ref})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if !reflect.DeepEqual(wr, base) {
+				t.Errorf("%s: workload result diverges from sequential reference", name)
+			}
+		}
+	}
+}

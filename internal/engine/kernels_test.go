@@ -1,0 +1,268 @@
+package engine
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"mto/internal/block"
+	"mto/internal/layout"
+	"mto/internal/predicate"
+	"mto/internal/relation"
+	"mto/internal/value"
+	"mto/internal/workload"
+)
+
+// probesOf back-solves the join-probe count from the simulated Seconds of a
+// result executed with zero reducers (DefaultOptions): every other term of
+// the cost model is reconstructible from the per-table metrics.
+func probesOf(t *testing.T, store *block.Store, res *Result) int {
+	t.Helper()
+	cost := store.Cost()
+	s := res.Seconds - cost.QueryOverheadSeconds
+	for _, ta := range res.PerTable {
+		s -= float64(ta.BlocksRead)*cost.BlockReadSeconds +
+			float64(ta.RowsScanned)*cost.TupleScanSeconds
+	}
+	return int(math.Round(s / cost.TupleJoinSeconds))
+}
+
+// TestFullOuterJoinProbesChargedOnce is the regression test for the cost
+// model inflating on no-op fixpoint passes: a full outer join never reduces
+// either side, so its probe cost must accrue on the first pass only, not on
+// every pass another edge keeps the fixpoint running.
+func TestFullOuterJoinProbesChargedOnce(t *testing.T) {
+	ds := relation.NewDataset()
+	mk := func(name string, vals ...int64) {
+		tbl := relation.NewTable(relation.MustSchema(name,
+			relation.Column{Name: "k", Type: value.KindInt},
+		))
+		for _, v := range vals {
+			tbl.MustAppendRow(value.Int(v))
+		}
+		ds.MustAddTable(tbl)
+	}
+	mk("A", 1, 2, 3)
+	mk("B", 2, 3, 4)
+	mk("C", 7, 8)
+	d, err := layout.SortKeyDesign(ds, layout.SortKeys{}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := block.NewStore(block.DefaultCostModel())
+	if _, err := d.Install(store, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	q := workload.NewQuery("foj",
+		workload.TableRef{Table: "A"},
+		workload.TableRef{Table: "B"},
+		workload.TableRef{Table: "C"},
+	)
+	q.AddJoin("A", "k", "B", "k") // inner: shrinks both sides on pass 0
+	q.AddTypedJoin(workload.Join{
+		Left: "A", LeftColumn: "k", Right: "C", RightColumn: "k",
+		Type: workload.FullOuterJoin,
+	})
+
+	for _, exec := range []struct {
+		name string
+		run  func(*Engine, *workload.Query) (*Result, error)
+	}{
+		{"kernel", (*Engine).Execute},
+		{"reference", (*Engine).ExecuteReference},
+	} {
+		e := New(store, d, ds, DefaultOptions())
+		res, err := exec.run(e, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Pass 0: inner 3+3 probes (A,B → {2,3}), then FOJ 2+2 with A
+		// already reduced. Pass 1 (rerun because pass 0 changed): inner
+		// 2+2, FOJ charged nothing. Total 14; the pre-fix accounting
+		// charged the FOJ again on pass 1 for 18.
+		if got := probesOf(t, store, res); got != 14 {
+			t.Errorf("%s: probes = %d, want 14 (FOJ charged once)", exec.name, got)
+		}
+		if res.SurvivingRows["A"] != 2 || res.SurvivingRows["C"] != 2 {
+			t.Errorf("%s: survivors A=%d C=%d, want 2/2",
+				exec.name, res.SurvivingRows["A"], res.SurvivingRows["C"])
+		}
+	}
+}
+
+// TestMissingJoinColumnKeepsRows is the regression test for semanticReduce
+// over-pruning: a join column absent from one side's schema yields no key
+// set, and reducing the other side by that nil set used to empty its rows.
+// The edge must be skipped in both directions.
+func TestMissingJoinColumnKeepsRows(t *testing.T) {
+	ds := starDS(t, 100, 10000, 12)
+	store, design := installBaseline(t, ds, 500)
+
+	cases := []struct {
+		name              string
+		leftCol, rightCol string
+		wantDim, wantFact int
+	}{
+		// dim has no "nope": the nil dim key set must not empty fact.
+		{"left-missing", "nope", "did", 10, 10000},
+		// fact has no "nosuch": the nil fact key set must not empty dim.
+		{"right-missing", "id", "nosuch", 10, 10000},
+	}
+	for _, c := range cases {
+		q := workload.NewQuery("badcol-"+c.name,
+			workload.TableRef{Table: "dim"},
+			workload.TableRef{Table: "fact"},
+		)
+		q.AddJoin("dim", c.leftCol, "fact", c.rightCol)
+		q.Filter("dim", predicate.NewComparison("id", predicate.Lt, value.Int(10)))
+		for _, opts := range []Options{DefaultOptions(), CloudDWOptions()} {
+			e := New(store, design, ds, opts)
+			for _, exec := range []struct {
+				name string
+				run  func(*workload.Query) (*Result, error)
+			}{{"kernel", e.Execute}, {"reference", e.ExecuteReference}} {
+				res, err := exec.run(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.SurvivingRows["dim"] != c.wantDim || res.SurvivingRows["fact"] != c.wantFact {
+					t.Errorf("%s/%s: survivors dim=%d fact=%d, want %d/%d (edge must be a no-op)",
+						c.name, exec.name, res.SurvivingRows["dim"], res.SurvivingRows["fact"],
+						c.wantDim, c.wantFact)
+				}
+			}
+		}
+	}
+}
+
+// TestSortedKeysMixedKinds pins the kind-first total order: sets mixing
+// non-comparable kinds must sort without panicking, in same-kind runs.
+func TestSortedKeysMixedKinds(t *testing.T) {
+	set := map[value.Value]struct{}{
+		value.Int(5):       {},
+		value.String("m"):  {},
+		value.Float(2.5):   {},
+		value.Int(1):       {},
+		value.String("aa"): {},
+	}
+	keys := sortedKeys(set)
+	if len(keys) != 5 {
+		t.Fatalf("len = %d", len(keys))
+	}
+	for i := 1; i < len(keys); i++ {
+		ka, kb := keys[i-1].Kind(), keys[i].Kind()
+		if ka > kb {
+			t.Fatalf("kinds out of order at %d: %v before %v", i, keys[i-1], keys[i])
+		}
+		if ka == kb && keys[i].Less(keys[i-1]) {
+			t.Fatalf("values out of order at %d: %v before %v", i, keys[i-1], keys[i])
+		}
+	}
+}
+
+// TestAnyKeyInIntervalMixedKinds pins the hardened probe: same-kind runs
+// binary-search normally, non-comparable runs keep the block conservatively,
+// and nothing panics.
+func TestAnyKeyInIntervalMixedKinds(t *testing.T) {
+	ivInt := func(lo, hi int64) predicate.Interval {
+		return predicate.NewInterval(value.Int(lo), value.Int(hi), true, true)
+	}
+	mixed := sortedKeys(map[value.Value]struct{}{
+		value.Int(1): {}, value.Int(5): {}, value.Float(2.5): {}, value.String("m"): {},
+	})
+	if !anyKeyInInterval(mixed, ivInt(4, 6)) {
+		t.Error("int key 5 in [4,6] missed")
+	}
+	// All-numeric keys outside an int interval: provable prune still works.
+	numeric := sortedKeys(map[value.Value]struct{}{
+		value.Int(1): {}, value.Float(2.5): {},
+	})
+	if anyKeyInInterval(numeric, ivInt(10, 20)) {
+		t.Error("numeric keys wrongly kept for disjoint [10,20]")
+	}
+	// String-bounded interval vs int keys: not comparable, keep.
+	ivStr := predicate.NewInterval(value.String("a"), value.String("z"), true, true)
+	if !anyKeyInInterval(sortedKeys(map[value.Value]struct{}{value.Int(1): {}}), ivStr) {
+		t.Error("non-comparable probe must keep conservatively")
+	}
+	// The mixed set against the string interval: the string run decides.
+	if !anyKeyInInterval(mixed, ivStr) {
+		t.Error(`"m" in ["a","z"] missed`)
+	}
+}
+
+// TestAnyIntKeyInInterval pins the primitive fast path to the generic probe:
+// handled int/unbounded bounds agree with anyKeyInInterval, and non-int
+// bounds hand off to the fallback.
+func TestAnyIntKeyInInterval(t *testing.T) {
+	keys := []int64{5, 10, 20}
+	boxed := []value.Value{value.Int(5), value.Int(10), value.Int(20)}
+	ivs := []predicate.Interval{
+		predicate.NewInterval(value.Int(8), value.Int(12), true, true),
+		predicate.NewInterval(value.Int(11), value.Int(19), true, true),
+		predicate.NewInterval(value.Int(10), value.Int(20), false, false),
+		predicate.NewInterval(value.Int(20), value.Null, false, true),
+		predicate.NewInterval(value.Null, value.Int(5), true, false),
+		predicate.Unbounded(),
+		{Empty: true},
+	}
+	for _, iv := range ivs {
+		hit, handled := anyIntKeyInInterval(keys, iv)
+		if !handled {
+			t.Errorf("%v: int bounds must be handled", iv)
+			continue
+		}
+		if want := anyKeyInInterval(boxed, iv); hit != want {
+			t.Errorf("%v: fast path = %v, generic = %v", iv, hit, want)
+		}
+	}
+	if hit, handled := anyIntKeyInInterval(nil, predicate.Unbounded()); hit || !handled {
+		t.Errorf("empty keys: hit=%v handled=%v, want false/true", hit, handled)
+	}
+	// Non-int bounds defer to the generic (boxed) probe.
+	for _, iv := range []predicate.Interval{
+		predicate.NewInterval(value.Float(1.5), value.Float(9.5), true, true),
+		predicate.NewInterval(value.String("a"), value.String("z"), true, true),
+	} {
+		if _, handled := anyIntKeyInInterval(keys, iv); handled {
+			t.Errorf("%v: non-int bounds must not be handled by the fast path", iv)
+		}
+	}
+}
+
+// TestKernelMatchesReferenceSecondaryIndex pins the kernel to the scalar
+// path under secondary-index pruning, where key sets flow into KeyIndex
+// lookups instead of zone probes.
+func TestKernelMatchesReferenceSecondaryIndex(t *testing.T) {
+	ds := starDS(t, 1000, 20000, 13)
+	d, err := layout.SortKeyDesign(ds, layout.SortKeys{"fact": "v", "dim": "id"}, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := block.NewStore(block.DefaultCostModel())
+	if _, err := d.Install(store, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.SecondaryIndexes = map[string]string{"fact": "did"}
+	e := New(store, d, ds, opts)
+
+	q := workload.NewQuery("si",
+		workload.TableRef{Table: "dim"},
+		workload.TableRef{Table: "fact"},
+	)
+	q.AddJoin("dim", "id", "fact", "did")
+	q.Filter("dim", predicate.NewComparison("id", predicate.Eq, value.Int(500)))
+
+	got, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := e.ExecuteReference(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("kernel result diverges under SI:\n got %+v\nwant %+v", got, want)
+	}
+}

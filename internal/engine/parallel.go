@@ -13,6 +13,10 @@ type RunOptions struct {
 	// Values <= 0 select runtime.GOMAXPROCS(0); 1 runs the workload
 	// sequentially on the calling goroutine.
 	Parallelism int
+	// Reference replays through the scalar ExecuteReference path instead
+	// of the vectorized kernels — the baseline side of the replay
+	// benchmark and of the workload-level identity tests.
+	Reference bool
 }
 
 // TableTotals aggregates one base table's I/O across a workload.
@@ -62,11 +66,15 @@ func RunWorkload(e *Engine, queries []*workload.Query, opts RunOptions) (*Worklo
 		workers = len(queries)
 	}
 
+	exec := e.Execute
+	if opts.Reference {
+		exec = e.ExecuteReference
+	}
 	results := make([]*Result, len(queries))
 	errs := make([]error, len(queries))
 	if workers <= 1 {
 		for i, q := range queries {
-			res, err := e.Execute(q)
+			res, err := exec(q)
 			if err != nil {
 				return nil, err
 			}
@@ -82,7 +90,7 @@ func RunWorkload(e *Engine, queries []*workload.Query, opts RunOptions) (*Worklo
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				results[i], errs[i] = e.Execute(queries[i])
+				results[i], errs[i] = exec(queries[i])
 			}
 		}()
 	}

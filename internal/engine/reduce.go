@@ -35,28 +35,57 @@ func keysOf(tbl *relation.Table, rows []int32, col string) map[value.Value]struc
 	return out
 }
 
-// sortedKeys returns the key set as a sorted slice for zone-interval probes.
+// sortedKeys returns the key set as a sorted slice for zone-interval
+// probes: kind-first, then value order. Grouping by kind keeps the slice
+// totally ordered even when the set mixes non-comparable kinds (value
+// comparisons panic across, say, int and string), so anyKeyInInterval can
+// binary-search each same-kind run independently.
 func sortedKeys(set map[value.Value]struct{}) []value.Value {
 	out := make([]value.Value, 0, len(set))
 	for v := range set {
 		out = append(out, v)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	sort.Slice(out, func(i, j int) bool {
+		if ki, kj := out[i].Kind(), out[j].Kind(); ki != kj {
+			return ki < kj
+		}
+		return out[i].Less(out[j])
+	})
 	return out
 }
 
-// anyKeyInInterval reports whether some key falls inside iv.
+// anyKeyInInterval reports whether some key falls inside iv. keys must be
+// in sortedKeys order (kind-first). Keys of a kind not comparable with
+// iv's bounds cannot be proven outside the interval, so they count as hits
+// — pruning must stay conservative rather than panic on mixed-kind data.
 func anyKeyInInterval(keys []value.Value, iv predicate.Interval) bool {
 	if iv.Empty || len(keys) == 0 {
 		return false
+	}
+	for start := 0; start < len(keys); {
+		end := start + 1
+		for end < len(keys) && keys[end].Kind() == keys[start].Kind() {
+			end++
+		}
+		if groupInInterval(keys[start:end], iv) {
+			return true
+		}
+		start = end
+	}
+	return false
+}
+
+// groupInInterval probes one same-kind run of sorted keys against iv.
+func groupInInterval(keys []value.Value, iv predicate.Interval) bool {
+	if (!iv.Min.IsNull() && !keys[0].Comparable(iv.Min)) ||
+		(!iv.Max.IsNull() && !keys[0].Comparable(iv.Max)) {
+		// Non-comparable bounds cannot prove these keys miss: keep.
+		return true
 	}
 	// Binary search for the first key ≥ iv.Min (or index 0 if unbounded).
 	lo := 0
 	if !iv.Min.IsNull() {
 		lo = sort.Search(len(keys), func(i int) bool {
-			if !keys[i].Comparable(iv.Min) {
-				return true
-			}
 			cmp := keys[i].Compare(iv.Min)
 			return cmp > 0 || (cmp == 0 && iv.MinInc)
 		})
@@ -65,6 +94,45 @@ func anyKeyInInterval(keys []value.Value, iv predicate.Interval) bool {
 		return false
 	}
 	return iv.Contains(keys[lo])
+}
+
+// anyIntKeyInInterval is anyKeyInInterval specialized to sorted raw int64
+// keys — the common case for join columns, probed without boxing. handled
+// is false when a bound has a non-int kind; callers then fall back to the
+// generic boxed probe, which resolves numeric cross-kind comparisons and
+// conservative keeps exactly like the scalar path.
+func anyIntKeyInInterval(keys []int64, iv predicate.Interval) (hit, handled bool) {
+	if iv.Empty {
+		return false, true
+	}
+	if (!iv.Min.IsNull() && iv.Min.Kind() != value.KindInt) ||
+		(!iv.Max.IsNull() && iv.Max.Kind() != value.KindInt) {
+		return false, false
+	}
+	if len(keys) == 0 {
+		return false, true
+	}
+	lo := 0
+	if !iv.Min.IsNull() {
+		min := iv.Min.Int()
+		lo = sort.Search(len(keys), func(i int) bool {
+			return keys[i] > min || (keys[i] == min && iv.MinInc)
+		})
+	}
+	if lo >= len(keys) {
+		return false, true
+	}
+	if iv.Max.IsNull() {
+		return true, true
+	}
+	max := iv.Max.Int()
+	return keys[lo] < max || (keys[lo] == max && iv.MaxInc), true
+}
+
+// tableHasColumn reports whether t's schema holds col.
+func tableHasColumn(t *relation.Table, col string) bool {
+	_, ok := t.Schema().ColumnIndex(col)
+	return ok
 }
 
 // runtimeBlockPrune applies semi-join reduction at the block level before
@@ -93,7 +161,7 @@ func (e *Engine) runtimeBlockPrune(q *workload.Query, ts *tableState,
 			continue
 		}
 		otherTbl := e.ds.Table(other.table)
-		if _, ok := otherTbl.Schema().ColumnIndex(otherCol); !ok {
+		if !tableHasColumn(otherTbl, otherCol) {
 			// The join column is missing from the materialized side's
 			// schema: there are no keys to reduce with. Skip the edge —
 			// treating the nil key set as "no keys survive" would wrongly
@@ -385,6 +453,13 @@ func (e *Engine) semanticReduce(q *workload.Query, aliases map[string]*aliasStat
 		for _, j := range q.Joins {
 			l, r := aliases[j.Left], aliases[j.Right]
 			lt, rt := e.ds.Table(l.table), e.ds.Table(r.table)
+			if !tableHasColumn(lt, j.LeftColumn) || !tableHasColumn(rt, j.RightColumn) {
+				// A missing join column yields no key set; reducing the
+				// other side by the resulting nil set would wrongly drop
+				// every row. Skip the edge — like runtimeBlockPrune,
+				// there is nothing to reduce with.
+				continue
+			}
 			switch j.Type {
 			case workload.InnerJoin, workload.SemiJoin:
 				lk := keysOf(lt, l.rows, j.LeftColumn)
@@ -421,8 +496,13 @@ func (e *Engine) semanticReduce(q *workload.Query, aliases map[string]*aliasStat
 					changed = true
 				}
 			case workload.FullOuterJoin:
-				// Both sides preserved: no reduction.
-				probes += len(l.rows) + len(r.rows)
+				// Both sides preserved: no reduction. Probes accrue once
+				// — later fixpoint passes re-run only for other edges'
+				// benefit, and a pass that provably does nothing must not
+				// inflate the cost model.
+				if pass == 0 {
+					probes += len(l.rows) + len(r.rows)
+				}
 			}
 		}
 		if !changed {

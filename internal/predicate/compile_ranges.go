@@ -1,0 +1,92 @@
+package predicate
+
+// CompileRanges binds p to a reusable zone-map evaluator, mirroring
+// EvalRanges node for node. Batch zone pruning compiles each filter once
+// and then sweeps every candidate block's ranges through the returned
+// closure, instead of re-walking the predicate tree (and, for LIKE,
+// re-deriving the prefix interval) per block per alias. The result is
+// always decision-identical to p.EvalRanges(r): node types with nothing to
+// hoist delegate to the original method.
+func CompileRanges(p Predicate) func(Ranges) Tri {
+	switch q := p.(type) {
+	case *Comparison:
+		if q.Value.IsNull() {
+			return func(Ranges) Tri { return TriFalse }
+		}
+		col, op, v := q.Column, q.Op, q.Value
+		return func(r Ranges) Tri {
+			iv := r.Get(col)
+			if iv.Empty {
+				return TriFalse
+			}
+			return compareIntervalToValue(iv, op, v)
+		}
+	case *Like:
+		col := q.Column
+		if q.Negate_ {
+			return func(r Ranges) Tri {
+				if r.Get(col).Empty {
+					return TriFalse
+				}
+				return TriMaybe
+			}
+		}
+		prefix, ok := likePrefix(q.Pattern)
+		if !ok || prefix == "" {
+			return func(r Ranges) Tri {
+				if r.Get(col).Empty {
+					return TriFalse
+				}
+				return TriMaybe
+			}
+		}
+		pi := prefixInterval(prefix)
+		return func(r Ranges) Tri {
+			iv := r.Get(col)
+			if iv.Empty {
+				return TriFalse
+			}
+			if iv.Intersect(pi).Empty {
+				return TriFalse
+			}
+			return TriMaybe
+		}
+	case *And:
+		kids := make([]func(Ranges) Tri, len(q.Children))
+		for i, c := range q.Children {
+			kids[i] = CompileRanges(c)
+		}
+		return func(r Ranges) Tri {
+			res := TriTrue
+			for _, k := range kids {
+				switch k(r) {
+				case TriFalse:
+					return TriFalse
+				case TriMaybe:
+					res = TriMaybe
+				}
+			}
+			return res
+		}
+	case *Or:
+		kids := make([]func(Ranges) Tri, len(q.Children))
+		for i, c := range q.Children {
+			kids[i] = CompileRanges(c)
+		}
+		return func(r Ranges) Tri {
+			res := TriFalse
+			for _, k := range kids {
+				switch k(r) {
+				case TriTrue:
+					return TriTrue
+				case TriMaybe:
+					res = TriMaybe
+				}
+			}
+			return res
+		}
+	}
+	// InList, ColumnComparison, Const: per-call work is already minimal and
+	// nothing precomputes; reuse the method directly.
+	return p.EvalRanges
+}

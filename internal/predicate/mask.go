@@ -120,6 +120,24 @@ func CompileMask(p Predicate, t *relation.Table, mask []uint64) bool {
 	return false
 }
 
+// FillMask computes p's full-table match mask: bit r of mask is set iff
+// row r of t satisfies p. Fast shapes use CompileMask's branchless loops;
+// anything else (LIKE, column-column comparisons, float IN lists) falls
+// back to the compiled per-row evaluator, so every predicate is supported.
+// mask must be zeroed and hold at least (t.NumRows()+63)/64 words.
+func FillMask(p Predicate, t *relation.Table, mask []uint64) {
+	if CompileMask(p, t, mask) {
+		return
+	}
+	fn := Compile(p, t)
+	n := t.NumRows()
+	for r := 0; r < n; r++ {
+		if fn(r) {
+			mask[r>>6] |= 1 << (uint(r) & 63)
+		}
+	}
+}
+
 // maskCompare sets the bit of every row whose value satisfies (v op lit).
 // The operator switch runs once; each arm is a tight branchless loop (the
 // bool-to-bit conversion compiles to a flag set, so ~50%-selective cuts pay

@@ -1,0 +1,117 @@
+package relation
+
+import (
+	"testing"
+
+	"mto/internal/value"
+)
+
+func dictTable(t *testing.T) *Table {
+	t.Helper()
+	tbl := NewTable(MustSchema("t",
+		Column{Name: "k", Type: value.KindInt},
+		Column{Name: "s", Type: value.KindString},
+		Column{Name: "f", Type: value.KindFloat},
+	))
+	rows := []struct {
+		k value.Value
+		s value.Value
+	}{
+		{value.Int(30), value.String("b")},
+		{value.Int(10), value.String("a")},
+		{value.Int(30), value.String("c")},
+		{value.Null, value.String("a")},
+		{value.Int(20), value.Null},
+	}
+	for _, r := range rows {
+		tbl.MustAppendRow(r.k, r.s, value.Float(1.5))
+	}
+	return tbl
+}
+
+func TestBuildColumnDictInt(t *testing.T) {
+	d, err := BuildColumnDict(dictTable(t), "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumCodes() != 3 {
+		t.Fatalf("codes = %d, want 3 distinct", d.NumCodes())
+	}
+	wantVals := []int64{10, 20, 30}
+	for i, v := range wantVals {
+		if d.Ints[i] != v {
+			t.Errorf("Ints[%d] = %d, want %d (ascending)", i, d.Ints[i], v)
+		}
+	}
+	wantCodes := []int32{2, 0, 2, -1, 1}
+	for r, c := range wantCodes {
+		if d.Codes[r] != c {
+			t.Errorf("Codes[%d] = %d, want %d", r, d.Codes[r], c)
+		}
+	}
+	if got := d.Value(1); !got.Equal(value.Int(20)) {
+		t.Errorf("Value(1) = %v", got)
+	}
+}
+
+func TestBuildColumnDictString(t *testing.T) {
+	d, err := BuildColumnDict(dictTable(t), "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumCodes() != 3 || d.Strs[0] != "a" || d.Strs[2] != "c" {
+		t.Fatalf("string dict = %v", d.Strs)
+	}
+	wantCodes := []int32{1, 0, 2, 0, -1}
+	for r, c := range wantCodes {
+		if d.Codes[r] != c {
+			t.Errorf("Codes[%d] = %d, want %d", r, d.Codes[r], c)
+		}
+	}
+}
+
+func TestBuildColumnDictUnsupported(t *testing.T) {
+	if _, err := BuildColumnDict(dictTable(t), "f"); err == nil {
+		t.Error("float column dictionary-encoded")
+	}
+	if _, err := BuildColumnDict(dictTable(t), "nope"); err == nil {
+		t.Error("missing column dictionary-encoded")
+	}
+}
+
+func TestTranslateCodes(t *testing.T) {
+	a := NewTable(MustSchema("a", Column{Name: "k", Type: value.KindInt}))
+	for _, v := range []int64{1, 3, 5, 7} {
+		a.MustAppendRow(value.Int(v))
+	}
+	b := NewTable(MustSchema("b", Column{Name: "k", Type: value.KindInt}))
+	for _, v := range []int64{3, 4, 7, 9} {
+		b.MustAppendRow(value.Int(v))
+	}
+	da, _ := BuildColumnDict(a, "k")
+	db, _ := BuildColumnDict(b, "k")
+	xl := TranslateCodes(da, db)
+	// a's values {1,3,5,7} → b codes for {3,7}, -1 otherwise.
+	want := []int32{-1, 0, -1, 2}
+	for i, w := range want {
+		if xl[i] != w {
+			t.Errorf("xl[%d] = %d, want %d", i, xl[i], w)
+		}
+	}
+	// Same-dictionary translation is the identity.
+	self := TranslateCodes(da, da)
+	for i, c := range self {
+		if c != int32(i) {
+			t.Errorf("self xl[%d] = %d", i, c)
+		}
+	}
+	// Cross-kind translation never matches.
+	s := NewTable(MustSchema("s", Column{Name: "k", Type: value.KindString}))
+	s.MustAppendRow(value.String("3"))
+	dsd, _ := BuildColumnDict(s, "k")
+	for i, c := range TranslateCodes(da, dsd) {
+		if c != -1 {
+			t.Errorf("cross-kind xl[%d] = %d, want -1", i, c)
+		}
+	}
+}
