@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench bench-build bench-replay
+.PHONY: build test vet race check bench bench-build bench-replay bench-induce
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ race:
 check: build vet test race
 
 # Replay-speedup and paper-figure benchmarks.
-bench: bench-build bench-replay
+bench: bench-build bench-replay bench-induce
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
 # Construction/routing benchmarks with a JSON perf snapshot. Compares the
@@ -38,3 +38,11 @@ bench-build:
 bench-replay:
 	$(GO) test -run='^$$' -bench='ExecuteWorkload|WorkloadReplay' -benchmem -count=1 \
 		. | $(GO) run ./cmd/benchjson -out BENCH_replay.json
+
+# Induced-predicate evaluation benchmarks with a JSON perf snapshot.
+# Compares the batched work-sharing evaluator against the retained scalar
+# reference on the TPC-H induction workload, plus the end-to-end Optimize
+# path that feeds through it, and records the results in BENCH_induce.json.
+bench-induce:
+	$(GO) test -run='^$$' -bench='InduceEvaluate|Optimize' -benchmem -count=1 \
+		./internal/induce ./internal/core | $(GO) run ./cmd/benchjson -out BENCH_induce.json

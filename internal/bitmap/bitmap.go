@@ -17,6 +17,7 @@ package bitmap
 import (
 	"fmt"
 	"math/bits"
+	"slices"
 	"sort"
 	"strings"
 )
@@ -96,6 +97,99 @@ func (b *Bitmap) getOrCreate(key uint16) *container {
 func (b *Bitmap) Add(v uint32) {
 	key, low := uint16(v>>16), uint16(v)
 	b.getOrCreate(key).add(low)
+}
+
+// AddMany inserts every value of vals. It is equivalent to calling Add per
+// value but sorts the batch first so each chunk's container is resolved
+// once, with its incoming count known up front: a container guaranteed to
+// overflow the array representation upgrades to its bitset form before any
+// insertion — turning O(card) sorted-array insertions into O(1) bit sets.
+// Bulk construction of join-induced literal cuts feeds whole column
+// projections through this path. vals may be unsorted and may contain
+// duplicates; it is sorted in place.
+func (b *Bitmap) AddMany(vals []uint32) {
+	if len(vals) == 0 {
+		return
+	}
+	slices.Sort(vals)
+	for i := 0; i < len(vals); {
+		key := uint16(vals[i] >> 16)
+		j := i + 1
+		for j < len(vals) && uint16(vals[j]>>16) == key {
+			j++
+		}
+		c := b.getOrCreate(key)
+		// Pre-convert when the batch cannot fit the array form (run
+		// containers convert per-add anyway; doing it once is cheaper).
+		// j-i counts duplicates, so this can over-trigger; Optimize picks
+		// the final representation from content either way.
+		if c.kind == kindRun || (c.kind == kindArray && c.card+(j-i) > arrayMaxCard) {
+			c.toBitmap()
+		}
+		if c.kind == kindBitmap {
+			for _, v := range vals[i:j] {
+				w, m := uint16(v)>>6, uint64(1)<<(v&63)
+				if c.words[w]&m == 0 {
+					c.words[w] |= m
+					c.card++
+				}
+			}
+		} else {
+			for _, v := range vals[i:j] {
+				c.add(uint16(v))
+			}
+		}
+		i = j
+	}
+}
+
+// Max returns the largest value in the set, or ok=false when empty.
+func (b *Bitmap) Max() (uint32, bool) {
+	if len(b.keys) == 0 {
+		return 0, false
+	}
+	c := b.containers[len(b.containers)-1]
+	base := uint32(b.keys[len(b.keys)-1]) << 16
+	switch c.kind {
+	case kindArray:
+		return base | uint32(c.array[len(c.array)-1]), true
+	case kindBitmap:
+		for w := len(c.words) - 1; w >= 0; w-- {
+			if c.words[w] != 0 {
+				return base | uint32(w<<6+63-bits.LeadingZeros64(c.words[w])), true
+			}
+		}
+	case kindRun:
+		r := c.runs[len(c.runs)-1]
+		return base | (uint32(r.start) + uint32(r.length)), true
+	}
+	return 0, false
+}
+
+// FillDense sets bit v of d for every member v of b that fits in d,
+// materializing the compressed set as a flat probe table. Bitmap containers
+// copy word-for-word; array and run containers set their members bit by
+// bit. Members beyond d's capacity are skipped.
+func (b *Bitmap) FillDense(d Dense) {
+	limit := uint64(len(d)) << 6
+	for i, key := range b.keys {
+		base := uint32(key) << 16
+		if uint64(base) >= limit {
+			return
+		}
+		c := b.containers[i]
+		if c.kind == kindBitmap {
+			copy(d[base>>6:], c.words)
+			continue
+		}
+		c.forEach(base, func(v uint32) bool {
+			if uint64(v) >= limit {
+				return false
+			}
+			d.Set(int(v))
+			return true
+		})
+	}
 }
 
 // AddRange inserts every value in [lo, hi] inclusive.

@@ -331,3 +331,85 @@ func equalSlices(a, b []uint32) bool {
 	}
 	return true
 }
+
+// TestAddManyMatchesAdd checks AddMany against per-value Add across input
+// shapes that exercise every container transition: sparse arrays, dense
+// bitmap promotion, run containers built via AddRange then extended, exact
+// arrayMaxCard boundaries, duplicates, and unsorted cross-container input.
+func TestAddManyMatchesAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := map[string][]uint32{
+		"empty":  nil,
+		"single": {42},
+		"sparse": {1, 70000, 1 << 20, 1<<32 - 1, 3, 70001},
+		"dups":   {5, 5, 5, 65536, 65536, 5},
+	}
+	// Exactly arrayMaxCard distinct values in one chunk: must stay an array.
+	boundary := make([]uint32, 0, arrayMaxCard)
+	for i := 0; i < arrayMaxCard; i++ {
+		boundary = append(boundary, uint32(i*3))
+	}
+	cases["array-boundary"] = boundary
+	// One more than arrayMaxCard forces promotion to a bitmap container.
+	cases["promote"] = append(append([]uint32{}, boundary...), uint32(arrayMaxCard*3))
+	// Random unsorted values spread over a few chunks, with duplicates.
+	random := make([]uint32, 20000)
+	for i := range random {
+		random[i] = uint32(rng.Intn(4 << 16))
+	}
+	cases["random"] = random
+
+	for name, vals := range cases {
+		for _, preset := range []string{"fresh", "array", "run", "bitmap"} {
+			want, got := New(), New()
+			switch preset {
+			case "array":
+				for i := 0; i < 100; i++ {
+					want.Add(uint32(i * 7))
+					got.Add(uint32(i * 7))
+				}
+			case "run":
+				want.AddRange(10, 5000)
+				got.AddRange(10, 5000)
+				want.Optimize()
+				got.Optimize()
+			case "bitmap":
+				for i := 0; i < 2*arrayMaxCard; i++ {
+					want.Add(uint32(i * 2))
+					got.Add(uint32(i * 2))
+				}
+			}
+			for _, v := range vals {
+				want.Add(v)
+			}
+			got.AddMany(vals)
+			if got.Cardinality() != want.Cardinality() {
+				t.Fatalf("%s/%s: card %d, want %d", name, preset, got.Cardinality(), want.Cardinality())
+			}
+			if !Equal(got, want) {
+				t.Fatalf("%s/%s: contents differ from per-value Add", name, preset)
+			}
+			// After Optimize the representation is determined by content
+			// alone, so the size estimates must agree too.
+			want.Optimize()
+			got.Optimize()
+			if g, w := got.SizeBytes(), want.SizeBytes(); g != w {
+				t.Errorf("%s/%s: optimized SizeBytes %d, want %d", name, preset, g, w)
+			}
+		}
+	}
+}
+
+func TestAddManyQuick(t *testing.T) {
+	f := func(vals []uint32) bool {
+		want, got := New(), New()
+		for _, v := range vals {
+			want.Add(v)
+		}
+		got.AddMany(vals)
+		return Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"math"
 	"math/rand"
 	"testing"
@@ -476,5 +477,67 @@ func TestUniqueRestrictionAblation(t *testing.T) {
 	}
 	if got := ablated.Tree("dim").Stats().InducedCuts; got == 0 {
 		t.Error("ablated build should induce into dim")
+	}
+}
+
+// TestLayoutIdentityAcrossParallelism pins the determinism contract of the
+// whole offline phase: with join induction and sampling on, the learned
+// layout — tree JSON and block assignments — is byte-identical at any
+// Parallelism setting. This exercises the batched induced-predicate
+// evaluator, the bounded per-table build fan-out, and the parallel
+// re-evaluation of induced cuts over the full dataset.
+func TestLayoutIdentityAcrossParallelism(t *testing.T) {
+	ds1 := starDS(t, 50, 4000, 3)
+	ds8 := starDS(t, 50, 4000, 3)
+	w := attrWorkload(6)
+	opts := Options{
+		BlockSize: 200, JoinInduction: true, SampleRate: 0.3, Seed: 11,
+	}
+	opts1, opts8 := opts, opts
+	opts1.Parallelism = 1
+	opts8.Parallelism = 8
+
+	o1, err := Optimize(ds1, w, opts1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o8, err := Optimize(ds8, w, opts8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := o1.BuildDesign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d8, err := o8.BuildDesign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, table := range []string{"dim", "fact"} {
+		j1, err := json.Marshal(o1.Tree(table))
+		if err != nil {
+			t.Fatal(err)
+		}
+		j8, err := json.Marshal(o8.Tree(table))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(j1) != string(j8) {
+			t.Errorf("%s: tree JSON differs between Parallelism 1 and 8", table)
+		}
+		g1, g8 := d1.Table(table).Groups(), d8.Table(table).Groups()
+		if len(g1) != len(g8) {
+			t.Fatalf("%s: %d groups vs %d", table, len(g1), len(g8))
+		}
+		for i := range g1 {
+			if len(g1[i]) != len(g8[i]) {
+				t.Fatalf("%s: group %d size %d vs %d", table, i, len(g1[i]), len(g8[i]))
+			}
+			for j := range g1[i] {
+				if g1[i][j] != g8[i][j] {
+					t.Fatalf("%s: group %d row %d: %d vs %d", table, i, j, g1[i][j], g8[i][j])
+				}
+			}
+		}
 	}
 }

@@ -11,6 +11,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -139,15 +140,17 @@ func Optimize(ds *relation.Dataset, w *workload.Workload, opts Options) (*Optimi
 	// Step 1a: simple predicates per table.
 	simple := workload.SimplePredicates(w)
 
-	// Steps 1b–1c: join-induced predicates, evaluated on the sample.
+	// Steps 1b–1c: join-induced predicates, evaluated on the sample through
+	// the batched evaluator: one pass per distinct source scan, shared hop
+	// prefixes, and a worker pool bounded by Parallelism.
 	var inducedByTable map[string][]*induce.Predicate
 	if opts.JoinInduction {
 		inducedByTable = induce.FromWorkload(w, o.unique, opts.MaxInductionDepth)
+		if err := induce.EvaluateAll(buildDS, flattenInduced(inducedByTable), opts.Parallelism); err != nil {
+			return nil, err
+		}
 		for _, ips := range inducedByTable {
 			for _, ip := range ips {
-				if err := ip.Evaluate(buildDS); err != nil {
-					return nil, err
-				}
 				// Per-hop CA rates: a hop only thins the literal if its
 				// scanned table was actually sampled (small tables are
 				// kept whole, §4.2).
@@ -165,12 +168,16 @@ func Optimize(ds *relation.Dataset, w *workload.Workload, opts Options) (*Optimi
 	}
 
 	// Step 2: one qd-tree per table. Tables are independent (their
-	// candidate cuts are already materialized), so they build in parallel.
+	// candidate cuts are already materialized), so they build in parallel —
+	// behind a semaphore sized by Parallelism, so the knob caps how many
+	// table builds run at once instead of fanning out one goroutine per
+	// table unconditionally.
 	var (
 		mu       sync.Mutex
 		wg       sync.WaitGroup
 		firstErr error
 	)
+	sem := make(chan struct{}, effectiveParallelism(opts.Parallelism))
 	for _, name := range ds.TableNames() {
 		var cuts []qdtree.Cut
 		for _, p := range simple[name] {
@@ -186,8 +193,10 @@ func Optimize(ds *relation.Dataset, w *workload.Workload, opts Options) (*Optimi
 			rate = 1
 		}
 		wg.Add(1)
+		sem <- struct{}{}
 		go func(name string, cuts []qdtree.Cut, rate float64) {
 			defer wg.Done()
+			defer func() { <-sem }()
 			tree, err := qdtree.Build(buildDS.Table(name), qdtree.BuildQueries(w, name), cuts, qdtree.Config{
 				Table:        name,
 				BlockSize:    opts.BlockSize,
@@ -221,22 +230,53 @@ func Optimize(ds *relation.Dataset, w *workload.Workload, opts Options) (*Optimi
 	return o, nil
 }
 
+// effectiveParallelism resolves the Parallelism knob: <= 0 means "use every
+// CPU", anything else is the exact worker budget.
+func effectiveParallelism(p int) int {
+	if p <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// flattenInduced flattens the per-target predicate map into one slice in
+// deterministic (sorted target, insertion) order, so batched evaluation
+// reports errors deterministically across runs.
+func flattenInduced(byTable map[string][]*induce.Predicate) []*induce.Predicate {
+	targets := make([]string, 0, len(byTable))
+	for name := range byTable {
+		targets = append(targets, name)
+	}
+	sort.Strings(targets)
+	var out []*induce.Predicate
+	for _, name := range targets {
+		out = append(out, byTable[name]...)
+	}
+	return out
+}
+
 // reevaluateInducedCuts re-runs every chosen cut's semi-join chain on the
 // full dataset (they were evaluated on the sample during construction).
+// The chosen cuts are deduplicated across trees, then batch-evaluated with
+// shared scans and the same worker budget as the build.
 func (o *Optimizer) reevaluateInducedCuts() error {
 	done := map[*induce.Predicate]bool{}
-	for _, tree := range o.trees {
-		for _, ic := range tree.InducedCuts() {
+	var preds []*induce.Predicate
+	names := make([]string, 0, len(o.trees))
+	for name := range o.trees {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for _, ic := range o.trees[name].InducedCuts() {
 			if done[ic.Ind] {
 				continue
 			}
 			done[ic.Ind] = true
-			if err := ic.Ind.Evaluate(o.ds); err != nil {
-				return err
-			}
+			preds = append(preds, ic.Ind)
 		}
 	}
-	return nil
+	return induce.EvaluateAll(o.ds, preds, o.opts.Parallelism)
 }
 
 // Tree returns the learned qd-tree for a table (nil if unknown).

@@ -1,0 +1,254 @@
+package induce
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"testing"
+
+	"mto/internal/datagen"
+	"mto/internal/joingraph"
+	"mto/internal/predicate"
+	"mto/internal/relation"
+	"mto/internal/value"
+	"mto/internal/workload"
+)
+
+// keySetElems extracts a key set's contents in sorted order for comparison.
+func keySetElems(s *keySet) ([]int64, []string) {
+	var ints []int64
+	s.bm.ForEach(func(v uint32) bool {
+		ints = append(ints, int64(v))
+		return true
+	})
+	for k := range s.overflow {
+		ints = append(ints, k)
+	}
+	sort.Slice(ints, func(i, j int) bool { return ints[i] < ints[j] })
+	strs := make([]string, 0, len(s.strs))
+	for k := range s.strs {
+		strs = append(strs, k)
+	}
+	sort.Strings(strs)
+	return ints, strs
+}
+
+// requireSameStages asserts the batched predicate's stages are literally
+// identical to the scalar one's: per stage, cardinality, memory estimate,
+// and every member.
+func requireSameStages(t *testing.T, ctx string, batched, scalar *Predicate) {
+	t.Helper()
+	if len(batched.stages) != len(scalar.stages) {
+		t.Fatalf("%s: stage count %d vs %d", ctx, len(batched.stages), len(scalar.stages))
+	}
+	for i := range batched.stages {
+		b, s := batched.stages[i], scalar.stages[i]
+		if b.card() != s.card() {
+			t.Fatalf("%s: stage %d card %d vs %d", ctx, i, b.card(), s.card())
+		}
+		if b.memBytes() != s.memBytes() {
+			t.Errorf("%s: stage %d memBytes %d vs %d", ctx, i, b.memBytes(), s.memBytes())
+		}
+		bi, bs := keySetElems(b)
+		si, ss := keySetElems(s)
+		if len(bi) != len(si) || len(bs) != len(ss) {
+			t.Fatalf("%s: stage %d element counts differ", ctx, i)
+		}
+		for j := range bi {
+			if bi[j] != si[j] {
+				t.Fatalf("%s: stage %d int elem %d: %d vs %d", ctx, i, j, bi[j], si[j])
+			}
+		}
+		for j := range bs {
+			if bs[j] != ss[j] {
+				t.Fatalf("%s: stage %d str elem %d: %q vs %q", ctx, i, j, bs[j], ss[j])
+			}
+		}
+	}
+}
+
+func TestEvaluateAllSharesPrefixesAndMatchesScalar(t *testing.T) {
+	ds := buildCBADataset(t)
+	cut := predicate.NewComparison("z", predicate.Gt, value.Int(200))
+	short := joingraph.Path{Hops: cbaPath().Hops[:1]} // C → B
+	long := cbaPath()                                 // C → B → A
+
+	p1 := New(short, cut)
+	p2 := New(long, cut)
+	p3 := New(long, predicate.NewComparison("z", predicate.Le, value.Int(200)))
+	if err := EvaluateAll(ds, []*Predicate{p1, p2, p3}, 2); err != nil {
+		t.Fatal(err)
+	}
+	// p1 and p2 share (source cut, first hop): stage 0 is one shared set.
+	if p1.stages[0] != p2.stages[0] {
+		t.Error("shared prefix should reuse one key set")
+	}
+	if !p1.stages[0].shared {
+		t.Error("reused set should be marked shared")
+	}
+	// p3 has a different source cut: nothing shared.
+	if p3.stages[0] == p1.stages[0] || p3.stages[0].shared {
+		t.Error("distinct cut must not share stage sets")
+	}
+
+	for i, pair := range []struct {
+		path joingraph.Path
+		cut  predicate.Predicate
+		got  *Predicate
+	}{{short, cut, p1}, {long, cut, p2}, {long, p3.SourceCut, p3}} {
+		ref := New(pair.path, pair.cut)
+		if err := ref.Evaluate(ds); err != nil {
+			t.Fatal(err)
+		}
+		requireSameStages(t, fmt.Sprintf("pred %d", i), pair.got, ref)
+	}
+}
+
+// TestSharedStageCopyOnWrite pins the COW contract: incremental maintenance
+// of one predicate must not leak into siblings sharing a stage set.
+func TestSharedStageCopyOnWrite(t *testing.T) {
+	ds := buildCBADataset(t)
+	cut := predicate.NewComparison("z", predicate.Gt, value.Int(200))
+	p1 := New(joingraph.Path{Hops: cbaPath().Hops[:1]}, cut)
+	p2 := New(cbaPath(), cut)
+	if err := EvaluateAll(ds, []*Predicate{p1, p2}, 1); err != nil {
+		t.Fatal(err)
+	}
+	sharedBefore := p2.stages[0]
+	cardBefore := sharedBefore.card()
+
+	// Insert a C row satisfying the cut and apply it to p1 only.
+	c := ds.Table("C")
+	c.MustAppendRow(value.Int(6), value.Int(600))
+	if err := p1.ApplyInsert(ds, "C", []int{c.NumRows() - 1}); err != nil {
+		t.Fatal(err)
+	}
+	if p1.stages[0] == sharedBefore {
+		t.Fatal("mutation should have cloned the shared set")
+	}
+	if p1.stages[0].card() != cardBefore+1 {
+		t.Errorf("p1 stage 0 card = %d, want %d", p1.stages[0].card(), cardBefore+1)
+	}
+	if p2.stages[0] != sharedBefore || p2.stages[0].card() != cardBefore {
+		t.Error("sibling's shared set was mutated")
+	}
+	// The clone itself is private now: further changes mutate in place.
+	cloned := p1.stages[0]
+	c.MustAppendRow(value.Int(7), value.Int(700))
+	if err := p1.ApplyInsert(ds, "C", []int{c.NumRows() - 1}); err != nil {
+		t.Fatal(err)
+	}
+	if p1.stages[0] != cloned {
+		t.Error("private set should not be re-cloned")
+	}
+}
+
+func TestEvaluateAllErrorsMatchScalar(t *testing.T) {
+	ds := buildCBADataset(t)
+	bad := []*Predicate{
+		New(joingraph.Path{Hops: []joingraph.Hop{
+			{FromTable: "ZZZ", FromColumn: "k", ToTable: "A", ToColumn: "bkey"},
+		}}, predicate.True()),
+		New(joingraph.Path{Hops: []joingraph.Hop{
+			{FromTable: "C", FromColumn: "nope", ToTable: "B", ToColumn: "ckey"},
+		}}, predicate.True()),
+		New(joingraph.Path{Hops: []joingraph.Hop{
+			{FromTable: "C", FromColumn: "ckey", ToTable: "B", ToColumn: "ckey"},
+			{FromTable: "ZZZ", FromColumn: "bkey", ToTable: "A", ToColumn: "bkey"},
+		}}, predicate.True()),
+	}
+	for i, p := range bad {
+		ref := New(p.Path, p.SourceCut)
+		refErr := ref.Evaluate(ds)
+		if refErr == nil {
+			t.Fatalf("case %d: scalar accepted bad predicate", i)
+		}
+		gotErr := EvaluateAll(ds, []*Predicate{New(p.Path, p.SourceCut)}, 1)
+		if gotErr == nil || gotErr.Error() != refErr.Error() {
+			t.Errorf("case %d: batched err %v, scalar err %v", i, gotErr, refErr)
+		}
+	}
+	// On error, no input predicate is left half-evaluated.
+	p := New(bad[2].Path, bad[2].SourceCut)
+	if err := EvaluateAll(ds, []*Predicate{p}, 1); err == nil || p.Evaluated() {
+		t.Error("failed EvaluateAll must leave predicates unevaluated")
+	}
+	// Empty input is a no-op.
+	if err := EvaluateAll(ds, nil, 4); err != nil {
+		t.Error(err)
+	}
+}
+
+// uniqueFromDS mirrors core.UniqueFromDataset without importing core.
+func uniqueFromDS(ds *relation.Dataset) joingraph.UniqueFn {
+	return func(table, column string) bool {
+		t := ds.Table(table)
+		return t != nil && t.Schema().IsUnique(column)
+	}
+}
+
+// flattenSorted flattens FromWorkload output deterministically.
+func flattenSorted(byTable map[string][]*Predicate) []*Predicate {
+	var targets []string
+	for name := range byTable {
+		targets = append(targets, name)
+	}
+	sort.Strings(targets)
+	var out []*Predicate
+	for _, name := range targets {
+		out = append(out, byTable[name]...)
+	}
+	return out
+}
+
+// TestEvaluateAllIdentityWorkloads is the cross-implementation identity
+// property: over the SSB, TPC-H, and TPC-DS workloads, at sample rates
+// {1, 0.1} and parallelism {1, 4, GOMAXPROCS}, batched evaluation produces
+// stages literally identical to the scalar reference.
+func TestEvaluateAllIdentityWorkloads(t *testing.T) {
+	cases := []struct {
+		name string
+		ds   *relation.Dataset
+		w    *workload.Workload
+	}{
+		{"ssb", datagen.SSB(datagen.SSBConfig{ScaleFactor: 0.002, Seed: 1}), datagen.SSBWorkload(1)},
+		{"tpch", datagen.TPCH(datagen.TPCHConfig{ScaleFactor: 0.002, Seed: 1}), datagen.TPCHWorkload(1, 1)},
+		{"tpcds", datagen.TPCDS(datagen.TPCDSConfig{ScaleFactor: 0.002, Seed: 1}), datagen.TPCDSWorkload(1)},
+	}
+	parallelisms := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, tc := range cases {
+		preds := flattenSorted(FromWorkload(tc.w, uniqueFromDS(tc.ds), 4))
+		if len(preds) == 0 {
+			t.Fatalf("%s: workload induced no predicates", tc.name)
+		}
+		for _, rate := range []float64{1, 0.1} {
+			evalDS := tc.ds
+			if rate < 1 {
+				evalDS, _ = tc.ds.Sample(rate, 1000, rand.New(rand.NewSource(42)))
+			}
+			// Scalar reference, evaluated once per (workload, rate).
+			refs := make([]*Predicate, len(preds))
+			for i, p := range preds {
+				refs[i] = New(p.Path, p.SourceCut)
+				if err := refs[i].Evaluate(evalDS); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, par := range parallelisms {
+				batched := make([]*Predicate, len(preds))
+				for i, p := range preds {
+					batched[i] = New(p.Path, p.SourceCut)
+				}
+				if err := EvaluateAll(evalDS, batched, par); err != nil {
+					t.Fatal(err)
+				}
+				for i := range preds {
+					ctx := fmt.Sprintf("%s rate=%g par=%d pred=%d %s",
+						tc.name, rate, par, i, preds[i])
+					requireSameStages(t, ctx, batched[i], refs[i])
+				}
+			}
+		}
+	}
+}

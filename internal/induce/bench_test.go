@@ -1,0 +1,46 @@
+package induce
+
+import (
+	"testing"
+
+	"mto/internal/datagen"
+)
+
+// BenchmarkInduceEvaluate compares the batched work-sharing evaluator
+// against the scalar reference on the TPC-H induction workload — the
+// dominant cost of MTO's offline phase on join-heavy schemas (paper §6.3,
+// Table 3). Both produce byte-identical stages; see
+// TestEvaluateAllIdentityWorkloads.
+func BenchmarkInduceEvaluate(b *testing.B) {
+	ds := datagen.TPCH(datagen.TPCHConfig{ScaleFactor: 0.01, Seed: 1})
+	w := datagen.TPCHWorkload(2, 1)
+	preds := flattenSorted(FromWorkload(w, uniqueFromDS(ds), 4))
+	if len(preds) == 0 {
+		b.Fatal("workload induced no predicates")
+	}
+
+	b.Run("batched", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fresh := make([]*Predicate, len(preds))
+			for j, p := range preds {
+				fresh[j] = New(p.Path, p.SourceCut)
+			}
+			if err := EvaluateAll(ds, fresh, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("scalar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, p := range preds {
+				fresh := New(p.Path, p.SourceCut)
+				if err := fresh.Evaluate(ds); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

@@ -53,12 +53,31 @@ func (p *Predicate) Depth() int { return p.Path.Depth() }
 // Evaluated reports whether the literal form has been materialized.
 func (p *Predicate) Evaluated() bool { return len(p.stages) > 0 }
 
+// checkJoinColumnKind enforces the keySet kind contract at evaluation time:
+// scanned join columns must be int or string. Nulls inside a supported
+// column are dropped (equijoins never match null); an unsupported column
+// kind (e.g. float join keys) would silently evaluate to an always-empty —
+// and therefore wrong — literal cut, so it is an explicit error instead.
+func checkJoinColumnKind(t *relation.Table, ci int) error {
+	kind := t.Schema().Column(ci).Type
+	if kind != value.KindInt && kind != value.KindString {
+		return fmt.Errorf("induce: unsupported %s join column %s.%s",
+			kind, t.Schema().Table(), t.Schema().Column(ci).Name)
+	}
+	return nil
+}
+
 // Evaluate materializes the literal cut by running the semi-join chain over
 // ds (§3.2.1 step 1c). It may be called again after data changes to rebuild
 // from scratch; prefer ApplyInsert/ApplyDelete for incremental maintenance.
+//
+// This is the scalar reference implementation; EvaluateAll is the batched
+// production path and must stay byte-identical to it. On error the
+// predicate is left unchanged (a previously evaluated literal stays valid),
+// never half-materialized.
 func (p *Predicate) Evaluate(ds *relation.Dataset) error {
 	hops := p.Path.Hops
-	p.stages = make([]*keySet, len(hops))
+	stages := make([]*keySet, len(hops))
 
 	src := ds.Table(p.Path.Source())
 	if src == nil {
@@ -69,6 +88,9 @@ func (p *Predicate) Evaluate(ds *relation.Dataset) error {
 	if !ok {
 		return fmt.Errorf("induce: %s has no column %q", p.Path.Source(), hops[0].FromColumn)
 	}
+	if err := checkJoinColumnKind(src, ci); err != nil {
+		return err
+	}
 	match := predicate.Compile(p.SourceCut, src)
 	for r := 0; r < src.NumRows(); r++ {
 		if match(r) {
@@ -76,7 +98,7 @@ func (p *Predicate) Evaluate(ds *relation.Dataset) error {
 		}
 	}
 	stage0.optimize()
-	p.stages[0] = stage0
+	stages[0] = stage0
 
 	for i := 1; i < len(hops); i++ {
 		tbl := ds.Table(hops[i].FromTable)
@@ -91,15 +113,22 @@ func (p *Predicate) Evaluate(ds *relation.Dataset) error {
 		if !ok {
 			return fmt.Errorf("induce: %s has no column %q", hops[i].FromTable, hops[i].FromColumn)
 		}
-		prev, next := p.stages[i-1], newKeySet()
+		if err := checkJoinColumnKind(tbl, inCol); err != nil {
+			return err
+		}
+		if err := checkJoinColumnKind(tbl, outCol); err != nil {
+			return err
+		}
+		prev, next := stages[i-1], newKeySet()
 		for r := 0; r < tbl.NumRows(); r++ {
 			if prev.contains(tbl.Value(r, inCol)) {
 				next.add(tbl.Value(r, outCol))
 			}
 		}
 		next.optimize()
-		p.stages[i] = next
+		stages[i] = next
 	}
+	p.stages = stages
 	return nil
 }
 
@@ -177,27 +206,44 @@ func (p *Predicate) String() string {
 	return fmt.Sprintf("%s.%s IN (%s)", p.Target(), p.TargetColumn(), inner)
 }
 
-// stageIndexForTable returns which stage a table participates in as the
+// stageIndexesForTable returns every stage a table participates in as the
 // scanned relation: the source is stage 0; Hops[i].FromTable is stage i.
-// Returns -1 when the table is not scanned by this predicate (the target
-// table itself is only probed, never scanned).
-func (p *Predicate) stageIndexForTable(table string) int {
+// A base table can appear in several stages of one path — joingraph only
+// forbids revisiting an *alias*, so self-join aliases of the same base
+// table legally occupy distinct hops — and incremental maintenance must
+// update all of them. The result is empty when the table is not scanned by
+// this predicate (the target table itself is only probed, never scanned).
+func (p *Predicate) stageIndexesForTable(table string) []int {
+	var out []int
 	if p.Path.Source() == table {
-		return 0
+		out = append(out, 0)
 	}
 	for i := 1; i < len(p.Path.Hops); i++ {
 		if p.Path.Hops[i].FromTable == table {
-			return i
+			out = append(out, i)
 		}
 	}
-	return -1
+	return out
 }
 
 // AffectedBy reports whether data changes to the table require updating
 // this predicate's literal cut (§5.2: the changed table lies on the
 // induction path, excluding the target).
 func (p *Predicate) AffectedBy(table string) bool {
-	return p.Evaluated() && p.stageIndexForTable(table) >= 0
+	return p.Evaluated() && len(p.stageIndexesForTable(table)) > 0
+}
+
+// mutableStage returns stage i's key set, first cloning it if it is shared
+// with other predicates (batched evaluation deduplicates common prefixes);
+// the clone replaces the shared set in this predicate only, so incremental
+// maintenance never leaks into siblings.
+func (p *Predicate) mutableStage(i int) *keySet {
+	s := p.stages[i]
+	if s.shared {
+		s = s.clone()
+		p.stages[i] = s
+	}
+	return s
 }
 
 // ApplyInsert incrementally updates the literal stages for rows newly
@@ -221,18 +267,43 @@ func (p *Predicate) applyChange(ds *relation.Dataset, table string, rows []int, 
 	if !p.Evaluated() {
 		return fmt.Errorf("induce: predicate not evaluated")
 	}
-	stage := p.stageIndexForTable(table)
-	if stage < 0 {
+	stages := p.stageIndexesForTable(table)
+	if len(stages) == 0 {
 		return nil // table not on the path: nothing to do
 	}
 	tbl := ds.Table(table)
 	if tbl == nil {
 		return fmt.Errorf("induce: missing table %q", table)
 	}
+	// Stage order matters when the table occupies several stages: an insert
+	// must extend earlier stages first so a later stage's qualifying check
+	// sees keys added by the same batch (rows inserted together may
+	// reference each other); a delete must shrink later stages first so its
+	// qualifying check still sees the pre-delete contents of earlier stages
+	// (the contribution being removed was admitted by them). Either way the
+	// result matches a full re-evaluation under referential integrity.
+	if !insert {
+		for i, j := 0, len(stages)-1; i < j; i, j = i+1, j-1 {
+			stages[i], stages[j] = stages[j], stages[i]
+		}
+	}
+	for _, stage := range stages {
+		if err := p.applyChangeStage(tbl, table, stage, rows, insert); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyChangeStage applies one stage's incremental update for rows of tbl.
+func (p *Predicate) applyChangeStage(tbl *relation.Table, table string, stage int, rows []int, insert bool) error {
 	hops := p.Path.Hops
 	outCol, ok := tbl.Schema().ColumnIndex(hops[stage].FromColumn)
 	if !ok {
 		return fmt.Errorf("induce: %s has no column %q", table, hops[stage].FromColumn)
+	}
+	if err := checkJoinColumnKind(tbl, outCol); err != nil {
+		return err
 	}
 	var qualifies func(row int) bool
 	if stage == 0 {
@@ -243,10 +314,13 @@ func (p *Predicate) applyChange(ds *relation.Dataset, table string, rows []int, 
 		if !ok {
 			return fmt.Errorf("induce: %s has no column %q", table, hops[stage-1].ToColumn)
 		}
+		if err := checkJoinColumnKind(tbl, inCol); err != nil {
+			return err
+		}
 		prev := p.stages[stage-1]
 		qualifies = func(row int) bool { return prev.contains(tbl.Value(row, inCol)) }
 	}
-	set := p.stages[stage]
+	set := p.mutableStage(stage)
 	for _, r := range rows {
 		if r < 0 || r >= tbl.NumRows() {
 			return fmt.Errorf("induce: row %d out of range for %s", r, table)

@@ -255,6 +255,121 @@ func TestAffectedBy(t *testing.T) {
 	}
 }
 
+// TestApplyChangeSelfJoinUpdatesAllStages is the regression for incremental
+// maintenance on paths where one base table occupies several stages: a
+// self-join maps two aliases to the same base table (joingraph only forbids
+// revisiting an alias), so a data change to it must update every matching
+// stage, not just the first.
+func TestApplyChangeSelfJoinUpdatesAllStages(t *testing.T) {
+	ds := relation.NewDataset()
+	emp := relation.NewTable(relation.MustSchema("emp",
+		relation.Column{Name: "id", Type: value.KindInt, Unique: true},
+		relation.Column{Name: "mgr", Type: value.KindInt},
+		relation.Column{Name: "sal", Type: value.KindInt},
+	))
+	// ids 1..6; 1..3 are managers (mgr=0), 4..6 report to 1..3; managers 2
+	// and 3 earn > 100.
+	for i := int64(1); i <= 3; i++ {
+		emp.MustAppendRow(value.Int(i), value.Int(0), value.Int(50+50*i))
+	}
+	for i := int64(4); i <= 6; i++ {
+		emp.MustAppendRow(value.Int(i), value.Int(i-3), value.Int(10))
+	}
+	task := relation.NewTable(relation.MustSchema("task",
+		relation.Column{Name: "tid", Type: value.KindInt, Unique: true},
+		relation.Column{Name: "eid", Type: value.KindInt},
+	))
+	for i := int64(1); i <= 6; i++ {
+		task.MustAppendRow(value.Int(i), value.Int(i))
+	}
+	ds.MustAddTable(emp)
+	ds.MustAddTable(task)
+
+	// "task.eid IN (employees whose manager earns > 100)": emp appears as
+	// the scanned table of both stage 0 (as the manager alias) and stage 1
+	// (as the report alias).
+	path := joingraph.Path{Hops: []joingraph.Hop{
+		{FromTable: "emp", FromColumn: "id", ToTable: "emp", ToColumn: "mgr", Type: workload.InnerJoin},
+		{FromTable: "emp", FromColumn: "id", ToTable: "task", ToColumn: "eid", Type: workload.InnerJoin},
+	}}
+	cut := predicate.NewComparison("sal", predicate.Gt, value.Int(100))
+	ip := New(path, cut)
+	if err := ip.Evaluate(ds); err != nil {
+		t.Fatal(err)
+	}
+	// Managers 2,3 match the cut → reports 5,6 form the literal.
+	if ip.LiteralSize() != 2 {
+		t.Fatalf("setup literal = %d, want 2", ip.LiteralSize())
+	}
+
+	// Insert a new high-earning manager and, in the same batch, a report
+	// referencing it. Both stages must pick the change up: stage 0 gains
+	// id 7, stage 1 (probing the already-updated stage 0) gains id 8.
+	emp.MustAppendRow(value.Int(7), value.Int(0), value.Int(500))
+	emp.MustAppendRow(value.Int(8), value.Int(7), value.Int(10))
+	rows := []int{emp.NumRows() - 2, emp.NumRows() - 1}
+	if err := ip.ApplyInsert(ds, "emp", rows); err != nil {
+		t.Fatal(err)
+	}
+	fresh := New(path, cut)
+	if err := fresh.Evaluate(ds); err != nil {
+		t.Fatal(err)
+	}
+	if ip.LiteralSize() != fresh.LiteralSize() {
+		t.Fatalf("after insert: incremental literal = %d, full re-eval = %d",
+			ip.LiteralSize(), fresh.LiteralSize())
+	}
+	for k := int64(1); k <= 10; k++ {
+		if ip.literal().containsInt(k) != fresh.literal().containsInt(k) {
+			t.Errorf("after insert: membership differs at key %d", k)
+		}
+	}
+
+	// Deleting the same batch must restore the original literal: stage 1
+	// is shrunk first (while stage 0 still holds the deleted manager), then
+	// stage 0.
+	if err := ip.ApplyDelete(ds, "emp", rows); err != nil {
+		t.Fatal(err)
+	}
+	if ip.LiteralSize() != 2 || !ip.literal().containsInt(5) || !ip.literal().containsInt(6) {
+		t.Errorf("after delete: literal = %d, want the original {5, 6}", ip.LiteralSize())
+	}
+}
+
+// TestUnsupportedJoinColumnKind pins the keySet kind contract: evaluation
+// rejects float join columns loudly instead of silently producing an empty
+// (and therefore wrong) literal cut.
+func TestUnsupportedJoinColumnKind(t *testing.T) {
+	ds := relation.NewDataset()
+	src := relation.NewTable(relation.MustSchema("src",
+		relation.Column{Name: "fk", Type: value.KindFloat, Unique: true},
+		relation.Column{Name: "x", Type: value.KindInt},
+	))
+	src.MustAppendRow(value.Float(1.5), value.Int(1))
+	fact := relation.NewTable(relation.MustSchema("fact",
+		relation.Column{Name: "fk", Type: value.KindFloat},
+	))
+	fact.MustAppendRow(value.Float(1.5))
+	ds.MustAddTable(src)
+	ds.MustAddTable(fact)
+
+	path := joingraph.Path{Hops: []joingraph.Hop{
+		{FromTable: "src", FromColumn: "fk", ToTable: "fact", ToColumn: "fk", Type: workload.InnerJoin},
+	}}
+	ip := New(path, predicate.NewComparison("x", predicate.Eq, value.Int(1)))
+	scalarErr := ip.Evaluate(ds)
+	if scalarErr == nil || !strings.Contains(scalarErr.Error(), "unsupported float join column src.fk") {
+		t.Fatalf("scalar Evaluate error = %v, want unsupported-kind error", scalarErr)
+	}
+	if ip.Evaluated() {
+		t.Error("failed Evaluate should not report evaluated")
+	}
+	batchErr := EvaluateAll(ds, []*Predicate{New(path, ip.SourceCut)}, 2)
+	if batchErr == nil || batchErr.Error() != scalarErr.Error() {
+		t.Errorf("batched error %v, scalar error %v", batchErr, scalarErr)
+	}
+}
+
 func TestKeySetOverflowAndStrings(t *testing.T) {
 	s := newKeySet()
 	s.addInt(5)

@@ -15,15 +15,67 @@ import (
 // roaring bitmap (the paper compresses IN lists as Roaring Bitmaps,
 // §4.1.2); integers outside that range spill to a map, and string keys use
 // a map.
+//
+// Kind contract: join keys are ints or strings — the only kinds the engine's
+// KeyIndex supports as well. add/remove/contains silently drop every other
+// kind (null never matches an equijoin, so dropping nulls is the correct
+// semi-join semantics); columns whose declared kind is unsupported (e.g.
+// float join keys) are rejected with an error at Evaluate/ApplyInsert/
+// ApplyDelete time, before any silent drop could produce an always-empty —
+// and therefore wrong — literal cut.
 type keySet struct {
 	bm       *bitmap.Bitmap
 	overflow map[int64]struct{}
 	strs     map[string]struct{}
+
+	// shared marks a set materialized once by batched evaluation and
+	// referenced from the stages of several predicates (prefix sharing).
+	// Mutators must go through (*Predicate).mutableStage, which clones a
+	// shared set on first mutation so incremental maintenance of one
+	// predicate never corrupts its siblings.
+	shared bool
 }
 
 func newKeySet() *keySet { return &keySet{bm: bitmap.New()} }
 
+// clone returns a private deep copy of s (clears the shared mark).
+func (s *keySet) clone() *keySet {
+	out := &keySet{bm: s.bm.Clone()}
+	if s.overflow != nil {
+		out.overflow = make(map[int64]struct{}, len(s.overflow))
+		for k := range s.overflow {
+			out.overflow[k] = struct{}{}
+		}
+	}
+	if s.strs != nil {
+		out.strs = make(map[string]struct{}, len(s.strs))
+		for k := range s.strs {
+			out.strs[k] = struct{}{}
+		}
+	}
+	return out
+}
+
 func inBitmapRange(v int64) bool { return v >= 0 && v <= 1<<32-1 }
+
+// denseSnapshot materializes the bitmap-resident members of s as a flat
+// bitset sized to the largest member, for bulk probing. Returns nil when the
+// set is empty or the bitset would exceed budgetWords — the caller then
+// probes the compressed form directly. Overflow (out-of-range) integers are
+// never in the snapshot; callers must still consult containsInt for values
+// the snapshot cannot answer.
+func (s *keySet) denseSnapshot(budgetWords int) bitmap.Dense {
+	max, ok := s.bm.Max()
+	if !ok {
+		return nil
+	}
+	if int(max>>6)+1 > budgetWords {
+		return nil
+	}
+	d := bitmap.NewDense(int(max) + 1)
+	s.bm.FillDense(d)
+	return d
+}
 
 func (s *keySet) addInt(v int64) {
 	if inBitmapRange(v) {

@@ -1,5 +1,7 @@
 package predicate
 
+import "strings"
+
 // likeMatch implements SQL LIKE: '%' matches any sequence (including empty),
 // '_' matches exactly one byte, '\' escapes the next pattern byte. Matching
 // is byte-wise and case-sensitive, as in most warehouse defaults.
@@ -42,6 +44,32 @@ func likeMatchAt(p, s string) bool {
 		}
 	}
 	return len(s) == 0
+}
+
+// likeMatcher compiles pattern into a specialized matcher for the common
+// wildcard shapes — exact, 'lit%', '%lit', and '%lit%' — which reduce to
+// equality, prefix, suffix, and substring tests over the raw bytes. Other
+// shapes fall back to the general recursive matcher. Bulk scans (CompileMask)
+// pay the shape analysis once instead of re-walking the pattern per row.
+func likeMatcher(pattern string) func(string) bool {
+	if !strings.ContainsAny(pattern, "_\\") {
+		switch n := strings.Count(pattern, "%"); {
+		case n == 0:
+			return func(s string) bool { return s == pattern }
+		case n == 1 && strings.HasSuffix(pattern, "%"):
+			pre := pattern[:len(pattern)-1]
+			return func(s string) bool { return strings.HasPrefix(s, pre) }
+		case n == 1 && strings.HasPrefix(pattern, "%"):
+			suf := pattern[1:]
+			return func(s string) bool { return strings.HasSuffix(s, suf) }
+		case n == 2 && len(pattern) >= 2 && strings.HasPrefix(pattern, "%") && strings.HasSuffix(pattern, "%"):
+			sub := pattern[1 : len(pattern)-1]
+			if !strings.Contains(sub, "%") {
+				return func(s string) bool { return strings.Contains(s, sub) }
+			}
+		}
+	}
+	return func(s string) bool { return likeMatch(pattern, s) }
 }
 
 // likePrefix returns the literal prefix of a LIKE pattern before the first

@@ -77,6 +77,22 @@ func CompileMask(p Predicate, t *relation.Table, mask []uint64) bool {
 			return true
 		}
 		return false
+	case *Like:
+		ci, ok := t.Schema().ColumnIndex(q.Column)
+		if !ok || t.Schema().Column(ci).Type != value.KindString {
+			return true // missing or non-string column: LIKE matches nothing
+		}
+		match := likeMatcher(q.Pattern)
+		neg := q.Negate_
+		for r, s := range t.Strings(ci) {
+			if match(s) != neg {
+				mask[r>>6] |= 1 << (uint(r) & 63)
+			}
+		}
+		// Null rows never match, not even NOT LIKE (SQL three-valued logic,
+		// mirroring EvalRow).
+		clearNulls(t.Nulls(ci), mask)
+		return true
 	case *And:
 		scratch := make([]uint64, len(mask))
 		for i, c := range q.Children {

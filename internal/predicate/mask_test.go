@@ -48,6 +48,16 @@ func TestCompileMaskMatchesCompile(t *testing.T) {
 		True(),
 		False(),
 		NewComparison("missing", Lt, value.Int(1)),
+		// LIKE: every specialized matcher shape plus the recursive fallback.
+		NewLike("s", "apple"),
+		NewLike("s", "ap%"),
+		NewLike("s", "%na"),
+		NewLike("s", "%an%"),
+		NewLike("s", "a_p%"),
+		NewNotLike("s", "ap%"),
+		NewLike("x", "a%"),
+		NewAnd(NewComparison("x", Gt, value.Int(5)), NewLike("s", "a%")),
+		NewOr(NewComparison("x", Eq, value.Int(5)), NewLike("s", "%e")),
 	}
 	for _, p := range preds {
 		got, ok := maskRows(t, p, tab)
@@ -69,10 +79,9 @@ func TestCompileMaskMatchesCompile(t *testing.T) {
 func TestCompileMaskFallback(t *testing.T) {
 	tab := testTable(t)
 	unsupported := []Predicate{
-		NewLike("s", "ap%"),
 		NewColumnComparisonPred(t),
-		NewAnd(NewComparison("x", Gt, value.Int(5)), NewLike("s", "a%")),
-		NewOr(NewComparison("x", Gt, value.Int(5)), NewLike("s", "a%")),
+		NewAnd(NewComparison("x", Gt, value.Int(5)), NewColumnComparisonPred(t)),
+		NewOr(NewComparison("x", Gt, value.Int(5)), NewColumnComparisonPred(t)),
 	}
 	for _, p := range unsupported {
 		mask := make([]uint64, 1)
