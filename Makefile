@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench bench-build bench-replay bench-induce
+.PHONY: build test vet race check bench bench-build bench-replay bench-induce bench-store
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ race:
 check: build vet test race
 
 # Replay-speedup and paper-figure benchmarks.
-bench: bench-build bench-replay bench-induce
+bench: bench-build bench-replay bench-induce bench-store
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
 # Construction/routing benchmarks with a JSON perf snapshot. Compares the
@@ -38,6 +38,14 @@ bench-build:
 bench-replay:
 	$(GO) test -run='^$$' -bench='ExecuteWorkload|WorkloadReplay' -benchmem -count=1 \
 		. | $(GO) run ./cmd/benchjson -out BENCH_replay.json
+
+# Persistent segment store benchmarks with a JSON perf snapshot. Replays
+# the SSB workload against the disk backend cold (0-byte buffer pool) and
+# warm (pool primed with the working set) next to the in-memory backend,
+# and records the results in BENCH_store.json.
+bench-store:
+	$(GO) test -run='^$$' -bench='ReplayDisk' -benchmem -count=1 \
+		. | $(GO) run ./cmd/benchjson -out BENCH_store.json
 
 # Induced-predicate evaluation benchmarks with a JSON perf snapshot.
 # Compares the batched work-sharing evaluator against the retained scalar

@@ -8,6 +8,7 @@ package mto
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"testing"
 
@@ -322,6 +323,57 @@ func BenchmarkExecuteWorkload(b *testing.B) {
 					b.Fatal(err)
 				}
 				b.ReportMetric(float64(wr.Blocks), "workload-blocks")
+			}
+		})
+	}
+}
+
+// BenchmarkReplayDisk measures full-workload replay against the persistent
+// columnar segment store in its two interesting regimes — cold (0-byte
+// buffer pool, every block read decodes pages from disk) and warm (pool
+// large enough to hold the working set after a priming replay) — next to
+// the in-memory backend the other benchmarks use. All three produce
+// byte-identical Results; only the wall-clock differs, and the warm-cache
+// run is expected to stay within ~2× of mem.
+func BenchmarkReplayDisk(b *testing.B) {
+	s := benchScale()
+	s.SF = 0.02
+	for _, cfg := range []struct {
+		name    string
+		store   string
+		cacheMB int
+		prime   bool
+	}{
+		{"mem", "mem", 0, false},
+		{"disk-cold", "disk", 0, false},
+		{"disk-warm", "disk", 256, true},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			bench := experiments.SSBBench(s)
+			bench.Store = cfg.store
+			bench.CacheMB = cfg.cacheMB
+			if cfg.store == "disk" {
+				bench.DataDir = b.TempDir()
+			}
+			d, err := experiments.DeployMethod(bench, experiments.MethodBaseline, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if c, ok := d.Store.(io.Closer); ok {
+				defer c.Close()
+			}
+			if cfg.prime {
+				if _, err := experiments.Replay(bench, d, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.Replay(bench, d, true)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Blocks), "workload-blocks")
 			}
 		})
 	}

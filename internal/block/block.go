@@ -9,6 +9,7 @@ package block
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"mto/internal/relation"
 	"mto/internal/zonemap"
@@ -31,6 +32,9 @@ func (b *Block) NumRows() int { return len(b.Rows) }
 type TableLayout struct {
 	table  *relation.Table
 	blocks []*Block
+
+	zonesOnce sync.Once
+	zones     []*zonemap.ZoneMap
 }
 
 // NewTableLayout builds a layout from row groups: each group is split into
@@ -118,6 +122,19 @@ func (tl *TableLayout) Block(i int) *Block { return tl.blocks[i] }
 
 // Blocks returns all blocks (shared slice, do not mutate).
 func (tl *TableLayout) Blocks() []*Block { return tl.blocks }
+
+// Zones returns the per-block zone maps indexed by block ID (shared slice,
+// do not mutate). The slice is built once on first use; concurrent callers
+// are safe.
+func (tl *TableLayout) Zones() []*zonemap.ZoneMap {
+	tl.zonesOnce.Do(func() {
+		tl.zones = make([]*zonemap.ZoneMap, len(tl.blocks))
+		for i, b := range tl.blocks {
+			tl.zones[i] = b.Zone
+		}
+	})
+	return tl.zones
+}
 
 // Validate checks the layout invariant: every table row appears in exactly
 // one block. It is used by tests and after reorganizations.

@@ -126,7 +126,10 @@ func TestStoreReadAccounting(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := NewStore(DefaultCostModel())
-	writeSec := s.SetLayout("t", tl)
+	writeSec, err := s.SetLayout("t", tl)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if writeSec <= 0 {
 		t.Error("SetLayout should cost write time")
 	}
@@ -167,6 +170,33 @@ func TestStoreReadAccounting(t *testing.T) {
 	}
 }
 
+func TestStatsSubRoundTrip(t *testing.T) {
+	// Sub must cover every counter — including the cache fields only the
+	// disk backend populates — so experiment deltas never silently drop a
+	// dimension when a new counter is added.
+	a := Stats{
+		BlocksRead: 10, BlocksWritten: 20, RowsRead: 30, RowsWritten: 40,
+		CacheHits: 50, CacheMisses: 60, CacheEvictions: 70, BytesRead: 80,
+	}
+	b := Stats{
+		BlocksRead: 1, BlocksWritten: 2, RowsRead: 3, RowsWritten: 4,
+		CacheHits: 5, CacheMisses: 6, CacheEvictions: 7, BytesRead: 8,
+	}
+	want := Stats{
+		BlocksRead: 9, BlocksWritten: 18, RowsRead: 27, RowsWritten: 36,
+		CacheHits: 45, CacheMisses: 54, CacheEvictions: 63, BytesRead: 72,
+	}
+	if got := a.Sub(b); got != want {
+		t.Errorf("Sub = %+v, want %+v", got, want)
+	}
+	if got := a.Sub(Stats{}); got != a {
+		t.Errorf("Sub(zero) = %+v, want %+v", got, a)
+	}
+	if got := a.Sub(a); got != (Stats{}) {
+		t.Errorf("Sub(self) = %+v, want zero", got)
+	}
+}
+
 func TestReplaceBlocks(t *testing.T) {
 	tab := intTable(t, 100)
 	tl, err := NewTableLayout(tab, [][]int32{seqRows(0, 100)}, 10)
@@ -174,7 +204,9 @@ func TestReplaceBlocks(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := NewStore(DefaultCostModel())
-	s.SetLayout("t", tl)
+	if _, err := s.SetLayout("t", tl); err != nil {
+		t.Fatal(err)
+	}
 	before := s.Stats()
 
 	// Reorganize blocks 0 and 1 (rows 0..19) into a new grouping.

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"mto/internal/zonemap"
 )
 
 // CostModel converts I/O and compute events into simulated wall-clock
@@ -42,27 +44,44 @@ func DefaultCostModel() CostModel {
 	}
 }
 
-// Stats accumulates simulated I/O counters. All counters are monotonically
-// increasing; use Snapshot/Sub to measure an interval.
+// Stats accumulates simulated I/O counters plus — for the disk backend —
+// real buffer-pool and page-I/O counters. All counters are monotonically
+// increasing; use Snapshot/Sub to measure an interval. The in-memory
+// backend leaves the cache counters at zero.
 type Stats struct {
 	BlocksRead    int64
 	BlocksWritten int64
 	RowsRead      int64
 	RowsWritten   int64
+
+	// CacheHits/CacheMisses/CacheEvictions count buffer-pool events of
+	// the disk backend's block cache.
+	CacheHits      int64
+	CacheMisses    int64
+	CacheEvictions int64
+	// BytesRead counts actual segment bytes read from disk (page and
+	// row-ID-page I/O on cache misses); zone-map pruning never adds to it.
+	BytesRead int64
 }
 
 // Sub returns s - o, for measuring deltas between snapshots.
 func (s Stats) Sub(o Stats) Stats {
 	return Stats{
-		BlocksRead:    s.BlocksRead - o.BlocksRead,
-		BlocksWritten: s.BlocksWritten - o.BlocksWritten,
-		RowsRead:      s.RowsRead - o.RowsRead,
-		RowsWritten:   s.RowsWritten - o.RowsWritten,
+		BlocksRead:     s.BlocksRead - o.BlocksRead,
+		BlocksWritten:  s.BlocksWritten - o.BlocksWritten,
+		RowsRead:       s.RowsRead - o.RowsRead,
+		RowsWritten:    s.RowsWritten - o.RowsWritten,
+		CacheHits:      s.CacheHits - o.CacheHits,
+		CacheMisses:    s.CacheMisses - o.CacheMisses,
+		CacheEvictions: s.CacheEvictions - o.CacheEvictions,
+		BytesRead:      s.BytesRead - o.BytesRead,
 	}
 }
 
-// Store is the simulated multi-table block store ("Cloud DW" stand-in). It
-// owns one TableLayout per table and meters every block access.
+// Store is the simulated in-memory multi-table block store ("Cloud DW"
+// stand-in). It owns one TableLayout per table and meters every block
+// access. It is the "mem" implementation of Backend; internal/colstore
+// provides the persistent "disk" one.
 //
 // A Store is safe for concurrent use. Layout lookups take a read lock and
 // the I/O counters are atomics, so concurrent ReadBlock calls (the hot path
@@ -80,6 +99,8 @@ type Store struct {
 	rowsWritten   atomic.Int64
 }
 
+var _ Backend = (*Store)(nil)
+
 // NewStore returns an empty store with the given cost model.
 func NewStore(cost CostModel) *Store {
 	return &Store{layouts: make(map[string]*TableLayout), cost: cost}
@@ -90,18 +111,16 @@ func (s *Store) Cost() CostModel { return s.cost }
 
 // SetLayout installs (or replaces) a table's layout, metering the block
 // writes. Replacing a layout is what physical reorganization does (§5.1.1);
-// the write cost of the new blocks is charged to the caller via WriteSeconds.
-func (s *Store) SetLayout(table string, tl *TableLayout) float64 {
+// the write cost of the new blocks is charged to the caller via the
+// returned seconds. The in-memory store cannot fail.
+func (s *Store) SetLayout(table string, tl *TableLayout) (float64, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.layouts[table] = tl
-	var rows int64
-	for _, b := range tl.blocks {
-		rows += int64(len(b.Rows))
-	}
-	s.blocksWritten.Add(int64(len(tl.blocks)))
-	s.rowsWritten.Add(rows)
-	return float64(len(tl.blocks)) * s.cost.BlockWriteSeconds
+	s.mu.Unlock()
+	delta := InstallDelta(tl)
+	s.blocksWritten.Add(delta.Blocks)
+	s.rowsWritten.Add(delta.Rows)
+	return delta.Seconds(s.cost), nil
 }
 
 // ReplaceBlocks swaps a subset of a table's blocks for new ones (partial
@@ -114,47 +133,18 @@ func (s *Store) ReplaceBlocks(table string, oldIDs map[int]bool, newGroups [][]i
 	if !ok {
 		return 0, fmt.Errorf("block: no layout for table %q", table)
 	}
-	var kept []*Block
-	for _, b := range tl.blocks {
-		if !oldIDs[b.ID] {
-			kept = append(kept, b)
-		}
+	blockRows := make([][]int32, len(tl.blocks))
+	for i, b := range tl.blocks {
+		blockRows[i] = b.Rows
 	}
-	var keptRows int
-	for _, b := range kept {
-		keptRows += len(b.Rows)
-	}
-	var newRows int
-	var groups [][]int32
-	for _, b := range kept {
-		groups = append(groups, b.Rows)
-	}
-	for _, g := range newGroups {
-		newRows += len(g)
-		for off := 0; off < len(g); off += blockSize {
-			end := off + blockSize
-			if end > len(g) {
-				end = len(g)
-			}
-			groups = append(groups, g[off:end:end])
-		}
-	}
-	if keptRows+newRows != tl.table.NumRows() {
-		return 0, fmt.Errorf("block: %s: replacement covers %d rows, table has %d",
-			table, keptRows+newRows, tl.table.NumRows())
-	}
-	replaced, err := NewTableLayout(tl.table, groups, maxGroupLen(groups))
+	replaced, delta, err := BuildReplacement(tl.table, blockRows, oldIDs, newGroups, blockSize)
 	if err != nil {
 		return 0, err
 	}
 	s.layouts[table] = replaced
-	written := int64(replaced.NumBlocks() - len(kept))
-	if written < 0 {
-		written = 0
-	}
-	s.blocksWritten.Add(written)
-	s.rowsWritten.Add(int64(newRows))
-	return float64(written) * s.cost.BlockWriteSeconds, nil
+	s.blocksWritten.Add(delta.Blocks)
+	s.rowsWritten.Add(delta.Rows)
+	return delta.Seconds(s.cost), nil
 }
 
 func maxGroupLen(groups [][]int32) int {
@@ -172,6 +162,48 @@ func (s *Store) Layout(table string) *TableLayout {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.layouts[table]
+}
+
+// NumBlocks returns the named table's block count, or -1 when no layout is
+// installed.
+func (s *Store) NumBlocks(table string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	tl, ok := s.layouts[table]
+	if !ok {
+		return -1
+	}
+	return len(tl.blocks)
+}
+
+// Zones returns the per-block zone maps of the named table, or nil when no
+// layout is installed. Metadata only — no read is metered.
+func (s *Store) Zones(table string) []*zonemap.ZoneMap {
+	s.mu.RLock()
+	tl := s.layouts[table]
+	s.mu.RUnlock()
+	if tl == nil {
+		return nil
+	}
+	return tl.Zones()
+}
+
+// RowToBlock returns the table's row index → block ID mapping (an
+// auxiliary-index read, not metered as block I/O).
+func (s *Store) RowToBlock(table string) ([]int32, error) {
+	s.mu.RLock()
+	tl := s.layouts[table]
+	s.mu.RUnlock()
+	if tl == nil {
+		return nil, fmt.Errorf("block: no layout for table %q", table)
+	}
+	m := make([]int32, tl.table.NumRows())
+	for _, b := range tl.blocks {
+		for _, r := range b.Rows {
+			m[r] = int32(b.ID)
+		}
+	}
+	return m, nil
 }
 
 // Tables returns the stored table names, sorted.
@@ -222,7 +254,8 @@ func (s *Store) TotalBlocks(tables ...string) int {
 	return n
 }
 
-// Stats returns a snapshot of the I/O counters.
+// Stats returns a snapshot of the I/O counters. The cache counters stay
+// zero: the in-memory store has no buffer pool.
 func (s *Store) Stats() Stats {
 	return Stats{
 		BlocksRead:    s.blocksRead.Load(),

@@ -1,0 +1,571 @@
+package colstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"mto/internal/value"
+)
+
+// This file holds the byte-level building blocks of the segment format:
+// a sticky-error binary reader/writer pair and the page encodings
+// (frame-of-reference bit-packing and delta bit-packing for integers,
+// dictionary coding for strings, raw fallbacks for both, raw IEEE bits
+// for floats). Encoding choices are deterministic functions of the data,
+// so a segment written twice from the same layout is byte-identical.
+
+// bufWriter accumulates an encoded byte stream.
+type bufWriter struct {
+	buf []byte
+}
+
+func (w *bufWriter) u8(b byte)        { w.buf = append(w.buf, b) }
+func (w *bufWriter) uvarint(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+func (w *bufWriter) varint(v int64)   { w.buf = binary.AppendVarint(w.buf, v) }
+func (w *bufWriter) bytes(b []byte)   { w.buf = append(w.buf, b...) }
+
+func (w *bufWriter) str(s string) {
+	w.uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+func (w *bufWriter) f64(f float64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(f))
+}
+
+// bufReader decodes an encoded byte stream with a sticky error: after the
+// first malformed or truncated field every subsequent read returns zero
+// values, and the caller checks err() once at the end. All length fields
+// are validated against the remaining input before allocating, so a
+// corrupted stream can neither panic nor force huge allocations.
+type bufReader struct {
+	buf  []byte
+	off  int
+	fail error
+}
+
+func (r *bufReader) setErr(msg string) {
+	if r.fail == nil {
+		r.fail = fmt.Errorf("colstore: %s at offset %d", msg, r.off)
+	}
+}
+
+func (r *bufReader) err() error { return r.fail }
+
+func (r *bufReader) remaining() int { return len(r.buf) - r.off }
+
+func (r *bufReader) u8() byte {
+	if r.fail != nil || r.off >= len(r.buf) {
+		r.setErr("truncated byte")
+		return 0
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b
+}
+
+func (r *bufReader) uvarint() uint64 {
+	if r.fail != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.setErr("bad uvarint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *bufReader) varint() int64 {
+	if r.fail != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.setErr("bad varint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// count reads a uvarint element count and validates it against the
+// remaining bytes assuming at least minBytesPer bytes per element, bounding
+// allocations on corrupted input. minBytesPer 0 is allowed for bit-packed
+// payloads whose width may be zero.
+func (r *bufReader) count(minBytesPer int) int {
+	v := r.uvarint()
+	if r.fail != nil {
+		return 0
+	}
+	if v > uint64(math.MaxInt32) || (minBytesPer > 0 && v > uint64(r.remaining()/minBytesPer)) {
+		r.setErr(fmt.Sprintf("implausible count %d", v))
+		return 0
+	}
+	return int(v)
+}
+
+func (r *bufReader) bytes(n int) []byte {
+	if r.fail != nil {
+		return nil
+	}
+	if n < 0 || n > r.remaining() {
+		r.setErr(fmt.Sprintf("truncated field of %d bytes", n))
+		return nil
+	}
+	b := r.buf[r.off : r.off+n : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *bufReader) str() string {
+	n := r.count(1)
+	if r.fail != nil {
+		return ""
+	}
+	return string(r.bytes(n))
+}
+
+func (r *bufReader) f64() float64 {
+	b := r.bytes(8)
+	if r.fail != nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+// value encoding: [kind u8][payload]. Ints are zig-zag varints, floats are
+// raw IEEE-754 bits (so every float, including NaN and ±Inf, round-trips
+// exactly), strings are length-prefixed.
+
+func (w *bufWriter) value(v value.Value) {
+	w.u8(byte(v.Kind()))
+	switch v.Kind() {
+	case value.KindNull:
+	case value.KindInt:
+		w.varint(v.Int())
+	case value.KindFloat:
+		w.f64(v.Float())
+	case value.KindString:
+		w.str(v.Str())
+	}
+}
+
+func (r *bufReader) value() value.Value {
+	switch k := value.Kind(r.u8()); k {
+	case value.KindNull:
+		return value.Null
+	case value.KindInt:
+		return value.Int(r.varint())
+	case value.KindFloat:
+		return value.Float(r.f64())
+	case value.KindString:
+		return value.String(r.str())
+	default:
+		r.setErr(fmt.Sprintf("unknown value kind %d", k))
+		return value.Null
+	}
+}
+
+// packBits packs the low width bits of each element little-endian into a
+// byte stream. width 0 produces no bytes (all elements are zero).
+func packBits(vals []uint64, width int) []byte {
+	if width == 0 {
+		return nil
+	}
+	out := make([]byte, (len(vals)*width+7)/8)
+	bitPos := 0
+	for _, v := range vals {
+		for b := 0; b < width; {
+			byteIdx, bitIdx := bitPos>>3, bitPos&7
+			take := 8 - bitIdx
+			if take > width-b {
+				take = width - b
+			}
+			out[byteIdx] |= byte((v >> b) << bitIdx)
+			b += take
+			bitPos += take
+		}
+	}
+	return out
+}
+
+// unpackBits reverses packBits into count elements of the given width.
+func unpackBits(buf []byte, count, width int) ([]uint64, error) {
+	if width < 0 || width > 64 {
+		return nil, fmt.Errorf("colstore: bad bit width %d", width)
+	}
+	need := (count*width + 7) / 8
+	if len(buf) < need {
+		return nil, fmt.Errorf("colstore: bit-packed payload truncated: have %d bytes, need %d", len(buf), need)
+	}
+	out := make([]uint64, count)
+	if width == 0 {
+		return out, nil
+	}
+	bitPos := 0
+	for i := range out {
+		var v uint64
+		for b := 0; b < width; {
+			byteIdx, bitIdx := bitPos>>3, bitPos&7
+			take := 8 - bitIdx
+			if take > width-b {
+				take = width - b
+			}
+			chunk := uint64(buf[byteIdx]>>bitIdx) & ((1 << take) - 1)
+			v |= chunk << b
+			b += take
+			bitPos += take
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Page encodings. A page payload is [enc u8][body]; the body layout
+// depends on enc. Integer pages pick, deterministically, the smallest of
+// frame-of-reference bit-packing, delta bit-packing, and the raw fallback.
+const (
+	encIntRaw    = 0x01 // [count][count × 8B LE]
+	encIntFOR    = 0x02 // [count][min varint][width u8][packed (v-min)]
+	encIntDelta  = 0x03 // [count][first varint][minDelta varint][width u8][packed deltas]
+	encFloatRaw  = 0x04 // [count][count × 8B LE IEEE bits]
+	encStrRaw    = 0x05 // [count][count × (len uvarint + bytes)]
+	encStrDict   = 0x06 // [count][ndict][dict strings][width u8][packed codes]
+	maxValidEnc  = encStrDict
+	widthRawInts = 64 // FOR width at which packing stops paying off
+)
+
+// forParams computes the frame-of-reference parameters of vals: the
+// minimum and the bit width of (max-min). Subtraction is performed in
+// two's complement, so the full int64 range is handled.
+func forParams(vals []int64) (min int64, width int) {
+	min = vals[0]
+	max := vals[0]
+	for _, v := range vals[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, bits.Len64(uint64(max) - uint64(min))
+}
+
+// encodeInts appends the best integer encoding of vals to w.
+func encodeInts(w *bufWriter, vals []int64) {
+	if len(vals) == 0 {
+		w.u8(encIntRaw)
+		w.uvarint(0)
+		return
+	}
+	forMin, forWidth := forParams(vals)
+
+	deltas := make([]int64, len(vals)-1)
+	for i := 1; i < len(vals); i++ {
+		deltas[i-1] = vals[i] - vals[i-1]
+	}
+	deltaWidth := 0
+	var deltaMin int64
+	if len(deltas) > 0 {
+		deltaMin, deltaWidth = forParams(deltas)
+	}
+
+	forBits := len(vals) * forWidth
+	deltaBits := len(deltas) * deltaWidth
+	switch {
+	case forWidth >= widthRawInts && deltaWidth >= widthRawInts:
+		// Neither packing helps: raw fallback.
+		w.u8(encIntRaw)
+		w.uvarint(uint64(len(vals)))
+		for _, v := range vals {
+			w.buf = binary.LittleEndian.AppendUint64(w.buf, uint64(v))
+		}
+	case deltaBits < forBits:
+		packed := make([]uint64, len(deltas))
+		for i, d := range deltas {
+			packed[i] = uint64(d) - uint64(deltaMin)
+		}
+		w.u8(encIntDelta)
+		w.uvarint(uint64(len(vals)))
+		w.varint(vals[0])
+		w.varint(deltaMin)
+		w.u8(byte(deltaWidth))
+		w.bytes(packBits(packed, deltaWidth))
+	default:
+		packed := make([]uint64, len(vals))
+		for i, v := range vals {
+			packed[i] = uint64(v) - uint64(forMin)
+		}
+		w.u8(encIntFOR)
+		w.uvarint(uint64(len(vals)))
+		w.varint(forMin)
+		w.u8(byte(forWidth))
+		w.bytes(packBits(packed, forWidth))
+	}
+}
+
+// checkCount validates a page's element count against the footer's row
+// count for the block, so corrupted counts error out before any
+// allocation sized by them.
+func (r *bufReader) checkCount(n, want int) bool {
+	if r.fail != nil {
+		return false
+	}
+	if n != want {
+		r.setErr(fmt.Sprintf("page holds %d values, footer says %d", n, want))
+		return false
+	}
+	return true
+}
+
+// decodeInts decodes an integer page body (after the enc byte); want is
+// the expected element count from the segment footer.
+func decodeInts(r *bufReader, enc byte, want int) []int64 {
+	switch enc {
+	case encIntRaw:
+		n := r.count(8)
+		if !r.checkCount(n, want) {
+			return nil
+		}
+		out := make([]int64, n)
+		for i := range out {
+			b := r.bytes(8)
+			if r.fail != nil {
+				return nil
+			}
+			out[i] = int64(binary.LittleEndian.Uint64(b))
+		}
+		return out
+	case encIntFOR:
+		n := r.count(0)
+		if !r.checkCount(n, want) {
+			return nil
+		}
+		min := r.varint()
+		width := int(r.u8())
+		if r.fail != nil {
+			return nil
+		}
+		packed, err := unpackBits(r.buf[r.off:], n, width)
+		if err != nil {
+			r.setErr(err.Error())
+			return nil
+		}
+		r.off += (n*width + 7) / 8
+		out := make([]int64, n)
+		for i, p := range packed {
+			out[i] = int64(p + uint64(min))
+		}
+		return out
+	case encIntDelta:
+		n := r.count(0)
+		if !r.checkCount(n, want) {
+			return nil
+		}
+		if n == 0 {
+			return nil
+		}
+		first := r.varint()
+		minDelta := r.varint()
+		width := int(r.u8())
+		if r.fail != nil {
+			return nil
+		}
+		packed, err := unpackBits(r.buf[r.off:], n-1, width)
+		if err != nil {
+			r.setErr(err.Error())
+			return nil
+		}
+		r.off += ((n-1)*width + 7) / 8
+		out := make([]int64, n)
+		out[0] = first
+		cur := first
+		for i, p := range packed {
+			cur += int64(p + uint64(minDelta))
+			out[i+1] = cur
+		}
+		return out
+	default:
+		r.setErr(fmt.Sprintf("unknown int encoding 0x%02x", enc))
+		return nil
+	}
+}
+
+// encodeStrings appends the best string encoding of vals to w: dictionary
+// coding (sorted distinct values + bit-packed codes) unless every value is
+// distinct, where the dictionary is pure overhead and the raw fallback is
+// used instead.
+func encodeStrings(w *bufWriter, vals []string) {
+	distinct := make(map[string]int, len(vals))
+	for _, s := range vals {
+		distinct[s] = 0
+	}
+	if len(distinct) >= len(vals) {
+		w.u8(encStrRaw)
+		w.uvarint(uint64(len(vals)))
+		for _, s := range vals {
+			w.str(s)
+		}
+		return
+	}
+	dict := make([]string, 0, len(distinct))
+	for s := range distinct {
+		dict = append(dict, s)
+	}
+	sort.Strings(dict)
+	for i, s := range dict {
+		distinct[s] = i
+	}
+	width := bits.Len64(uint64(len(dict) - 1))
+	codes := make([]uint64, len(vals))
+	for i, s := range vals {
+		codes[i] = uint64(distinct[s])
+	}
+	w.u8(encStrDict)
+	w.uvarint(uint64(len(vals)))
+	w.uvarint(uint64(len(dict)))
+	for _, s := range dict {
+		w.str(s)
+	}
+	w.u8(byte(width))
+	w.bytes(packBits(codes, width))
+}
+
+// decodeStrings decodes a string page body (after the enc byte); want is
+// the expected element count from the segment footer.
+func decodeStrings(r *bufReader, enc byte, want int) []string {
+	switch enc {
+	case encStrRaw:
+		n := r.count(1)
+		if !r.checkCount(n, want) {
+			return nil
+		}
+		out := make([]string, n)
+		for i := range out {
+			out[i] = r.str()
+			if r.fail != nil {
+				return nil
+			}
+		}
+		return out
+	case encStrDict:
+		n := r.count(0)
+		if !r.checkCount(n, want) {
+			return nil
+		}
+		nd := r.count(1)
+		if r.fail != nil {
+			return nil
+		}
+		dict := make([]string, nd)
+		for i := range dict {
+			dict[i] = r.str()
+			if r.fail != nil {
+				return nil
+			}
+		}
+		width := int(r.u8())
+		if r.fail != nil {
+			return nil
+		}
+		codes, err := unpackBits(r.buf[r.off:], n, width)
+		if err != nil {
+			r.setErr(err.Error())
+			return nil
+		}
+		r.off += (n*width + 7) / 8
+		out := make([]string, n)
+		for i, c := range codes {
+			if c >= uint64(nd) {
+				r.setErr(fmt.Sprintf("dictionary code %d out of range %d", c, nd))
+				return nil
+			}
+			out[i] = dict[c]
+		}
+		return out
+	default:
+		r.setErr(fmt.Sprintf("unknown string encoding 0x%02x", enc))
+		return nil
+	}
+}
+
+// encodeFloats appends the raw float encoding of vals to w.
+func encodeFloats(w *bufWriter, vals []float64) {
+	w.u8(encFloatRaw)
+	w.uvarint(uint64(len(vals)))
+	for _, f := range vals {
+		w.f64(f)
+	}
+}
+
+// decodeFloats decodes a float page body (after the enc byte); want is
+// the expected element count from the segment footer.
+func decodeFloats(r *bufReader, enc byte, want int) []float64 {
+	if enc != encFloatRaw {
+		r.setErr(fmt.Sprintf("unknown float encoding 0x%02x", enc))
+		return nil
+	}
+	n := r.count(8)
+	if !r.checkCount(n, want) {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.f64()
+		if r.fail != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// encodeNulls appends the optional null-mask section preceding every
+// column body: [hasNulls u8][bitmap when set].
+func encodeNulls(w *bufWriter, nulls []bool, n int) {
+	has := false
+	for _, b := range nulls {
+		if b {
+			has = true
+			break
+		}
+	}
+	if !has {
+		w.u8(0)
+		return
+	}
+	w.u8(1)
+	mask := make([]byte, (n+7)/8)
+	for i, b := range nulls {
+		if b {
+			mask[i>>3] |= 1 << (i & 7)
+		}
+	}
+	w.bytes(mask)
+}
+
+// decodeNulls reads the null-mask section; nil means no nulls.
+func decodeNulls(r *bufReader, n int) []bool {
+	switch r.u8() {
+	case 0:
+		return nil
+	case 1:
+		mask := r.bytes((n + 7) / 8)
+		if r.fail != nil {
+			return nil
+		}
+		out := make([]bool, n)
+		for i := range out {
+			out[i] = mask[i>>3]&(1<<(i&7)) != 0
+		}
+		return out
+	default:
+		r.setErr("bad null-mask flag")
+		return nil
+	}
+}

@@ -1,0 +1,183 @@
+package colstore
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func roundTripInts(t *testing.T, vals []int64, wantEnc byte) {
+	t.Helper()
+	w := &bufWriter{}
+	encodeInts(w, vals)
+	if len(w.buf) == 0 || (wantEnc != 0 && w.buf[0] != wantEnc) {
+		t.Fatalf("enc = 0x%02x, want 0x%02x", w.buf[0], wantEnc)
+	}
+	r := &bufReader{buf: w.buf}
+	got := decodeInts(r, r.u8(), len(vals))
+	if r.err() != nil {
+		t.Fatalf("decode: %v", r.err())
+	}
+	if r.remaining() != 0 {
+		t.Fatalf("%d trailing bytes", r.remaining())
+	}
+	if len(got) != len(vals) {
+		t.Fatalf("len = %d, want %d", len(got), len(vals))
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("vals[%d] = %d, want %d", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestEncodeIntsRoundTrip(t *testing.T) {
+	roundTripInts(t, nil, encIntRaw)
+	roundTripInts(t, []int64{42}, 0) // single value: FOR or delta, width 0
+	roundTripInts(t, []int64{7, 7, 7, 7}, 0)
+	// Sorted runs delta-pack tighter than FOR.
+	seq := make([]int64, 1000)
+	for i := range seq {
+		seq[i] = int64(1_000_000 + i)
+	}
+	roundTripInts(t, seq, encIntDelta)
+	// Scattered small range: FOR wins once the wider delta width can't be
+	// amortized by having one fewer element.
+	alt := make([]int64, 16)
+	for i := range alt {
+		alt[i] = int64(i%2) * 1000
+	}
+	roundTripInts(t, alt, encIntFOR)
+	// Full-range extremes round-trip through two's-complement wrapping.
+	roundTripInts(t, []int64{math.MinInt64, math.MaxInt64, 0, -1}, 0)
+	roundTripInts(t, []int64{math.MinInt64, math.MinInt64 + 1}, 0)
+	// Both FOR and delta ranges need 64 bits here: the raw fallback.
+	roundTripInts(t, []int64{5, 5, math.MinInt64 + 5}, encIntRaw)
+}
+
+func TestEncodeFloatsRoundTrip(t *testing.T) {
+	vals := []float64{0, -0.0, 1.5, math.Inf(1), math.Inf(-1), math.NaN(), math.MaxFloat64}
+	w := &bufWriter{}
+	encodeFloats(w, vals)
+	r := &bufReader{buf: w.buf}
+	got := decodeFloats(r, r.u8(), len(vals))
+	if r.err() != nil {
+		t.Fatal(r.err())
+	}
+	for i := range vals {
+		if math.Float64bits(got[i]) != math.Float64bits(vals[i]) {
+			t.Fatalf("vals[%d] = %v, want %v (bit-exact)", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestEncodeStringsRoundTrip(t *testing.T) {
+	cases := []struct {
+		vals    []string
+		wantEnc byte
+	}{
+		{nil, encStrRaw},
+		{[]string{"only"}, encStrRaw},                          // all distinct → raw
+		{[]string{"a", "b", "c"}, encStrRaw},                   // all distinct → raw
+		{[]string{"x", "y", "x", "y", "x", "x"}, encStrDict},   // repeats → dict
+		{[]string{"", "", "", "non-empty", ""}, encStrDict},    // empty strings
+		{[]string{"same", "same", "same", "same"}, encStrDict}, // single symbol, width 0
+	}
+	for _, c := range cases {
+		w := &bufWriter{}
+		encodeStrings(w, c.vals)
+		if len(c.vals) > 0 && w.buf[0] != c.wantEnc {
+			t.Fatalf("%q: enc = 0x%02x, want 0x%02x", c.vals, w.buf[0], c.wantEnc)
+		}
+		r := &bufReader{buf: w.buf}
+		got := decodeStrings(r, r.u8(), len(c.vals))
+		if r.err() != nil {
+			t.Fatalf("%q: %v", c.vals, r.err())
+		}
+		if len(got) != len(c.vals) {
+			t.Fatalf("%q: len %d", c.vals, len(got))
+		}
+		for i := range c.vals {
+			if got[i] != c.vals[i] {
+				t.Fatalf("%q: vals[%d] = %q", c.vals, i, got[i])
+			}
+		}
+	}
+}
+
+func TestPackBitsRoundTrip(t *testing.T) {
+	for _, width := range []int{0, 1, 3, 7, 8, 13, 31, 33, 63, 64} {
+		vals := make([]uint64, 17)
+		for i := range vals {
+			v := uint64(i) * 0x9e3779b97f4a7c15
+			if width < 64 {
+				v &= (1 << width) - 1
+			}
+			vals[i] = v
+		}
+		packed := packBits(vals, width)
+		got, err := unpackBits(packed, len(vals), width)
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		if !reflect.DeepEqual(got, vals) {
+			t.Fatalf("width %d: %v != %v", width, got, vals)
+		}
+	}
+	if _, err := unpackBits(nil, 10, 8); err == nil {
+		t.Error("truncated unpack accepted")
+	}
+	if _, err := unpackBits(nil, 1, 65); err == nil {
+		t.Error("width 65 accepted")
+	}
+}
+
+func TestDecodeRejectsCorruptCounts(t *testing.T) {
+	// A page claiming more elements than the footer's row count must fail
+	// before allocating.
+	w := &bufWriter{}
+	encodeInts(w, []int64{1, 2, 3})
+	r := &bufReader{buf: w.buf}
+	if decodeInts(r, r.u8(), 2) != nil || r.err() == nil {
+		t.Error("count mismatch accepted")
+	}
+	// An implausibly huge raw count fails against remaining bytes.
+	w2 := &bufWriter{}
+	w2.u8(encIntRaw)
+	w2.uvarint(1 << 40)
+	r2 := &bufReader{buf: w2.buf}
+	if decodeInts(r2, r2.u8(), 1<<40) != nil || r2.err() == nil {
+		t.Error("huge count accepted")
+	}
+}
+
+func TestNullMaskRoundTrip(t *testing.T) {
+	cases := [][]bool{
+		nil,
+		{false, false, false},
+		{true},
+		{true, false, true, true, false, false, true, false, true},
+	}
+	for _, nulls := range cases {
+		w := &bufWriter{}
+		encodeNulls(w, nulls, len(nulls))
+		r := &bufReader{buf: w.buf}
+		got := decodeNulls(r, len(nulls))
+		if r.err() != nil {
+			t.Fatal(r.err())
+		}
+		any := false
+		for _, b := range nulls {
+			any = any || b
+		}
+		if !any {
+			if got != nil {
+				t.Fatalf("%v: expected nil mask", nulls)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, nulls) {
+			t.Fatalf("%v != %v", got, nulls)
+		}
+	}
+}

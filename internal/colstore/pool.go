@@ -1,0 +1,180 @@
+package colstore
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is the sharded buffer pool in front of segment reads: a bounded
+// cache of decoded blocks with per-shard LRU eviction and single-flight
+// loading, so N goroutines missing on the same block trigger exactly one
+// disk read (the leader counts the miss; the waiters count hits).
+//
+// Capacity is in bytes of decoded block data, split evenly across shards.
+// A capacity of zero disables caching entirely — every Get runs (or waits
+// on) a load — which is the cold-storage configuration the backend
+// identity tests replay under. Failed loads are never cached.
+type Pool struct {
+	shards []poolShard
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+// poolKey identifies one cached block. The segment generation is part of
+// the key so a load racing with a segment swap can only ever insert under
+// its own (now unreachable) generation, never serve stale data for the
+// new one.
+type poolKey struct {
+	table string
+	gen   uint64
+	id    int
+}
+
+type poolShard struct {
+	mu       sync.Mutex
+	capacity int64
+	bytes    int64
+	lru      *list.List // front = most recently used; values are *poolEntry
+	items    map[poolKey]*list.Element
+	inflight map[poolKey]*poolCall
+}
+
+type poolEntry struct {
+	key  poolKey
+	bd   *BlockData
+	size int64
+}
+
+type poolCall struct {
+	done chan struct{}
+	bd   *BlockData
+	err  error
+}
+
+const defaultPoolShards = 8
+
+// NewPool returns a pool holding at most capacityBytes of decoded block
+// data. capacityBytes <= 0 disables caching (loads still single-flight).
+func NewPool(capacityBytes int64) *Pool {
+	nshards := defaultPoolShards
+	per := int64(0)
+	if capacityBytes > 0 {
+		per = capacityBytes / int64(nshards)
+		if per == 0 { // tiny cache: one shard so the capacity isn't rounded away
+			nshards = 1
+			per = capacityBytes
+		}
+	}
+	p := &Pool{shards: make([]poolShard, nshards)}
+	for i := range p.shards {
+		p.shards[i] = poolShard{
+			capacity: per,
+			lru:      list.New(),
+			items:    make(map[poolKey]*list.Element),
+			inflight: make(map[poolKey]*poolCall),
+		}
+	}
+	return p
+}
+
+func (p *Pool) shard(k poolKey) *poolShard {
+	h := fnv.New32a()
+	h.Write([]byte(k.table))
+	var b [4]byte
+	b[0], b[1], b[2], b[3] = byte(k.id), byte(k.id>>8), byte(k.id>>16), byte(k.id>>24)
+	h.Write(b[:])
+	return &p.shards[h.Sum32()%uint32(len(p.shards))]
+}
+
+// memSize estimates the decoded in-memory footprint of a block, the unit
+// the pool's byte budget is charged in.
+func memSize(bd *BlockData) int64 {
+	size := int64(len(bd.Block.Rows)) * 4
+	for _, c := range bd.Cols {
+		size += int64(len(c.Ints))*8 + int64(len(c.Floats))*8 + int64(len(c.Nulls))
+		for _, s := range c.Strs {
+			size += int64(len(s)) + 16
+		}
+	}
+	return size
+}
+
+// Get returns the cached block for k, or runs load (at most once across
+// concurrent callers) and caches its result. Failed loads are not cached
+// and their error is returned to the leader and every waiter.
+func (p *Pool) Get(k poolKey, load func() (*BlockData, error)) (*BlockData, error) {
+	sh := p.shard(k)
+	sh.mu.Lock()
+	if el, ok := sh.items[k]; ok {
+		sh.lru.MoveToFront(el)
+		sh.mu.Unlock()
+		p.hits.Add(1)
+		return el.Value.(*poolEntry).bd, nil
+	}
+	if call, ok := sh.inflight[k]; ok {
+		sh.mu.Unlock()
+		<-call.done
+		if call.err != nil {
+			p.misses.Add(1)
+			return nil, call.err
+		}
+		p.hits.Add(1)
+		return call.bd, nil
+	}
+	call := &poolCall{done: make(chan struct{})}
+	sh.inflight[k] = call
+	sh.mu.Unlock()
+
+	p.misses.Add(1)
+	call.bd, call.err = load()
+
+	sh.mu.Lock()
+	delete(sh.inflight, k)
+	if call.err == nil && sh.capacity > 0 {
+		size := memSize(call.bd)
+		el := sh.lru.PushFront(&poolEntry{key: k, bd: call.bd, size: size})
+		sh.items[k] = el
+		sh.bytes += size
+		for sh.bytes > sh.capacity && sh.lru.Len() > 0 {
+			oldest := sh.lru.Back()
+			ent := oldest.Value.(*poolEntry)
+			sh.lru.Remove(oldest)
+			delete(sh.items, ent.key)
+			sh.bytes -= ent.size
+			p.evictions.Add(1)
+		}
+	}
+	sh.mu.Unlock()
+	close(call.done)
+	return call.bd, call.err
+}
+
+// Invalidate drops every cached block of the named table (all
+// generations). Entries are dropped, not evicted: the eviction counter
+// tracks capacity pressure only.
+func (p *Pool) Invalidate(table string) {
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for el := sh.lru.Front(); el != nil; {
+			next := el.Next()
+			ent := el.Value.(*poolEntry)
+			if ent.key.table == table {
+				sh.lru.Remove(el)
+				delete(sh.items, ent.key)
+				sh.bytes -= ent.size
+			}
+			el = next
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// Counters returns the cumulative hit/miss/eviction counts.
+func (p *Pool) Counters() (hits, misses, evictions int64) {
+	return p.hits.Load(), p.misses.Load(), p.evictions.Load()
+}

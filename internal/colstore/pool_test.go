@@ -1,0 +1,132 @@
+package colstore
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mto/internal/block"
+)
+
+// fakeBlock builds a BlockData whose memSize is exactly 4*nrows bytes
+// (row IDs only, no columns).
+func fakeBlock(nrows int) *BlockData {
+	return &BlockData{Block: &block.Block{Rows: make([]int32, nrows)}}
+}
+
+func TestPoolZeroCapacityNeverCaches(t *testing.T) {
+	p := NewPool(0)
+	loads := 0
+	load := func() (*BlockData, error) { loads++; return fakeBlock(1), nil }
+	k := poolKey{table: "t", gen: 1, id: 0}
+	for i := 0; i < 3; i++ {
+		if _, err := p.Get(k, load); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if loads != 3 {
+		t.Errorf("loads = %d, want 3 (no caching at capacity 0)", loads)
+	}
+	hits, misses, evictions := p.Counters()
+	if hits != 0 || misses != 3 || evictions != 0 {
+		t.Errorf("counters = %d/%d/%d", hits, misses, evictions)
+	}
+}
+
+func TestPoolHitAndEviction(t *testing.T) {
+	// Capacity below 8 bytes collapses to one shard of 7 bytes: a one-row
+	// block is 4 bytes, so the second insert evicts the first.
+	p := NewPool(7)
+	load := func() (*BlockData, error) { return fakeBlock(1), nil }
+	k0 := poolKey{table: "t", gen: 1, id: 0}
+	k1 := poolKey{table: "t", gen: 1, id: 1}
+
+	p.Get(k0, load) // miss, cached
+	p.Get(k0, load) // hit
+	p.Get(k1, load) // miss; evicts k0
+	if _, _, evictions := p.Counters(); evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", evictions)
+	}
+	p.Get(k0, load) // miss again (was evicted); evicts k1
+	hits, misses, _ := p.Counters()
+	if hits != 1 || misses != 3 {
+		t.Errorf("hits/misses = %d/%d, want 1/3", hits, misses)
+	}
+}
+
+func TestPoolSingleflight(t *testing.T) {
+	p := NewPool(1 << 20)
+	var loads atomic.Int64
+	load := func() (*BlockData, error) {
+		loads.Add(1)
+		time.Sleep(20 * time.Millisecond)
+		return fakeBlock(1), nil
+	}
+	k := poolKey{table: "t", gen: 1, id: 0}
+	const n = 16
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if bd, err := p.Get(k, load); err != nil || bd == nil {
+				t.Errorf("Get: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if loads.Load() != 1 {
+		t.Errorf("loads = %d, want 1 (single-flight)", loads.Load())
+	}
+	hits, misses, _ := p.Counters()
+	if hits+misses != n || misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want %d total with 1 miss", hits, misses, n)
+	}
+}
+
+func TestPoolFailedLoadNotCached(t *testing.T) {
+	p := NewPool(1 << 20)
+	boom := errors.New("boom")
+	loads := 0
+	load := func() (*BlockData, error) { loads++; return nil, boom }
+	k := poolKey{table: "t", gen: 1, id: 0}
+	if _, err := p.Get(k, load); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := p.Get(k, load); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if loads != 2 {
+		t.Errorf("loads = %d, want 2 (errors never cached)", loads)
+	}
+	// A later successful load replaces the error.
+	if _, err := p.Get(k, func() (*BlockData, error) { return fakeBlock(1), nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(k, load); err != nil {
+		t.Errorf("cached success not served: %v", err)
+	}
+}
+
+func TestPoolInvalidate(t *testing.T) {
+	p := NewPool(1 << 20)
+	loads := 0
+	load := func() (*BlockData, error) { loads++; return fakeBlock(1), nil }
+	for id := 0; id < 4; id++ {
+		p.Get(poolKey{table: "a", gen: 1, id: id}, load)
+		p.Get(poolKey{table: "b", gen: 1, id: id}, load)
+	}
+	p.Invalidate("a")
+	for id := 0; id < 4; id++ {
+		p.Get(poolKey{table: "a", gen: 1, id: id}, load) // reload
+		p.Get(poolKey{table: "b", gen: 1, id: id}, load) // still cached
+	}
+	if loads != 12 {
+		t.Errorf("loads = %d, want 12 (4 a + 4 b + 4 a reloads)", loads)
+	}
+	if _, _, evictions := p.Counters(); evictions != 0 {
+		t.Errorf("Invalidate must not count as eviction, got %d", evictions)
+	}
+}

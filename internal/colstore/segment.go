@@ -1,0 +1,568 @@
+// Package colstore implements the persistent columnar segment store
+// behind the "disk" block.Backend: one immutable segment file per table
+// layout, holding per-block column pages with lightweight encodings
+// (dictionary for strings, frame-of-reference / delta bit-packing for
+// ints, raw fallbacks) and a footer carrying per-block zone maps and page
+// offsets. Every page and the footer are crc32-checksummed. Reads go
+// through a sharded buffer pool (store.go / pool.go).
+//
+// File layout:
+//
+//	[magic u32 "MTSG"][version u32]
+//	page … page                      one row-ID page + one page per column,
+//	                                 per block; each framed as
+//	                                 [len u32][crc32 u32][payload]
+//	[footer payload]                 binary: schema echo, per-block row
+//	                                 counts, zone maps, page offsets
+//	[footerLen u32][footerCRC u32][magic u32]
+//
+// Zone maps live only in the footer, so pruning a block costs no page
+// I/O; block data is reconstructed lazily, one block at a time, by
+// Segment.ReadBlock.
+package colstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"mto/internal/block"
+	"mto/internal/predicate"
+	"mto/internal/relation"
+	"mto/internal/value"
+	"mto/internal/zonemap"
+)
+
+const (
+	segMagic   uint32 = 0x4753_544d // "MTSG" little-endian
+	segVersion uint32 = 1
+
+	headerSize  = 8  // magic + version
+	trailerSize = 12 // footerLen + footerCRC + magic
+	frameSize   = 8  // page len + page crc
+
+	// maxBlockRows bounds a block's row count; the footer parser rejects
+	// larger claims so corrupted metadata cannot size huge allocations.
+	maxBlockRows = 1 << 24
+)
+
+// colMeta echoes one schema column in the footer.
+type colMeta struct {
+	name string
+	kind value.Kind
+}
+
+// pageMeta locates one page's payload inside the file.
+type pageMeta struct {
+	off    int64
+	length int64 // payload length, excluding the 8-byte frame
+}
+
+// blockMeta is the footer's record for one block.
+type blockMeta struct {
+	nrows int
+	zone  *zonemap.ZoneMap
+	pages []pageMeta // pages[0] = row IDs, pages[1+i] = column i
+}
+
+// ColumnData is one decoded column page: the typed vector for the block's
+// rows plus an optional null mask (nil when the block has no nulls in the
+// column).
+type ColumnData struct {
+	Kind   value.Kind
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+	Nulls  []bool
+}
+
+// BlockData is one fully decoded block: the reconstructed block.Block
+// (row IDs + footer zone map) plus the decoded column vectors and the
+// number of on-disk bytes read to materialize it.
+type BlockData struct {
+	Block *block.Block
+	Cols  []ColumnData
+	Bytes int64
+}
+
+// WriteSegment writes tl as a segment file at path, atomically: the
+// segment is written to a temp file in the same directory and renamed
+// into place, so a crash mid-write never leaves a half-written segment
+// under path.
+func WriteSegment(path string, tl *block.TableLayout) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("colstore: write segment: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+
+	bw := bufio.NewWriterSize(tmp, 1<<20)
+	var head [8]byte
+	binary.LittleEndian.PutUint32(head[0:], segMagic)
+	binary.LittleEndian.PutUint32(head[4:], segVersion)
+	if _, err = bw.Write(head[:]); err != nil {
+		return fmt.Errorf("colstore: write segment %s: %w", path, err)
+	}
+	off := int64(headerSize)
+
+	tbl := tl.Table()
+	schema := tbl.Schema()
+	ncols := schema.NumColumns()
+	blocks := tl.Blocks()
+	metas := make([]blockMeta, len(blocks))
+
+	writePage := func(payload []byte) (pageMeta, error) {
+		var frame [frameSize]byte
+		binary.LittleEndian.PutUint32(frame[0:], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
+		if _, werr := bw.Write(frame[:]); werr != nil {
+			return pageMeta{}, werr
+		}
+		if _, werr := bw.Write(payload); werr != nil {
+			return pageMeta{}, werr
+		}
+		pm := pageMeta{off: off, length: int64(len(payload))}
+		off += frameSize + int64(len(payload))
+		return pm, nil
+	}
+
+	for bi, b := range blocks {
+		meta := blockMeta{nrows: b.NumRows(), zone: b.Zone}
+		// Page 0: row IDs.
+		rowids := make([]int64, len(b.Rows))
+		for i, r := range b.Rows {
+			rowids[i] = int64(r)
+		}
+		w := &bufWriter{}
+		encodeInts(w, rowids)
+		pm, werr := writePage(w.buf)
+		if werr != nil {
+			return fmt.Errorf("colstore: write segment %s: block %d: %w", path, bi, werr)
+		}
+		meta.pages = append(meta.pages, pm)
+
+		// One page per column: optional null mask, then the typed body.
+		for ci := 0; ci < ncols; ci++ {
+			w := &bufWriter{}
+			nm := tbl.Nulls(ci)
+			flags := make([]bool, len(b.Rows))
+			for i, r := range b.Rows {
+				flags[i] = nm != nil && nm[r]
+			}
+			encodeNulls(w, flags, len(b.Rows))
+			switch schema.Column(ci).Type {
+			case value.KindInt:
+				raw := tbl.Ints(ci)
+				vals := make([]int64, len(b.Rows))
+				for i, r := range b.Rows {
+					vals[i] = raw[r]
+				}
+				encodeInts(w, vals)
+			case value.KindFloat:
+				raw := tbl.Floats(ci)
+				vals := make([]float64, len(b.Rows))
+				for i, r := range b.Rows {
+					vals[i] = raw[r]
+				}
+				encodeFloats(w, vals)
+			default:
+				raw := tbl.Strings(ci)
+				vals := make([]string, len(b.Rows))
+				for i, r := range b.Rows {
+					vals[i] = raw[r]
+				}
+				encodeStrings(w, vals)
+			}
+			pm, werr := writePage(w.buf)
+			if werr != nil {
+				return fmt.Errorf("colstore: write segment %s: block %d: page %d: %w", path, bi, ci+1, werr)
+			}
+			meta.pages = append(meta.pages, pm)
+		}
+		metas[bi] = meta
+	}
+
+	// Footer.
+	fw := &bufWriter{}
+	fw.str(schema.Table())
+	fw.uvarint(uint64(tbl.NumRows()))
+	fw.uvarint(uint64(ncols))
+	for ci := 0; ci < ncols; ci++ {
+		fw.str(schema.Column(ci).Name)
+		fw.u8(byte(schema.Column(ci).Type))
+	}
+	fw.uvarint(uint64(len(metas)))
+	for _, m := range metas {
+		fw.uvarint(uint64(m.nrows))
+		ranges := m.zone.Ranges()
+		for ci := 0; ci < ncols; ci++ {
+			writeInterval(fw, ranges.Get(schema.Column(ci).Name))
+		}
+		fw.uvarint(uint64(len(m.pages)))
+		for _, p := range m.pages {
+			fw.uvarint(uint64(p.off))
+			fw.uvarint(uint64(p.length))
+		}
+	}
+	if _, err = bw.Write(fw.buf); err != nil {
+		return fmt.Errorf("colstore: write segment %s: footer: %w", path, err)
+	}
+	var trailer [trailerSize]byte
+	binary.LittleEndian.PutUint32(trailer[0:], uint32(len(fw.buf)))
+	binary.LittleEndian.PutUint32(trailer[4:], crc32.ChecksumIEEE(fw.buf))
+	binary.LittleEndian.PutUint32(trailer[8:], segMagic)
+	if _, err = bw.Write(trailer[:]); err != nil {
+		return fmt.Errorf("colstore: write segment %s: trailer: %w", path, err)
+	}
+	if err = bw.Flush(); err != nil {
+		return fmt.Errorf("colstore: write segment %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("colstore: sync segment %s: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("colstore: close segment %s: %w", path, err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("colstore: install segment %s: %w", path, err)
+	}
+	return nil
+}
+
+// writeInterval serializes one zone-map interval: tag 0 is the provably
+// empty interval (an all-null column), tag 1 carries bounds.
+func writeInterval(w *bufWriter, iv predicate.Interval) {
+	if iv.Empty {
+		w.u8(0)
+		return
+	}
+	w.u8(1)
+	w.value(iv.Min)
+	w.value(iv.Max)
+	var inc byte
+	if iv.MinInc {
+		inc |= 1
+	}
+	if iv.MaxInc {
+		inc |= 2
+	}
+	w.u8(inc)
+}
+
+func readInterval(r *bufReader) predicate.Interval {
+	switch r.u8() {
+	case 0:
+		return predicate.Interval{Empty: true}
+	case 1:
+		min := r.value()
+		max := r.value()
+		inc := r.u8()
+		return predicate.Interval{Min: min, Max: max, MinInc: inc&1 != 0, MaxInc: inc&2 != 0}
+	default:
+		r.setErr("bad interval tag")
+		return predicate.Interval{}
+	}
+}
+
+// Segment is an open segment file: parsed footer metadata plus a file
+// handle for lazy page reads. A Segment is safe for concurrent reads
+// (pages are fetched with ReadAt).
+type Segment struct {
+	path      string
+	f         *os.File
+	table     string
+	totalRows int
+	cols      []colMeta
+	blocks    []blockMeta
+	zones     []*zonemap.ZoneMap
+	pageEnd   int64 // first byte past the page region
+}
+
+// OpenSegment opens and validates a segment file: magic, version, footer
+// checksum, and page-offset sanity. Block data is not touched.
+func OpenSegment(path string) (*Segment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("colstore: open segment: %w", err)
+	}
+	s, err := loadSegment(path, f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func loadSegment(path string, f *os.File) (*Segment, error) {
+	name := filepath.Base(path)
+	fail := func(format string, args ...interface{}) error {
+		return fmt.Errorf("colstore: segment %s: "+format, append([]interface{}{name}, args...)...)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fail("stat: %w", err)
+	}
+	size := st.Size()
+	if size < headerSize+trailerSize {
+		return nil, fail("file too small (%d bytes)", size)
+	}
+	var head [headerSize]byte
+	if _, err := f.ReadAt(head[:], 0); err != nil {
+		return nil, fail("read header: %w", err)
+	}
+	if m := binary.LittleEndian.Uint32(head[0:]); m != segMagic {
+		return nil, fail("bad magic 0x%08x", m)
+	}
+	if v := binary.LittleEndian.Uint32(head[4:]); v != segVersion {
+		return nil, fail("unsupported version %d", v)
+	}
+	var trailer [trailerSize]byte
+	if _, err := f.ReadAt(trailer[:], size-trailerSize); err != nil {
+		return nil, fail("read trailer: %w", err)
+	}
+	if m := binary.LittleEndian.Uint32(trailer[8:]); m != segMagic {
+		return nil, fail("bad trailer magic 0x%08x", m)
+	}
+	footerLen := int64(binary.LittleEndian.Uint32(trailer[0:]))
+	if footerLen <= 0 || footerLen > size-headerSize-trailerSize {
+		return nil, fail("implausible footer length %d", footerLen)
+	}
+	footer := make([]byte, footerLen)
+	footerOff := size - trailerSize - footerLen
+	if _, err := f.ReadAt(footer, footerOff); err != nil {
+		return nil, fail("read footer: %w", err)
+	}
+	if crc := crc32.ChecksumIEEE(footer); crc != binary.LittleEndian.Uint32(trailer[4:]) {
+		return nil, fail("footer checksum mismatch")
+	}
+
+	s := &Segment{path: path, f: f, pageEnd: footerOff}
+	r := &bufReader{buf: footer}
+	s.table = r.str()
+	total := r.uvarint()
+	if total > math.MaxInt32 {
+		r.setErr("implausible row count")
+	}
+	s.totalRows = int(total)
+	ncols := r.count(2)
+	s.cols = make([]colMeta, ncols)
+	for i := range s.cols {
+		s.cols[i] = colMeta{name: r.str(), kind: value.Kind(r.u8())}
+		if r.fail == nil && (s.cols[i].kind < value.KindInt || s.cols[i].kind > value.KindString) {
+			r.setErr(fmt.Sprintf("column %d has bad kind %d", i, s.cols[i].kind))
+		}
+	}
+	nblocks := r.count(2)
+	s.blocks = make([]blockMeta, 0, nblocks)
+	s.zones = make([]*zonemap.ZoneMap, 0, nblocks)
+	rowSum := 0
+	for bi := 0; bi < nblocks && r.fail == nil; bi++ {
+		var m blockMeta
+		nrows := r.uvarint()
+		if nrows > maxBlockRows {
+			r.setErr(fmt.Sprintf("block %d claims %d rows", bi, nrows))
+			break
+		}
+		m.nrows = int(nrows)
+		rowSum += m.nrows
+		ranges := make(predicate.Ranges, ncols)
+		for ci := 0; ci < ncols; ci++ {
+			ranges[s.cols[ci].name] = readInterval(r)
+		}
+		m.zone = zonemap.FromRanges(ranges, m.nrows)
+		npages := r.count(2)
+		if r.fail == nil && npages != 1+ncols {
+			r.setErr(fmt.Sprintf("block %d has %d pages, want %d", bi, npages, 1+ncols))
+			break
+		}
+		m.pages = make([]pageMeta, npages)
+		for pi := range m.pages {
+			poff := r.uvarint()
+			plen := r.uvarint()
+			if r.fail != nil {
+				break
+			}
+			if poff < headerSize || plen > math.MaxInt32 ||
+				int64(poff)+frameSize+int64(plen) > s.pageEnd {
+				r.setErr(fmt.Sprintf("block %d page %d extends outside the page region", bi, pi))
+				break
+			}
+			m.pages[pi] = pageMeta{off: int64(poff), length: int64(plen)}
+		}
+		s.blocks = append(s.blocks, m)
+		s.zones = append(s.zones, m.zone)
+	}
+	if r.fail == nil && rowSum != s.totalRows {
+		r.setErr(fmt.Sprintf("blocks cover %d rows, footer says %d", rowSum, s.totalRows))
+	}
+	if r.fail == nil && r.remaining() != 0 {
+		r.setErr(fmt.Sprintf("%d trailing footer bytes", r.remaining()))
+	}
+	if r.fail != nil {
+		return nil, fail("footer: %w", r.fail)
+	}
+	return s, nil
+}
+
+// Path returns the segment's file path.
+func (s *Segment) Path() string { return s.path }
+
+// Table returns the table name recorded in the footer.
+func (s *Segment) Table() string { return s.table }
+
+// TotalRows returns the table row count recorded in the footer.
+func (s *Segment) TotalRows() int { return s.totalRows }
+
+// NumBlocks returns the number of blocks in the segment.
+func (s *Segment) NumBlocks() int { return len(s.blocks) }
+
+// BlockRows returns block id's row count, from the footer.
+func (s *Segment) BlockRows(id int) int { return s.blocks[id].nrows }
+
+// Zones returns the per-block zone maps parsed from the footer (shared
+// slice, do not mutate). No page I/O is performed.
+func (s *Segment) Zones() []*zonemap.ZoneMap { return s.zones }
+
+// Close releases the file handle.
+func (s *Segment) Close() error { return s.f.Close() }
+
+// readPage fetches and checksums one page's payload. The returned count
+// is the on-disk bytes read (frame + payload).
+func (s *Segment) readPage(bi, pi int) ([]byte, int64, error) {
+	fail := func(format string, args ...interface{}) error {
+		prefix := fmt.Sprintf("colstore: segment %s: block %d: page %d: ", filepath.Base(s.path), bi, pi)
+		return fmt.Errorf(prefix+format, args...)
+	}
+	pm := s.blocks[bi].pages[pi]
+	buf := make([]byte, frameSize+pm.length)
+	if _, err := s.f.ReadAt(buf, pm.off); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, 0, fail("truncated page read")
+		}
+		return nil, 0, fail("%w", err)
+	}
+	if l := binary.LittleEndian.Uint32(buf[0:]); int64(l) != pm.length {
+		return nil, 0, fail("frame length %d disagrees with footer %d", l, pm.length)
+	}
+	payload := buf[frameSize:]
+	if crc := crc32.ChecksumIEEE(payload); crc != binary.LittleEndian.Uint32(buf[4:]) {
+		return nil, 0, fail("checksum mismatch")
+	}
+	return payload, frameSize + pm.length, nil
+}
+
+// ReadRowIDs reads and decodes only block id's row-ID page, returning the
+// row indexes and the on-disk bytes read.
+func (s *Segment) ReadRowIDs(id int) ([]int32, int64, error) {
+	payload, n, err := s.readPage(id, 0)
+	if err != nil {
+		return nil, 0, err
+	}
+	rows, err := s.decodeRowIDs(id, payload)
+	if err != nil {
+		return nil, 0, err
+	}
+	return rows, n, nil
+}
+
+func (s *Segment) decodeRowIDs(id int, payload []byte) ([]int32, error) {
+	r := &bufReader{buf: payload}
+	raw := decodeInts(r, r.u8(), s.blocks[id].nrows)
+	if r.fail == nil && r.remaining() != 0 {
+		r.setErr(fmt.Sprintf("%d trailing bytes", r.remaining()))
+	}
+	if r.fail != nil {
+		return nil, fmt.Errorf("colstore: segment %s: block %d: page 0 (row IDs): %w",
+			filepath.Base(s.path), id, r.fail)
+	}
+	rows := make([]int32, len(raw))
+	for i, v := range raw {
+		if v < 0 || v > math.MaxInt32 {
+			return nil, fmt.Errorf("colstore: segment %s: block %d: page 0 (row IDs): row index %d out of range",
+				filepath.Base(s.path), id, v)
+		}
+		rows[i] = int32(v)
+	}
+	return rows, nil
+}
+
+// ReadBlock reads, checksums, and decodes all of block id's pages,
+// reconstructing the block.Block (row IDs from page 0, zone map from the
+// footer) and the decoded column vectors.
+func (s *Segment) ReadBlock(id int) (*BlockData, error) {
+	if id < 0 || id >= len(s.blocks) {
+		return nil, fmt.Errorf("colstore: segment %s: no block %d", filepath.Base(s.path), id)
+	}
+	bd := &BlockData{Cols: make([]ColumnData, len(s.cols))}
+	payload, n, err := s.readPage(id, 0)
+	if err != nil {
+		return nil, err
+	}
+	bd.Bytes += n
+	rows, err := s.decodeRowIDs(id, payload)
+	if err != nil {
+		return nil, err
+	}
+	nrows := s.blocks[id].nrows
+	for ci := range s.cols {
+		payload, n, err := s.readPage(id, 1+ci)
+		if err != nil {
+			return nil, err
+		}
+		bd.Bytes += n
+		r := &bufReader{buf: payload}
+		cd := ColumnData{Kind: s.cols[ci].kind}
+		cd.Nulls = decodeNulls(r, nrows)
+		enc := r.u8()
+		switch cd.Kind {
+		case value.KindInt:
+			cd.Ints = decodeInts(r, enc, nrows)
+		case value.KindFloat:
+			cd.Floats = decodeFloats(r, enc, nrows)
+		default:
+			cd.Strs = decodeStrings(r, enc, nrows)
+		}
+		if r.fail == nil && r.remaining() != 0 {
+			r.setErr(fmt.Sprintf("%d trailing bytes", r.remaining()))
+		}
+		if r.fail != nil {
+			return nil, fmt.Errorf("colstore: segment %s: block %d: page %d (column %s): %w",
+				filepath.Base(s.path), id, 1+ci, s.cols[ci].name, r.fail)
+		}
+		bd.Cols[ci] = cd
+	}
+	bd.Block = &block.Block{ID: id, Rows: rows, Zone: s.blocks[id].zone}
+	return bd, nil
+}
+
+// ValidateAgainst cross-checks the footer's schema echo against the live
+// table schema, catching a segment opened for the wrong table shape.
+func (s *Segment) ValidateAgainst(schema *relation.Schema) error {
+	if s.table != schema.Table() {
+		return fmt.Errorf("colstore: segment %s: holds table %q, want %q",
+			filepath.Base(s.path), s.table, schema.Table())
+	}
+	if len(s.cols) != schema.NumColumns() {
+		return fmt.Errorf("colstore: segment %s: %d columns, schema has %d",
+			filepath.Base(s.path), len(s.cols), schema.NumColumns())
+	}
+	for i, c := range s.cols {
+		sc := schema.Column(i)
+		if c.name != sc.Name || c.kind != sc.Type {
+			return fmt.Errorf("colstore: segment %s: column %d is %s %s, schema says %s %s",
+				filepath.Base(s.path), i, c.name, c.kind, sc.Name, sc.Type)
+		}
+	}
+	return nil
+}

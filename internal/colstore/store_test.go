@@ -1,0 +1,251 @@
+package colstore
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"mto/internal/block"
+)
+
+// TestStoreDiskMatchesMem is the write-accounting and metadata regression
+// test: every Backend operation must report the same simulated seconds and
+// the same Stats deltas on the disk store as on the in-memory one.
+func TestStoreDiskMatchesMem(t *testing.T) {
+	tab := mixedTable(t, 100)
+	tl := mixedLayout(t, tab)
+	cost := block.DefaultCostModel()
+	mem := block.NewStore(cost)
+	disk, err := NewStore(t.TempDir(), 1<<20, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+
+	memSec, err := mem.SetLayout("mix", tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diskSec, err := disk.SetLayout("mix", tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if memSec != diskSec {
+		t.Errorf("SetLayout seconds: mem %g, disk %g", memSec, diskSec)
+	}
+	ms, ds := mem.Stats(), disk.Stats()
+	if ms.BlocksWritten != ds.BlocksWritten || ms.RowsWritten != ds.RowsWritten {
+		t.Errorf("write stats: mem %+v, disk %+v", ms, ds)
+	}
+	if mem.NumBlocks("mix") != disk.NumBlocks("mix") || mem.TotalBlocks() != disk.TotalBlocks() {
+		t.Error("block counts differ")
+	}
+	if disk.NumBlocks("missing") != -1 {
+		t.Error("missing table NumBlocks != -1")
+	}
+	if !reflect.DeepEqual(mem.Tables(), disk.Tables()) {
+		t.Error("Tables differ")
+	}
+	if !reflect.DeepEqual(mem.Zones("mix"), disk.Zones("mix")) {
+		t.Error("Zones differ")
+	}
+
+	for id := 0; id < mem.NumBlocks("mix"); id++ {
+		mb, err := mem.ReadBlock("mix", id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := disk.ReadBlock("mix", id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(mb.Rows, db.Rows) || !reflect.DeepEqual(mb.Zone, db.Zone) {
+			t.Fatalf("block %d differs across backends", id)
+		}
+	}
+	ms, ds = mem.Stats(), disk.Stats()
+	if ms.BlocksRead != ds.BlocksRead || ms.RowsRead != ds.RowsRead {
+		t.Errorf("read metering: mem %+v, disk %+v", ms, ds)
+	}
+
+	mm, err := mem.RowToBlock("mix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := disk.RowToBlock("mix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(mm, dm) {
+		t.Error("RowToBlock differs")
+	}
+
+	// Partial reorganization costs and results match too.
+	b0, b1 := tl.Block(0).Rows, tl.Block(1).Rows
+	regroup := append(append([]int32(nil), b1...), b0...)
+	oldIDs := map[int]bool{0: true, 1: true}
+	memBefore, diskBefore := mem.Stats(), disk.Stats()
+	memSec, err = mem.ReplaceBlocks("mix", oldIDs, [][]int32{regroup}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diskSec, err = disk.ReplaceBlocks("mix", oldIDs, [][]int32{regroup}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if memSec != diskSec {
+		t.Errorf("ReplaceBlocks seconds: mem %g, disk %g", memSec, diskSec)
+	}
+	md := mem.Stats().Sub(memBefore)
+	dd := disk.Stats().Sub(diskBefore)
+	if md.BlocksWritten != dd.BlocksWritten || md.RowsWritten != dd.RowsWritten {
+		t.Errorf("replace write deltas: mem %+v, disk %+v", md, dd)
+	}
+	if mem.NumBlocks("mix") != disk.NumBlocks("mix") {
+		t.Error("block counts differ after replace")
+	}
+	if !reflect.DeepEqual(mem.Zones("mix"), disk.Zones("mix")) {
+		t.Error("Zones differ after replace")
+	}
+
+	// Error paths mirror the in-memory backend.
+	if _, err := disk.ReadBlock("mix", 9999); err == nil {
+		t.Error("out-of-range read accepted")
+	}
+	if _, err := disk.ReadBlock("missing", 0); err == nil {
+		t.Error("missing table read accepted")
+	}
+	if _, err := disk.ReplaceBlocks("missing", nil, nil, 16); err == nil {
+		t.Error("missing table replace accepted")
+	}
+}
+
+// TestStoreFooterOnlyPruning asserts the tentpole's zero-I/O pruning
+// property: metadata and zone-map access never read page bytes; only
+// ReadBlock does, and only on a cache miss.
+func TestStoreFooterOnlyPruning(t *testing.T) {
+	tab := mixedTable(t, 100)
+	tl := mixedLayout(t, tab)
+	s, err := NewStore(t.TempDir(), 1<<20, block.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.SetLayout("mix", tl); err != nil {
+		t.Fatal(err)
+	}
+
+	s.NumBlocks("mix")
+	s.TotalBlocks()
+	s.Tables()
+	for _, z := range s.Zones("mix") {
+		z.Column("i") // full zone-map sweep, as block pruning does
+	}
+	if got := s.Stats().BytesRead; got != 0 {
+		t.Fatalf("BytesRead = %d after metadata-only access, want 0", got)
+	}
+
+	if _, err := s.ReadBlock("mix", 0); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.BytesRead <= 0 || st.CacheMisses != 1 || st.CacheHits != 0 {
+		t.Fatalf("after cold read: %+v", st)
+	}
+	if _, err := s.ReadBlock("mix", 0); err != nil {
+		t.Fatal(err)
+	}
+	st2 := s.Stats()
+	if st2.BytesRead != st.BytesRead || st2.CacheHits != 1 || st2.BlocksRead != 2 {
+		t.Fatalf("after warm read: %+v", st2)
+	}
+}
+
+func TestStoreNoCacheRereadsEveryTime(t *testing.T) {
+	tab := mixedTable(t, 50)
+	tl := mixedLayout(t, tab)
+	s, err := NewStore(t.TempDir(), 0, block.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.SetLayout("mix", tl); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReadBlock("mix", 0); err != nil {
+		t.Fatal(err)
+	}
+	first := s.Stats().BytesRead
+	if _, err := s.ReadBlock("mix", 0); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.BytesRead != 2*first || st.CacheHits != 0 || st.CacheMisses != 2 {
+		t.Fatalf("capacity 0: %+v (first read %d bytes)", st, first)
+	}
+}
+
+// TestStoreReopen covers crash recovery: a fresh Store over an existing
+// data directory serves reads and metadata from the persisted segments.
+func TestStoreReopen(t *testing.T) {
+	dir := t.TempDir()
+	tab := mixedTable(t, 60)
+	tl := mixedLayout(t, tab)
+	s, err := NewStore(dir, 1<<20, block.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SetLayout("mix", tl); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := NewStore(dir, 1<<20, block.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.NumBlocks("mix") != tl.NumBlocks() {
+		t.Fatalf("reopened NumBlocks = %d", re.NumBlocks("mix"))
+	}
+	if !reflect.DeepEqual(re.Zones("mix"), tl.Zones()) {
+		t.Error("reopened zones differ")
+	}
+	b, err := re.ReadBlock("mix", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(b.Rows, tl.Block(1).Rows) {
+		t.Error("reopened block content differs")
+	}
+	// Reorganization needs the base table, which only SetLayout provides.
+	_, err = re.ReplaceBlocks("mix", map[int]bool{0: true}, nil, 16)
+	if err == nil || !strings.Contains(err.Error(), "reopened") {
+		t.Errorf("ReplaceBlocks on reopened table: %v", err)
+	}
+	if _, err := re.SetLayout("mix", tl); err != nil {
+		t.Fatal(err)
+	}
+	b0, b1 := tl.Block(0).Rows, tl.Block(1).Rows
+	regroup := append(append([]int32(nil), b1...), b0...)
+	if _, err := re.ReplaceBlocks("mix", map[int]bool{0: true, 1: true}, [][]int32{regroup}, 16); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreRejectsBadTableNames(t *testing.T) {
+	tab := mixedTable(t, 10)
+	tl := mixedLayout(t, tab)
+	s, err := NewStore(t.TempDir(), 0, block.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, name := range []string{"", "a/b", `a\b`} {
+		if _, err := s.SetLayout(name, tl); err == nil {
+			t.Errorf("table name %q accepted", name)
+		}
+	}
+}

@@ -53,7 +53,7 @@ func (o *Optimizer) affectedCuts(table string) []*induce.Predicate {
 //
 // newRows are indexes into the (already-extended) base table; design must
 // be installed in store.
-func (o *Optimizer) ApplyInsert(table string, newRows []int, design *layout.Design, store *block.Store) (ChangeStats, error) {
+func (o *Optimizer) ApplyInsert(table string, newRows []int, design *layout.Design, store block.Backend) (ChangeStats, error) {
 	var stats ChangeStats
 	tbl := o.ds.Table(table)
 	if tbl == nil {

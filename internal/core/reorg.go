@@ -345,7 +345,7 @@ type ReorgStats struct {
 // each chosen subtree is replaced by its re-optimized tree, the affected
 // records are re-routed, and the table's layout is re-installed in store.
 // Only blocks under chosen subtrees count as rewritten.
-func (o *Optimizer) ApplyReorg(plans map[string]*ReorgPlan, design *layout.Design, store *block.Store) (ReorgStats, error) {
+func (o *Optimizer) ApplyReorg(plans map[string]*ReorgPlan, design *layout.Design, store block.Backend) (ReorgStats, error) {
 	var stats ReorgStats
 	cost := store.Cost()
 	for _, name := range o.ds.TableNames() {

@@ -1,5 +1,5 @@
 // Package engine is the simulated cloud analytics service ("Cloud DW" in
-// the paper, §6.1.2). It executes structured queries over a block.Store:
+// the paper, §6.1.2). It executes structured queries over a block.Backend:
 // per-table block sets come from the installed layout's router, zone maps
 // skip irrelevant blocks, optional data-induced predicates (diPs, [22])
 // prune blocks at plan time, and optional semi-join reduction prunes blocks
@@ -111,7 +111,7 @@ func (r *Result) FractionOfBlocks() float64 {
 // local to a call, and the lazily built secondary-index caches below are
 // guarded by mu. RunWorkload exploits this to replay workloads in parallel.
 type Engine struct {
-	store  *block.Store
+	store  block.Backend
 	design *layout.Design
 	ds     *relation.Dataset
 	opts   Options
@@ -128,7 +128,7 @@ type Engine struct {
 }
 
 // New returns an engine over the store/design pair.
-func New(store *block.Store, design *layout.Design, ds *relation.Dataset, opts Options) *Engine {
+func New(store block.Backend, design *layout.Design, ds *relation.Dataset, opts Options) *Engine {
 	if opts.RangeSetSize <= 0 {
 		opts.RangeSetSize = 20
 	}
@@ -191,7 +191,7 @@ func (e *Engine) plan(q *workload.Query) (map[string]*tableState, []string, erro
 		if !ok {
 			return nil, nil, fmt.Errorf("engine: query %s touches unknown table %q", q.ID, base)
 		}
-		if e.store.Layout(base) == nil {
+		if e.store.NumBlocks(base) < 0 {
 			return nil, nil, fmt.Errorf("engine: no layout installed for %q", base)
 		}
 		tables[base] = &tableState{table: base, candidates: ids, afterRouting: len(ids)}

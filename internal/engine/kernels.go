@@ -185,14 +185,14 @@ func (e *Engine) executeKernel(q *workload.Query) (*Result, error) {
 	// survives if any alias's filter might match it.
 	for _, name := range order {
 		ts := tables[name]
-		tl := e.store.Layout(name)
+		zones := e.store.Zones(name)
 		fns := make([]func(predicate.Ranges) predicate.Tri, len(byTable[name]))
 		for i, a := range byTable[name] {
 			fns[i] = predicate.CompileRanges(a.filter)
 		}
 		kept := ts.candidates[:0]
 		for _, id := range ts.candidates {
-			rs := tl.Block(id).Zone.Ranges()
+			rs := zones[id].Ranges()
 			for _, fn := range fns {
 				if fn(rs) != predicate.TriFalse {
 					kept = append(kept, id)
@@ -307,11 +307,11 @@ func (e *Engine) blockPruneKernel(q *workload.Query, ts *tableState,
 			continue
 		}
 		reducers++
-		tl := e.store.Layout(ts.table)
+		zones := e.store.Zones(ts.table)
 		ints, isInt := ck.intKeys()
 		kept := ts.candidates[:0]
 		for _, id := range ts.candidates {
-			iv := tl.Block(id).Zone.Column(myCol)
+			iv := zones[id].Column(myCol)
 			hit, handled := false, false
 			if isInt {
 				hit, handled = anyIntKeyInInterval(ints, iv)

@@ -181,10 +181,10 @@ func (e *Engine) runtimeBlockPrune(q *workload.Query, ts *tableState,
 		}
 		keys := sortedKeys(keysOf(otherTbl, other.rows, otherCol))
 		reducers++
-		tl := e.store.Layout(ts.table)
+		zones := e.store.Zones(ts.table)
 		kept := ts.candidates[:0]
 		for _, id := range ts.candidates {
-			iv := tl.Block(id).Zone.Column(myCol)
+			iv := zones[id].Column(myCol)
 			if anyKeyInInterval(keys, iv) {
 				kept = append(kept, id)
 			}
@@ -213,18 +213,19 @@ func (e *Engine) keyIndexFor(table, col string) *relation.KeyIndex {
 }
 
 // blockOfFor returns the table's row → block ID mapping, building and
-// caching it on first use.
+// caching it on first use. The mapping is an auxiliary-index read served
+// by the backend (from the segment's row-ID pages, for the disk backend);
+// nil means the backend could not produce it, and secondary-index pruning
+// degrades to not pruning.
 func (e *Engine) blockOfFor(table string) []int32 {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if m, ok := e.blockOf[table]; ok {
 		return m
 	}
-	m := make([]int32, e.ds.Table(table).NumRows())
-	for _, b := range e.store.Layout(table).Blocks() {
-		for _, r := range b.Rows {
-			m[r] = int32(b.ID)
-		}
+	m, err := e.store.RowToBlock(table)
+	if err != nil {
+		m = nil
 	}
 	e.blockOf[table] = m
 	return m
@@ -241,6 +242,9 @@ func (e *Engine) secondaryIndexPrune(ts *tableState, col string, keys map[value.
 		return false
 	}
 	blockOf := e.blockOfFor(ts.table)
+	if blockOf == nil {
+		return false
+	}
 	needed := map[int32]bool{}
 	for k := range keys {
 		for _, r := range ki.Lookup(k) {
@@ -295,10 +299,10 @@ func (e *Engine) dipPrune(q *workload.Query, tables map[string]*tableState,
 	if src == nil || dst == nil || src.table == dst.table {
 		return false
 	}
-	srcLayout := e.store.Layout(src.table)
+	srcZones := e.store.Zones(src.table)
 	var intervals []predicate.Interval
 	for _, id := range src.candidates {
-		iv := srcLayout.Block(id).Zone.Column(srcCol)
+		iv := srcZones[id].Column(srcCol)
 		if !iv.Empty {
 			intervals = append(intervals, iv)
 		}
@@ -314,11 +318,11 @@ func (e *Engine) dipPrune(q *workload.Query, tables map[string]*tableState,
 		dst.candidates = dst.candidates[:0]
 		return true
 	}
-	dstLayout := e.store.Layout(dst.table)
+	dstZones := e.store.Zones(dst.table)
 	kept := dst.candidates[:0]
 	pruned := false
 	for _, id := range dst.candidates {
-		iv := dstLayout.Block(id).Zone.Column(dstCol)
+		iv := dstZones[id].Column(dstCol)
 		ok := false
 		for _, r := range ranges {
 			// Non-comparable bounds cannot prove disjointness: keep the

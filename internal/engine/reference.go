@@ -33,12 +33,11 @@ func (e *Engine) ExecuteReference(q *workload.Query) (*Result, error) {
 	// match it.
 	for _, name := range order {
 		ts := tables[name]
-		tl := e.store.Layout(name)
+		zones := e.store.Zones(name)
 		kept := ts.candidates[:0]
 		for _, id := range ts.candidates {
-			b := tl.Block(id)
 			for _, as := range byTable[name] {
-				if b.Zone.MaybeMatches(as.filter) {
+				if zones[id].MaybeMatches(as.filter) {
 					kept = append(kept, id)
 					break
 				}

@@ -62,7 +62,11 @@ func Ablations(b *Bench) ([]AblationRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		d := &Deployment{Method: v.name, Design: design, Optimizer: opt, Store: newBlockStore()}
+		store, err := newBenchStore(b, v.name)
+		if err != nil {
+			return nil, err
+		}
+		d := &Deployment{Method: v.name, Design: design, Optimizer: opt, Store: store}
 		if _, err := design.Install(d.Store, nil, 0); err != nil {
 			return nil, err
 		}

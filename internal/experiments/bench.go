@@ -34,6 +34,15 @@ type Bench struct {
 	// sorts). 0 selects GOMAXPROCS, 1 forces the sequential paths.
 	// Results and learned layouts are byte-identical at any setting.
 	Parallel int
+	// Store selects the deployments' block backend: "mem" (default) or
+	// "disk" (persistent columnar segments; Results are identical).
+	Store string
+	// DataDir is the segment directory for Store "disk"; every deployment
+	// gets its own subdirectory.
+	DataDir string
+	// CacheMB is the disk backend's buffer-pool capacity in MiB of decoded
+	// block data; 0 disables caching.
+	CacheMB int
 }
 
 // Scale configures how large the experiment datasets are. The paper runs
@@ -50,6 +59,10 @@ type Scale struct {
 	// workload replay and the offline build/routing phases
 	// (0 = GOMAXPROCS, 1 = sequential).
 	Parallel int
+	// Store/DataDir/CacheMB select each Bench's block backend; see Bench.
+	Store   string
+	DataDir string
+	CacheMB int
 }
 
 // DefaultScale is used by the CLI and benchmarks unless overridden.
@@ -75,6 +88,9 @@ func SSBBench(s Scale) *Bench {
 		SampleRate: 0.25,
 		Seed:       s.Seed,
 		Parallel:   s.Parallel,
+		Store:      s.Store,
+		DataDir:    s.DataDir,
+		CacheMB:    s.CacheMB,
 	}
 }
 
@@ -89,6 +105,9 @@ func TPCHBench(s Scale) *Bench {
 		SampleRate: 0.25,
 		Seed:       s.Seed,
 		Parallel:   s.Parallel,
+		Store:      s.Store,
+		DataDir:    s.DataDir,
+		CacheMB:    s.CacheMB,
 	}
 }
 
@@ -103,6 +122,9 @@ func TPCDSBench(s Scale) *Bench {
 		SampleRate: 0.25,
 		Seed:       s.Seed,
 		Parallel:   s.Parallel,
+		Store:      s.Store,
+		DataDir:    s.DataDir,
+		CacheMB:    s.CacheMB,
 	}
 }
 

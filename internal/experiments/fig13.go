@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"mto/internal/block"
 	"mto/internal/core"
 	"mto/internal/engine"
 )
@@ -49,8 +48,11 @@ func Fig13a(b *Bench, rates []float64) ([]Fig13aRow, error) {
 			if err != nil {
 				return nil, err
 			}
-			d := &Deployment{Method: v.name, Design: design, Optimizer: opt,
-				Store: block.NewStore(block.DefaultCostModel())}
+			store, err := newBenchStore(b, v.name)
+			if err != nil {
+				return nil, err
+			}
+			d := &Deployment{Method: v.name, Design: design, Optimizer: opt, Store: store}
 			if _, err := design.Install(d.Store, nil, 0); err != nil {
 				return nil, err
 			}

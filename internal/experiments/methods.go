@@ -3,9 +3,12 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"mto/internal/block"
+	"mto/internal/colstore"
 	"mto/internal/core"
 	"mto/internal/engine"
 	"mto/internal/layout"
@@ -23,14 +26,35 @@ const (
 	MethodMTO          = "MTO"
 )
 
-// newBlockStore returns a store with the default cost calibration.
-func newBlockStore() *block.Store { return block.NewStore(block.DefaultCostModel()) }
+// deploySeq disambiguates the segment directories of disk-backed
+// deployments: the same method can be deployed several times per process
+// (fig13 sweeps, benchmarks), and each deployment needs its own segment
+// generation space.
+var deploySeq atomic.Int64
+
+// newBenchStore returns the bench's configured backend with the default
+// cost calibration: in-memory by default, or the persistent segment store
+// when b.Store is "disk" (each deployment gets its own subdirectory of
+// b.DataDir).
+func newBenchStore(b *Bench, method string) (block.Backend, error) {
+	if b == nil || b.Store == "" || b.Store == "mem" {
+		return block.NewStore(block.DefaultCostModel()), nil
+	}
+	if b.Store != "disk" {
+		return nil, fmt.Errorf("experiments: unknown store %q (want \"mem\" or \"disk\")", b.Store)
+	}
+	if b.DataDir == "" {
+		return nil, fmt.Errorf(`experiments: store "disk" requires DataDir`)
+	}
+	dir := filepath.Join(b.DataDir, fmt.Sprintf("%s-%s-%d", b.Name, method, deploySeq.Add(1)))
+	return colstore.NewStore(dir, int64(b.CacheMB)<<20, block.DefaultCostModel())
+}
 
 // Deployment is one installed layout ready to execute queries.
 type Deployment struct {
 	Method    string
 	Design    *layout.Design
-	Store     *block.Store
+	Store     block.Backend
 	Optimizer *core.Optimizer // nil for Baseline/ZOrder
 	// OptimizeSeconds/RoutingSeconds are the offline costs (zero for the
 	// sort-based layouts, whose sorting we fold into routing).
@@ -81,8 +105,11 @@ func DrainTimings() []BuildTiming {
 // b.Parallel bounds the offline worker budget (qd-tree build, record
 // routing, per-table sorts) exactly as it bounds replay.
 func deploy(b *Bench, method string, mode installMode) (*Deployment, error) {
-	d := &Deployment{Method: method, Store: newBlockStore()}
-	var err error
+	store, err := newBenchStore(b, method)
+	if err != nil {
+		return nil, err
+	}
+	d := &Deployment{Method: method, Store: store}
 	switch method {
 	case MethodBaseline, MethodBaselineDiPs, MethodBaselineSI:
 		d.Design, err = layout.SortKeyDesignParallel(b.Dataset, b.SortKeys, b.BlockSize, b.Parallel)

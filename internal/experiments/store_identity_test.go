@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"io"
+	"reflect"
+	"testing"
+)
+
+// replayWith deploys MTO on b with the given backend configuration and
+// replays the workload, returning the result with the wall-clock offline
+// timings zeroed (they are measured, not simulated, so they legitimately
+// vary run to run — everything else must not).
+func replayWith(t *testing.T, b *Bench, method string, cloudDW bool, store string, cacheMB, parallel int, datadir string) *RunResult {
+	t.Helper()
+	b.Store, b.CacheMB, b.Parallel, b.DataDir = store, cacheMB, parallel, datadir
+	d, err := DeployMethod(b, method, cloudDW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := d.Store.(io.Closer); ok {
+		defer c.Close()
+	}
+	res, err := Replay(b, d, cloudDW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.OptimizeSeconds, res.RoutingSeconds = 0, 0
+	return res
+}
+
+// TestDiskBackendReplayIdentity is the backend-identity gate: replaying
+// SSB and TPC-H against the persistent columnar store must produce exactly
+// the same Results as the in-memory backend — same blocks, fractions,
+// simulated seconds, and per-query metrics — at any cache size (including
+// a 0-byte cache, where every read decodes pages from disk) and at any
+// replay parallelism.
+func TestDiskBackendReplayIdentity(t *testing.T) {
+	s := testScale()
+	for _, mk := range []struct {
+		name    string
+		bench   func(Scale) *Bench
+		method  string
+		cloudDW bool
+	}{
+		{"ssb", SSBBench, MethodMTO, false},
+		{"tpch", TPCHBench, MethodMTO, false},
+		// The jittered-install Cloud DW mode consumes a shared rng during
+		// deployment; it must yield the same layout — and hence the same
+		// replay — on every backend too.
+		{"ssb-clouddw", SSBBench, MethodBaseline, true},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			b := mk.bench(s)
+			dir := t.TempDir()
+			want := replayWith(t, b, mk.method, mk.cloudDW, "mem", 0, 1, "")
+			configs := []struct {
+				name     string
+				store    string
+				cacheMB  int
+				parallel int
+			}{
+				{"mem-parallel", "mem", 0, 0},
+				{"disk-nocache-seq", "disk", 0, 1},
+				{"disk-nocache-parallel", "disk", 0, 0},
+				{"disk-cached-seq", "disk", 64, 1},
+				{"disk-cached-parallel", "disk", 64, 0},
+			}
+			for _, c := range configs {
+				got := replayWith(t, b, mk.method, mk.cloudDW, c.store, c.cacheMB, c.parallel, dir)
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%s: results diverge from sequential mem replay\n got: %+v\nwant: %+v",
+						c.name, got, want)
+				}
+			}
+		})
+	}
+}

@@ -10,6 +10,7 @@ package layout
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"mto/internal/block"
 	"mto/internal/relation"
@@ -73,9 +74,18 @@ func (d *Design) Tables() []string {
 // A block straddling a group boundary belongs to both groups and is read
 // when either is needed. When jitter is non-nil, blocks get non-uniform
 // capacities emulating Cloud DW; minFill sets the smallest fill fraction.
-func (d *Design) Install(store *block.Store, jitter *rand.Rand, minFill float64) (writeSeconds float64, err error) {
+func (d *Design) Install(store block.Backend, jitter *rand.Rand, minFill float64) (writeSeconds float64, err error) {
 	total := 0.0
-	for name, td := range d.tables {
+	// Install tables in name order: the jitter draws are consumed from one
+	// shared rng, so iteration order must be deterministic for repeated
+	// installs (and hence persisted segment files) to be identical.
+	names := make([]string, 0, len(d.tables))
+	for name := range d.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		td := d.tables[name]
 		// Concatenate groups into one BID-ordered stream.
 		stream := make([]int32, 0, td.table.NumRows())
 		for _, g := range td.groups {
@@ -115,7 +125,11 @@ func (d *Design) Install(store *block.Store, jitter *rand.Rand, minFill float64)
 			}
 			off = hi
 		}
-		total += store.SetLayout(name, tl)
+		sec, err := store.SetLayout(name, tl)
+		if err != nil {
+			return 0, fmt.Errorf("layout: install %s: %w", name, err)
+		}
+		total += sec
 	}
 	d.installed = true
 	return total, nil

@@ -46,6 +46,13 @@ func Build(t *relation.Table, rows []int32) *ZoneMap {
 	return zm
 }
 
+// FromRanges reconstructs a zone map from previously computed per-column
+// intervals and a row count. It is used by the persistent segment store to
+// rebuild zone maps from a segment footer; ranges is adopted, not copied.
+func FromRanges(ranges predicate.Ranges, rows int) *ZoneMap {
+	return &ZoneMap{ranges: ranges, rows: rows}
+}
+
 // NumRows returns the number of rows summarized.
 func (z *ZoneMap) NumRows() int { return z.rows }
 

@@ -27,10 +27,12 @@ package mto
 import (
 	"fmt"
 	"io"
+	"os"
 	"sync"
 	"sync/atomic"
 
 	"mto/internal/block"
+	"mto/internal/colstore"
 	"mto/internal/core"
 	"mto/internal/engine"
 	"mto/internal/layout"
@@ -160,6 +162,45 @@ type Config struct {
 	Parallelism int
 	// CostModel overrides the simulated I/O cost calibration.
 	CostModel *block.CostModel
+	// Store selects the storage backend: "mem" (default) keeps blocks in
+	// memory; "disk" persists each table layout as a columnar segment file
+	// under DataDir and reads blocks back through a buffer-pool cache.
+	// Both backends charge identical I/O accounting, so Results are
+	// byte-identical either way.
+	Store string
+	// DataDir is the segment directory for Store "disk". Required then.
+	DataDir string
+	// CacheMB is the disk backend's buffer-pool capacity in MiB of decoded
+	// block data. 0 disables caching (every read hits disk).
+	CacheMB int
+}
+
+// openBackend constructs the configured storage backend. Shadow backends
+// (for ReorganizeAsync) get their own segment subdirectory so the shadow
+// reorganization never disturbs the live segments until the swap.
+func openBackend(cfg Config, cost block.CostModel, shadow bool) (block.Backend, error) {
+	switch cfg.Store {
+	case "", "mem":
+		return block.NewStore(cost), nil
+	case "disk":
+		dir := cfg.DataDir
+		if dir == "" {
+			return nil, fmt.Errorf(`mto: Store "disk" requires DataDir`)
+		}
+		if shadow {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return nil, fmt.Errorf("mto: create data dir: %w", err)
+			}
+			var err error
+			dir, err = os.MkdirTemp(dir, "reorg-shadow-")
+			if err != nil {
+				return nil, fmt.Errorf("mto: create shadow dir: %w", err)
+			}
+		}
+		return colstore.NewStore(dir, int64(cfg.CacheMB)<<20, cost)
+	default:
+		return nil, fmt.Errorf("mto: unknown Store %q (want \"mem\" or \"disk\")", cfg.Store)
+	}
 }
 
 // System is a learned multi-table layout installed into a simulated block
@@ -173,9 +214,13 @@ type System struct {
 	mu     sync.RWMutex
 	opt    *core.Optimizer
 	design *layout.Design
-	store  *block.Store
+	store  block.Backend
 	ds     *relation.Dataset
 	eng    *engine.Engine
+
+	// newShadow builds a fresh backend of the configured kind for the
+	// §5.1.1 shadow-reorganization workflow.
+	newShadow func() (block.Backend, error)
 
 	reorgActive atomic.Bool
 }
@@ -202,13 +247,35 @@ func Open(ds *Dataset, w *Workload, cfg Config) (*System, error) {
 	if cfg.CostModel != nil {
 		cost = *cfg.CostModel
 	}
-	store := block.NewStore(cost)
-	if _, err := design.Install(store, nil, 0); err != nil {
+	store, err := openBackend(cfg, cost, false)
+	if err != nil {
 		return nil, err
 	}
-	s := &System{opt: opt, design: design, store: store, ds: ds}
+	if _, err := design.Install(store, nil, 0); err != nil {
+		closeBackend(store)
+		return nil, err
+	}
+	s := &System{opt: opt, design: design, store: store, ds: ds,
+		newShadow: func() (block.Backend, error) { return openBackend(cfg, cost, true) }}
 	s.resetEngine()
 	return s, nil
+}
+
+// closeBackend releases a backend's resources when it holds any (the disk
+// backend's open segment files); the in-memory backend is a no-op.
+func closeBackend(b block.Backend) error {
+	if c, ok := b.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// Close releases the storage backend. Only needed with Store "disk",
+// where open segment files are held; safe to call on any System.
+func (s *System) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return closeBackend(s.store)
 }
 
 func (s *System) resetEngine() {
@@ -313,7 +380,7 @@ func (s *System) Reorganize(observed *Workload, opts ReorgOptions) (ReorgReport,
 
 // reorganizeLocked runs plan+apply against the given state. When inPlace is
 // true the system's engine is rebuilt afterwards.
-func (s *System) reorganizeLocked(opt *core.Optimizer, design *layout.Design, store *block.Store,
+func (s *System) reorganizeLocked(opt *core.Optimizer, design *layout.Design, store block.Backend,
 	observed *Workload, opts ReorgOptions, inPlace bool) (ReorgReport, error) {
 	var report ReorgReport
 	plans, err := opt.PlanReorg(observed, core.ReorgConfig{
@@ -362,23 +429,30 @@ func (s *System) ReorganizeAsync(observed *Workload, opts ReorgOptions) (<-chan 
 	s.mu.RLock()
 	shadowOpt := s.opt.Clone()
 	shadowDesign := s.design.Clone()
-	cost := s.store.Cost()
 	s.mu.RUnlock()
 	go func() {
 		defer s.reorgActive.Store(false)
-		shadowStore := block.NewStore(cost)
+		shadowStore, err := s.newShadow()
+		if err != nil {
+			done <- AsyncReorg{Err: err}
+			return
+		}
 		report, err := s.reorganizeLocked(shadowOpt, shadowDesign, shadowStore, observed, opts, false)
 		if err != nil {
+			closeBackend(shadowStore)
 			done <- AsyncReorg{Report: report, Err: err}
 			return
 		}
-		// Swap the finished layout in.
+		// Swap the finished layout in. The swap excludes in-flight queries
+		// (they hold the read lock), so the retired backend can be closed.
 		s.mu.Lock()
+		old := s.store
 		s.opt = shadowOpt
 		s.design = shadowDesign
 		s.store = shadowStore
 		s.resetEngine()
 		s.mu.Unlock()
+		closeBackend(old)
 		done <- AsyncReorg{Report: report}
 	}()
 	return done, nil
@@ -435,11 +509,16 @@ func OpenSaved(r io.Reader, ds *Dataset, w *Workload, cfg Config) (*System, erro
 	if cfg.CostModel != nil {
 		cost = *cfg.CostModel
 	}
-	store := block.NewStore(cost)
-	if _, err := design.Install(store, nil, 0); err != nil {
+	store, err := openBackend(cfg, cost, false)
+	if err != nil {
 		return nil, err
 	}
-	s := &System{opt: opt, design: design, store: store, ds: ds}
+	if _, err := design.Install(store, nil, 0); err != nil {
+		closeBackend(store)
+		return nil, err
+	}
+	s := &System{opt: opt, design: design, store: store, ds: ds,
+		newShadow: func() (block.Backend, error) { return openBackend(cfg, cost, true) }}
 	s.resetEngine()
 	return s, nil
 }
