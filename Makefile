@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench bench-build bench-replay bench-induce bench-store
+.PHONY: build test vet race check bench bench-build bench-replay bench-induce bench-store bench-reorg
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ race:
 check: build vet test race
 
 # Replay-speedup and paper-figure benchmarks.
-bench: bench-build bench-replay bench-induce bench-store
+bench: bench-build bench-replay bench-induce bench-store bench-reorg
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
 # Construction/routing benchmarks with a JSON perf snapshot. Compares the
@@ -46,6 +46,15 @@ bench-replay:
 bench-store:
 	$(GO) test -run='^$$' -bench='ReplayDisk' -benchmem -count=1 \
 		. | $(GO) run ./cmd/benchjson -out BENCH_store.json
+
+# Incremental-reorganization daemon benchmark with a JSON result snapshot.
+# Drives the reorgd daemon over the TPC-H 1-11 → 12-22 drift stream and
+# records stale/full/daemon blocks-per-query, the recovered fraction of the
+# stale→full gap, per-cycle write accounting, and the full deterministic
+# cycle trace in BENCH_reorg.json.
+bench-reorg:
+	$(GO) run ./cmd/mtobench -exp reorg -daemon -sf 0.01 -per-template 2 \
+		-benchjson BENCH_reorg.json
 
 # Induced-predicate evaluation benchmarks with a JSON perf snapshot.
 # Compares the batched work-sharing evaluator against the retained scalar

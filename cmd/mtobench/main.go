@@ -6,13 +6,15 @@
 // Usage:
 //
 //	mtobench -exp fig10a [-sf 0.02] [-per-template 8] [-seed 1] [-parallel N]
+//	mtobench -exp reorg -daemon [-reorg-budget 80] [-benchjson BENCH_reorg.json]
 //	mtobench -exp all
 //
 // Experiments: fig10a fig10bc fig11 fig12 fig13a fig13b fig14a fig14b
-// fig15a fig15b table2 table3 table4 table5 ablations all
+// fig15a fig15b table2 table3 table4 table5 ablations reorg all
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -21,12 +23,24 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"mto/internal/experiments"
 )
 
 // csvDir, when set, receives one <experiment>.csv per harness run.
 var csvDir string
+
+// reorgFlags holds the -exp reorg daemon knobs (see internal/reorgd).
+var reorgFlags struct {
+	daemon    bool
+	budget    int
+	cycles    int
+	queries   int
+	epsilon   float64
+	interval  time.Duration
+	benchJSON string
+}
 
 // saveCSV writes rows for one experiment when -csv is set.
 func saveCSV(name string, rows interface{}) error {
@@ -59,6 +73,13 @@ func main() {
 		memprofile  = flag.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
 	)
 	flag.StringVar(&csvDir, "csv", "", "also write each experiment's rows as CSV into this directory")
+	flag.BoolVar(&reorgFlags.daemon, "daemon", false, "enable the incremental reorganization daemon in -exp reorg (off = stale-vs-full baseline only)")
+	flag.IntVar(&reorgFlags.budget, "reorg-budget", 80, "per-cycle block-write budget for the reorg daemon (0 = unlimited)")
+	flag.IntVar(&reorgFlags.cycles, "reorg-cycles", 8, "number of daemon cycles in -exp reorg")
+	flag.IntVar(&reorgFlags.queries, "reorg-queries", 22, "drift-stream queries executed per daemon cycle")
+	flag.Float64Var(&reorgFlags.epsilon, "reorg-epsilon", 0, "bandit exploration rate (0 = UCB1, >0 = seeded epsilon-greedy)")
+	flag.DurationVar(&reorgFlags.interval, "reorg-interval", time.Second, "cycle interval for a live daemon Run (the bench drives cycles explicitly)")
+	flag.StringVar(&reorgFlags.benchJSON, "benchjson", "", "write the -exp reorg result as JSON to this file (e.g. BENCH_reorg.json)")
 	flag.Parse()
 
 	scale := experiments.DefaultScale()
@@ -321,6 +342,29 @@ func runExperiment(exp, bench string, s experiments.Scale) error {
 		experiments.PrintFig15b(out, rows)
 		if err := saveCSV("fig15b", rows); err != nil {
 			return err
+		}
+	case "reorg":
+		res, err := experiments.ReorgDaemon(s, experiments.ReorgScenario{
+			Cycles:          reorgFlags.cycles,
+			QueriesPerCycle: reorgFlags.queries,
+			Budget:          reorgFlags.budget,
+			Epsilon:         reorgFlags.epsilon,
+			Seed:            s.Seed,
+			Interval:        reorgFlags.interval,
+			Daemon:          reorgFlags.daemon,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, res.String())
+		if reorgFlags.benchJSON != "" {
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(reorgFlags.benchJSON, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
 		}
 	case "ablations":
 		benches, err := benchesFor(bench, s)

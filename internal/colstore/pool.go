@@ -41,6 +41,11 @@ type poolShard struct {
 	lru      *list.List // front = most recently used; values are *poolEntry
 	items    map[poolKey]*list.Element
 	inflight map[poolKey]*poolCall
+	// minGen is the lowest cacheable generation per table. A load that
+	// started against a generation below the floor (because a segment swap
+	// raced it) finishes normally but is refused insertion, so superseded
+	// generations can never re-enter the cache after InvalidateBelow.
+	minGen map[string]uint64
 }
 
 type poolEntry struct {
@@ -76,6 +81,7 @@ func NewPool(capacityBytes int64) *Pool {
 			lru:      list.New(),
 			items:    make(map[poolKey]*list.Element),
 			inflight: make(map[poolKey]*poolCall),
+			minGen:   make(map[string]uint64),
 		}
 	}
 	return p
@@ -134,7 +140,7 @@ func (p *Pool) Get(k poolKey, load func() (*BlockData, error)) (*BlockData, erro
 
 	sh.mu.Lock()
 	delete(sh.inflight, k)
-	if call.err == nil && sh.capacity > 0 {
+	if call.err == nil && sh.capacity > 0 && k.gen >= sh.minGen[k.table] {
 		size := memSize(call.bd)
 		el := sh.lru.PushFront(&poolEntry{key: k, bd: call.bd, size: size})
 		sh.items[k] = el
@@ -157,13 +163,31 @@ func (p *Pool) Get(k poolKey, load func() (*BlockData, error)) (*BlockData, erro
 // generations). Entries are dropped, not evicted: the eviction counter
 // tracks capacity pressure only.
 func (p *Pool) Invalidate(table string) {
+	p.invalidate(table, func(gen uint64) bool { return true }, 0)
+}
+
+// InvalidateBelow drops every cached block of the named table whose
+// generation is below minGen and raises the table's caching floor, so a
+// load racing the generation swap cannot re-insert a superseded entry
+// afterwards. Segment swaps call this with the new generation: without the
+// floor, a Get that captured the old table state before the swap would
+// finish its disk read after Invalidate's sweep and park the dead
+// generation's block in the cache until LRU pressure evicts it.
+func (p *Pool) InvalidateBelow(table string, minGen uint64) {
+	p.invalidate(table, func(gen uint64) bool { return gen < minGen }, minGen)
+}
+
+func (p *Pool) invalidate(table string, drop func(gen uint64) bool, floor uint64) {
 	for i := range p.shards {
 		sh := &p.shards[i]
 		sh.mu.Lock()
+		if floor > sh.minGen[table] {
+			sh.minGen[table] = floor
+		}
 		for el := sh.lru.Front(); el != nil; {
 			next := el.Next()
 			ent := el.Value.(*poolEntry)
-			if ent.key.table == table {
+			if ent.key.table == table && drop(ent.key.gen) {
 				sh.lru.Remove(el)
 				delete(sh.items, ent.key)
 				sh.bytes -= ent.size
@@ -172,6 +196,19 @@ func (p *Pool) Invalidate(table string) {
 		}
 		sh.mu.Unlock()
 	}
+}
+
+// Resident returns the number of cached entries and their total decoded
+// bytes across all shards (a point-in-time snapshot).
+func (p *Pool) Resident() (entries int, bytes int64) {
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		entries += sh.lru.Len()
+		bytes += sh.bytes
+		sh.mu.Unlock()
+	}
+	return entries, bytes
 }
 
 // Counters returns the cumulative hit/miss/eviction counts.

@@ -110,6 +110,74 @@ func TestPoolFailedLoadNotCached(t *testing.T) {
 	}
 }
 
+// TestPoolInvalidateBelowRefusesStaleInsert reproduces the race between a
+// segment swap and an in-flight load: the load starts against the old
+// generation, the swap invalidates mid-load, and without the generation
+// floor the finished load would park the dead generation's block in the
+// cache until LRU pressure evicts it.
+func TestPoolInvalidateBelowRefusesStaleInsert(t *testing.T) {
+	p := NewPool(1 << 20)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	gated := func() (*BlockData, error) {
+		close(started)
+		<-release
+		return fakeBlock(1), nil
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := p.Get(poolKey{table: "t", gen: 1, id: 0}, gated); err != nil {
+			t.Errorf("gated Get: %v", err)
+		}
+	}()
+	<-started
+	p.InvalidateBelow("t", 2) // swap to generation 2 while the load is in flight
+	close(release)
+	<-done
+
+	if entries, bytes := p.Resident(); entries != 0 || bytes != 0 {
+		t.Errorf("stale generation cached after InvalidateBelow: %d entries, %d bytes", entries, bytes)
+	}
+	// The refused insert must not poison the key either: a re-Get of the
+	// old generation reloads (and is again refused), the new generation
+	// caches normally.
+	loads := 0
+	load := func() (*BlockData, error) { loads++; return fakeBlock(1), nil }
+	p.Get(poolKey{table: "t", gen: 1, id: 0}, load)
+	p.Get(poolKey{table: "t", gen: 2, id: 0}, load)
+	p.Get(poolKey{table: "t", gen: 2, id: 0}, load) // hit
+	if loads != 2 {
+		t.Errorf("loads = %d, want 2 (stale gen uncacheable, current gen cached)", loads)
+	}
+	if entries, _ := p.Resident(); entries != 1 {
+		t.Errorf("resident entries = %d, want 1 (current generation only)", entries)
+	}
+	if _, _, evictions := p.Counters(); evictions != 0 {
+		t.Errorf("invalidation must not count as eviction, got %d", evictions)
+	}
+}
+
+func TestPoolInvalidateBelowKeepsCurrentGeneration(t *testing.T) {
+	p := NewPool(1 << 20)
+	loads := 0
+	load := func() (*BlockData, error) { loads++; return fakeBlock(1), nil }
+	for id := 0; id < 3; id++ {
+		p.Get(poolKey{table: "t", gen: 1, id: id}, load)
+		p.Get(poolKey{table: "t", gen: 2, id: id}, load)
+	}
+	p.InvalidateBelow("t", 2)
+	for id := 0; id < 3; id++ {
+		p.Get(poolKey{table: "t", gen: 2, id: id}, load) // still cached
+	}
+	if loads != 6 {
+		t.Errorf("loads = %d, want 6 (generation 2 survives the floor)", loads)
+	}
+	if entries, _ := p.Resident(); entries != 3 {
+		t.Errorf("resident entries = %d, want 3", entries)
+	}
+}
+
 func TestPoolInvalidate(t *testing.T) {
 	p := NewPool(1 << 20)
 	loads := 0

@@ -180,7 +180,7 @@ func (s *Store) SetLayout(table string, tl *block.TableLayout) (float64, error) 
 		os.Remove(prev.seg.Path())
 	}
 	s.tables[table] = &tableState{base: tl.Table(), seg: seg, gen: gen}
-	s.pool.Invalidate(table)
+	s.pool.InvalidateBelow(table, gen)
 	delta := block.InstallDelta(tl)
 	s.blocksWritten.Add(delta.Blocks)
 	s.rowsWritten.Add(delta.Rows)
@@ -230,7 +230,7 @@ func (s *Store) ReplaceBlocks(table string, oldIDs map[int]bool, newGroups [][]i
 	s.retired = append(s.retired, st.seg)
 	os.Remove(st.seg.Path())
 	s.tables[table] = &tableState{base: st.base, seg: seg, gen: gen}
-	s.pool.Invalidate(table)
+	s.pool.InvalidateBelow(table, gen)
 	s.blocksWritten.Add(delta.Blocks)
 	s.rowsWritten.Add(delta.Rows)
 	return delta.Seconds(s.cost), nil

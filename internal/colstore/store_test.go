@@ -120,6 +120,68 @@ func TestStoreDiskMatchesMem(t *testing.T) {
 	}
 }
 
+// TestStoreSwapDropsOldGeneration asserts that a generation swap
+// (SetLayout or ReplaceBlocks) proactively removes the superseded
+// generation's pages from the buffer pool: after fully re-reading the new
+// generation, only its blocks are resident and no LRU evictions were
+// needed to make room — the old pages were dropped, not squeezed out.
+func TestStoreSwapDropsOldGeneration(t *testing.T) {
+	tab := mixedTable(t, 100)
+	tl := mixedLayout(t, tab)
+	s, err := NewStore(t.TempDir(), 1<<20, block.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.SetLayout("mix", tl); err != nil {
+		t.Fatal(err)
+	}
+	readAll := func() {
+		for id := 0; id < s.NumBlocks("mix"); id++ {
+			if _, err := s.ReadBlock("mix", id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	readAll()
+	nblocks := s.NumBlocks("mix")
+	if entries, _ := s.pool.Resident(); entries != nblocks {
+		t.Fatalf("resident = %d, want %d", entries, nblocks)
+	}
+
+	// Swap 1: full SetLayout to a new generation.
+	if _, err := s.SetLayout("mix", tl); err != nil {
+		t.Fatal(err)
+	}
+	readAll()
+	if entries, _ := s.pool.Resident(); entries != nblocks {
+		t.Errorf("after SetLayout swap: resident = %d, want %d (old generation must be dropped)", entries, nblocks)
+	}
+
+	// Swap 2: partial ReplaceBlocks generation.
+	before := s.Stats()
+	regroup := append(append([]int32(nil), tl.Block(1).Rows...), tl.Block(0).Rows...)
+	if _, err := s.ReplaceBlocks("mix", map[int]bool{0: true, 1: true}, [][]int32{regroup}, 16); err != nil {
+		t.Fatal(err)
+	}
+	readAll()
+	if entries, _ := s.pool.Resident(); entries != s.NumBlocks("mix") {
+		t.Errorf("after ReplaceBlocks swap: resident = %d, want %d", entries, s.NumBlocks("mix"))
+	}
+	// The cache is far larger than one generation: any eviction here would
+	// mean superseded pages were squeezed out by pressure instead of being
+	// invalidated at swap time.
+	if d := s.Stats().Sub(before); d.CacheEvictions != 0 {
+		t.Errorf("cache evictions = %d, want 0 (swap must invalidate, not rely on LRU)", d.CacheEvictions)
+	}
+	// Re-reading the current generation hits the cache.
+	before = s.Stats()
+	readAll()
+	if d := s.Stats().Sub(before); d.CacheHits != int64(s.NumBlocks("mix")) || d.CacheMisses != 0 {
+		t.Errorf("re-read of current generation: hits/misses = %d/%d, want %d/0", d.CacheHits, d.CacheMisses, s.NumBlocks("mix"))
+	}
+}
+
 // TestStoreFooterOnlyPruning asserts the tentpole's zero-I/O pruning
 // property: metadata and zone-map access never read page bytes; only
 // ReadBlock does, and only on a cache miss.

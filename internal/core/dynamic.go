@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"mto/internal/block"
@@ -27,12 +28,19 @@ type ChangeStats struct {
 }
 
 // affectedCuts returns the distinct induced predicates across all trees
-// whose induction path contains the changed table.
+// whose induction path contains the changed table. Trees are visited in
+// sorted table-name order so the update order (and hence which error
+// surfaces first, and the CutsUpdated interleaving) is deterministic.
 func (o *Optimizer) affectedCuts(table string) []*induce.Predicate {
+	names := make([]string, 0, len(o.trees))
+	for name := range o.trees {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	seen := map[*induce.Predicate]bool{}
 	var out []*induce.Predicate
-	for _, tree := range o.trees {
-		for _, ic := range tree.InducedCuts() {
+	for _, name := range names {
+		for _, ic := range o.trees[name].InducedCuts() {
 			if !seen[ic.Ind] && ic.Ind.AffectedBy(table) {
 				seen[ic.Ind] = true
 				out = append(out, ic.Ind)
@@ -63,6 +71,11 @@ func (o *Optimizer) ApplyInsert(table string, newRows []int, design *layout.Desi
 	td := design.Table(table)
 	if tree == nil || td == nil {
 		return stats, fmt.Errorf("core: table %q has no optimized layout", table)
+	}
+	// An empty insert is a no-op: nothing to route, no cut literals change,
+	// and no block is rewritten — skip the full re-install entirely.
+	if len(newRows) == 0 {
+		return stats, nil
 	}
 
 	// Update affected join-induced cuts in other tables' trees.

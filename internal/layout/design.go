@@ -86,53 +86,108 @@ func (d *Design) Install(store block.Backend, jitter *rand.Rand, minFill float64
 	sort.Strings(names)
 	for _, name := range names {
 		td := d.tables[name]
-		// Concatenate groups into one BID-ordered stream.
-		stream := make([]int32, 0, td.table.NumRows())
-		for _, g := range td.groups {
-			stream = append(stream, g...)
-		}
-		var tl *block.TableLayout
-		if jitter != nil {
-			tl, err = block.NewJitteredTableLayout(td.table, [][]int32{stream}, d.BlockSize, minFill, jitter)
-		} else {
-			tl, err = block.NewTableLayout(td.table, [][]int32{stream}, d.BlockSize)
-		}
+		tl, groupBlocks, err := buildTableLayout(td, d.BlockSize, jitter, minFill)
 		if err != nil {
 			return 0, fmt.Errorf("layout: install %s: %w", name, err)
-		}
-		// Map each group to the blocks overlapping its stream extent.
-		starts := make([]int, tl.NumBlocks()+1)
-		for i := 0; i < tl.NumBlocks(); i++ {
-			starts[i+1] = starts[i] + tl.Block(i).NumRows()
-		}
-		td.groupBlocks = make([][]int, len(td.groups))
-		off := 0
-		bi := 0
-		for gi, g := range td.groups {
-			lo, hi := off, off+len(g) // [lo, hi) in stream coordinates
-			for bi > 0 && starts[bi] > lo {
-				bi--
-			}
-			for b := bi; b < tl.NumBlocks() && starts[b] < hi; b++ {
-				if starts[b+1] > lo {
-					td.groupBlocks[gi] = append(td.groupBlocks[gi], b)
-				}
-			}
-			// Advance bi to the first block containing hi-1 for the next
-			// group (it may be shared).
-			for bi < tl.NumBlocks()-1 && starts[bi+1] <= hi-1 {
-				bi++
-			}
-			off = hi
 		}
 		sec, err := store.SetLayout(name, tl)
 		if err != nil {
 			return 0, fmt.Errorf("layout: install %s: %w", name, err)
 		}
+		td.groupBlocks = groupBlocks
 		total += sec
 	}
 	d.installed = true
 	return total, nil
+}
+
+// buildTableLayout packs a table design's groups into one BID-ordered
+// record stream, chops the stream into blocks, and computes the group →
+// block mapping from each group's stream extent. It does not mutate td.
+func buildTableLayout(td *TableDesign, blockSize int, jitter *rand.Rand, minFill float64) (*block.TableLayout, [][]int, error) {
+	// Concatenate groups into one BID-ordered stream.
+	stream := make([]int32, 0, td.table.NumRows())
+	for _, g := range td.groups {
+		stream = append(stream, g...)
+	}
+	var tl *block.TableLayout
+	var err error
+	if jitter != nil {
+		tl, err = block.NewJitteredTableLayout(td.table, [][]int32{stream}, blockSize, minFill, jitter)
+	} else {
+		tl, err = block.NewTableLayout(td.table, [][]int32{stream}, blockSize)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	// Map each group to the blocks overlapping its stream extent.
+	starts := make([]int, tl.NumBlocks()+1)
+	for i := 0; i < tl.NumBlocks(); i++ {
+		starts[i+1] = starts[i] + tl.Block(i).NumRows()
+	}
+	groupBlocks := make([][]int, len(td.groups))
+	off := 0
+	bi := 0
+	for gi, g := range td.groups {
+		lo, hi := off, off+len(g) // [lo, hi) in stream coordinates
+		for bi > 0 && starts[bi] > lo {
+			bi--
+		}
+		for b := bi; b < tl.NumBlocks() && starts[b] < hi; b++ {
+			if starts[b+1] > lo {
+				groupBlocks[gi] = append(groupBlocks[gi], b)
+			}
+		}
+		// Advance bi to the first block containing hi-1 for the next
+		// group (it may be shared).
+		for bi < tl.NumBlocks()-1 && starts[bi+1] <= hi-1 {
+			bi++
+		}
+		off = hi
+	}
+	return tl, groupBlocks, nil
+}
+
+// InstallTable atomically replaces a single table's design in an already
+// installed Design: the new layout is staged and written to the store
+// first, and the design entry is only swapped in once the store accepted
+// it. On error the design (and, for backends with atomic SetLayout, the
+// store) is unchanged, so queries never observe a torn layout.
+// Reorganization uses this to commit tables one at a time.
+func (d *Design) InstallTable(store block.Backend, t *relation.Table, groups [][]int32, route Router) (float64, error) {
+	if !d.installed {
+		return 0, fmt.Errorf("layout: InstallTable on uninstalled design %q", d.Name)
+	}
+	name := t.Schema().Table()
+	td := &TableDesign{table: t, groups: groups, route: route}
+	tl, groupBlocks, err := buildTableLayout(td, d.BlockSize, nil, 0)
+	if err != nil {
+		return 0, fmt.Errorf("layout: install %s: %w", name, err)
+	}
+	sec, err := store.SetLayout(name, tl)
+	if err != nil {
+		return 0, fmt.Errorf("layout: install %s: %w", name, err)
+	}
+	td.groupBlocks = groupBlocks
+	d.tables[name] = td
+	return sec, nil
+}
+
+// SetTableBlocks registers a table design whose blocks already exist in
+// the store — the partial-reorganization path, where ReplaceBlocks
+// materialized the new blocks directly. groupBlocks must map every group
+// to its block IDs in the store's post-replacement numbering. The design
+// stays installed.
+func (d *Design) SetTableBlocks(t *relation.Table, groups [][]int32, route Router, groupBlocks [][]int) error {
+	if !d.installed {
+		return fmt.Errorf("layout: SetTableBlocks on uninstalled design %q", d.Name)
+	}
+	if len(groupBlocks) != len(groups) {
+		return fmt.Errorf("layout: SetTableBlocks %s: %d groups but %d group→block entries",
+			t.Schema().Table(), len(groups), len(groupBlocks))
+	}
+	d.tables[t.Schema().Table()] = &TableDesign{table: t, groups: groups, route: route, groupBlocks: groupBlocks}
+	return nil
 }
 
 // BlocksFor returns the block IDs of the named table that q must read, or

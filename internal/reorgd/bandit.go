@@ -1,0 +1,100 @@
+// Package reorgd implements the adaptive incremental reorganization
+// daemon: a long-running loop that watches a rolling query log, scores
+// qd-tree staleness per table, and each cycle re-optimizes only the
+// highest-scoring subtrees under a physical block-write budget. Candidate
+// layout strategies are chosen by a seeded multi-armed bandit whose reward
+// is the observed blocks-read improvement after each install, so the
+// daemon learns which re-optimization recipe pays off for the workload at
+// hand (observe → propose → migrate → evaluate → learn).
+package reorgd
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Bandit is a deterministic multi-armed bandit over layout strategies.
+// With Epsilon == 0 it runs UCB1; otherwise seeded epsilon-greedy. Both
+// pull every arm once first (lowest index first) and break value ties by
+// lowest index, so a fixed seed yields a byte-identical decision sequence.
+type Bandit struct {
+	arms  []string
+	pulls []int
+	sums  []float64
+	total int
+	eps   float64
+	rng   *rand.Rand
+}
+
+// NewBandit returns a bandit over the named arms. epsilon == 0 selects
+// UCB1; epsilon > 0 selects epsilon-greedy with a rand.Source seeded by
+// seed (the only randomness in the daemon).
+func NewBandit(arms []string, epsilon float64, seed int64) *Bandit {
+	if len(arms) == 0 {
+		panic("reorgd: bandit needs at least one arm")
+	}
+	return &Bandit{
+		arms:  append([]string(nil), arms...),
+		pulls: make([]int, len(arms)),
+		sums:  make([]float64, len(arms)),
+		eps:   epsilon,
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Arms returns the arm names.
+func (b *Bandit) Arms() []string { return append([]string(nil), b.arms...) }
+
+// Name returns arm i's name.
+func (b *Bandit) Name(i int) string { return b.arms[i] }
+
+// Pick selects the next arm to pull.
+func (b *Bandit) Pick() int {
+	for i, n := range b.pulls {
+		if n == 0 {
+			return i
+		}
+	}
+	if b.eps > 0 {
+		if b.rng.Float64() < b.eps {
+			return b.rng.Intn(len(b.arms))
+		}
+		return b.best(func(i int) float64 { return b.sums[i] / float64(b.pulls[i]) })
+	}
+	// UCB1: mean + sqrt(2 ln N / n_i).
+	return b.best(func(i int) float64 {
+		return b.sums[i]/float64(b.pulls[i]) +
+			math.Sqrt(2*math.Log(float64(b.total))/float64(b.pulls[i]))
+	})
+}
+
+func (b *Bandit) best(score func(int) float64) int {
+	bestIdx, bestVal := 0, math.Inf(-1)
+	for i := range b.arms {
+		if v := score(i); v > bestVal {
+			bestIdx, bestVal = i, v
+		}
+	}
+	return bestIdx
+}
+
+// Update records the reward of a pull of arm i.
+func (b *Bandit) Update(i int, reward float64) {
+	b.pulls[i]++
+	b.sums[i] += reward
+	b.total++
+}
+
+// Means returns each arm's empirical mean reward (0 for unpulled arms).
+func (b *Bandit) Means() []float64 {
+	out := make([]float64, len(b.arms))
+	for i, n := range b.pulls {
+		if n > 0 {
+			out[i] = b.sums[i] / float64(n)
+		}
+	}
+	return out
+}
+
+// Pulls returns each arm's pull count.
+func (b *Bandit) Pulls() []int { return append([]int(nil), b.pulls...) }

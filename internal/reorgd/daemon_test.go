@@ -1,0 +1,222 @@
+package reorgd
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mto/internal/block"
+	"mto/internal/core"
+	"mto/internal/engine"
+	"mto/internal/layout"
+	"mto/internal/predicate"
+	"mto/internal/relation"
+	"mto/internal/value"
+	"mto/internal/workload"
+)
+
+func TestBanditDeterministic(t *testing.T) {
+	arms := []string{"a", "b", "c"}
+	b := NewBandit(arms, 0, 1)
+	// Every arm is pulled once first, lowest index first.
+	for want := 0; want < 3; want++ {
+		got := b.Pick()
+		if got != want {
+			t.Fatalf("initial pull %d: got arm %d", want, got)
+		}
+		b.Update(got, float64(want))
+	}
+	// UCB1 now prefers the highest-mean arm; repeated picks with equal
+	// updates must be identical across fresh bandits.
+	seq1 := make([]int, 10)
+	for i := range seq1 {
+		seq1[i] = b.Pick()
+		b.Update(seq1[i], 0.5)
+	}
+	b2 := NewBandit(arms, 0, 99) // UCB1 ignores the seed
+	for i := 0; i < 3; i++ {
+		b2.Update(b2.Pick(), float64(i))
+	}
+	for i := range seq1 {
+		g := b2.Pick()
+		if g != seq1[i] {
+			t.Fatalf("UCB1 diverged at pick %d: %d vs %d", i, g, seq1[i])
+		}
+		b2.Update(g, 0.5)
+	}
+
+	// Epsilon-greedy is deterministic at a fixed seed.
+	e1, e2 := NewBandit(arms, 0.3, 7), NewBandit(arms, 0.3, 7)
+	for i := 0; i < 50; i++ {
+		g1, g2 := e1.Pick(), e2.Pick()
+		if g1 != g2 {
+			t.Fatalf("epsilon-greedy diverged at pick %d", i)
+		}
+		e1.Update(g1, float64(i%3))
+		e2.Update(g2, float64(i%3))
+	}
+}
+
+// daemonScenario builds a single-table dataset with a d-range-partitioned
+// layout and a shifted workload of v-range queries confined to d < 250 —
+// the same regime as the core partial-reorg tests, sized for fast cycles.
+func daemonScenario(t *testing.T, seed int64) (*core.Optimizer, *layout.Design, *block.Store, *relation.Dataset, []*workload.Query) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ds := relation.NewDataset()
+	tab := relation.NewTable(relation.MustSchema("fact",
+		relation.Column{Name: "fid", Type: value.KindInt, Unique: true},
+		relation.Column{Name: "v", Type: value.KindInt},
+		relation.Column{Name: "d", Type: value.KindInt},
+	))
+	for i := 0; i < 20000; i++ {
+		tab.MustAppendRow(value.Int(int64(i)), value.Int(int64(rng.Intn(1000))), value.Int(int64(rng.Intn(500))))
+	}
+	ds.MustAddTable(tab)
+
+	trainW := workload.NewWorkload()
+	for k := int64(0); k < 8; k++ {
+		q := workload.NewQuery("d"+string(rune('0'+k)), workload.TableRef{Table: "fact"})
+		q.Filter("fact", predicate.NewComparison("d", predicate.Ge, value.Int(k*62)))
+		q.Filter("fact", predicate.NewComparison("d", predicate.Lt, value.Int((k+1)*62)))
+		trainW.Add(q)
+	}
+	var shift []*workload.Query
+	for k := int64(0); k < 5; k++ {
+		q := workload.NewQuery("v"+string(rune('0'+k)), workload.TableRef{Table: "fact"})
+		q.Filter("fact", predicate.NewComparison("d", predicate.Lt, value.Int(250)))
+		q.Filter("fact", predicate.NewComparison("v", predicate.Ge, value.Int(k*200)))
+		q.Filter("fact", predicate.NewComparison("v", predicate.Lt, value.Int((k+1)*200)))
+		shift = append(shift, q)
+	}
+
+	mto, err := core.Optimize(ds, trainW, core.Options{BlockSize: 500, JoinInduction: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	design, err := mto.BuildDesign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := block.NewStore(block.DefaultCostModel())
+	if _, err := design.Install(store, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	return mto, design, store, ds, shift
+}
+
+// runDaemon drives cycles of 20 shifted queries each, recreating the
+// engine after every install, and returns the trace plus per-cycle mean
+// blocks read.
+func runDaemon(t *testing.T, seed int64, cfg Config, cycles int) ([]CycleStats, []float64) {
+	t.Helper()
+	mto, design, store, ds, shift := daemonScenario(t, seed)
+	d := New(mto, design, store, cfg)
+	eng := engine.New(store, design, ds, engine.DefaultOptions())
+	var perCycle []float64
+	for c := 0; c < cycles; c++ {
+		blocks := 0
+		for i := 0; i < 20; i++ {
+			q := shift[(c*20+i)%len(shift)]
+			res, err := eng.Execute(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tb := map[string]int{}
+			for name, ta := range res.PerTable {
+				tb[name] = ta.BlocksRead
+			}
+			d.Observe(q, tb)
+			blocks += res.BlocksRead
+		}
+		perCycle = append(perCycle, float64(blocks)/20)
+		cs, err := d.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cs.Action == "reorg" {
+			if err := store.Layout("fact").Validate(); err != nil {
+				t.Fatalf("cycle %d: layout invalid after install: %v", c, err)
+			}
+			eng = engine.New(store, design, ds, engine.DefaultOptions())
+		}
+	}
+	return d.Trace(), perCycle
+}
+
+// TestDaemonReorganizesUnderBudget: the daemon must detect the shift,
+// install at least one partial reorganization without ever exceeding the
+// per-cycle write budget, and the shifted queries must get cheaper.
+func TestDaemonReorganizesUnderBudget(t *testing.T) {
+	cfg := Config{Budget: 30, Window: 64, MinCycleQueries: 16, TopK: 1, Q: 300, W: 100}
+	trace, perCycle := runDaemon(t, 4, cfg, 6)
+	reorgs := 0
+	for _, cs := range trace {
+		if cs.Action == "reorg" {
+			reorgs++
+			if cs.BlocksWritten > cfg.Budget {
+				t.Errorf("cycle %d wrote %d blocks, budget %d", cs.Cycle, cs.BlocksWritten, cfg.Budget)
+			}
+			if cs.BlocksWritten == 0 || len(cs.Tables) == 0 || cs.Arm == "" {
+				t.Errorf("cycle %d: incomplete reorg stats %+v", cs.Cycle, cs)
+			}
+		}
+	}
+	if reorgs == 0 {
+		t.Fatalf("daemon never reorganized; trace: %+v", trace)
+	}
+	first, last := perCycle[0], perCycle[len(perCycle)-1]
+	if last >= first {
+		t.Errorf("shifted queries did not get cheaper: %.1f → %.1f blocks/query", first, last)
+	}
+	// At least one install must have been evaluated and credited.
+	credited := false
+	for _, cs := range trace {
+		if cs.Reward != nil {
+			credited = true
+			if cs.RewardArm == "" {
+				t.Error("reward without arm attribution")
+			}
+		}
+	}
+	if !credited {
+		t.Error("no install was ever evaluated by the bandit")
+	}
+}
+
+// TestDaemonDeterministic: at a fixed seed the full cycle trace (actions,
+// scores, arms, writes, rewards) must be identical across repeats.
+func TestDaemonDeterministic(t *testing.T) {
+	for _, eps := range []float64{0, 0.3} {
+		cfg := Config{Budget: 15, Window: 64, MinCycleQueries: 16, TopK: 1, Q: 300, W: 100, Epsilon: eps, Seed: 11}
+		t1, b1 := runDaemon(t, 4, cfg, 5)
+		t2, b2 := runDaemon(t, 4, cfg, 5)
+		if !reflect.DeepEqual(t1, t2) {
+			t.Errorf("eps=%g: traces differ:\n%+v\n%+v", eps, t1, t2)
+		}
+		if !reflect.DeepEqual(b1, b2) {
+			t.Errorf("eps=%g: per-cycle blocks differ: %v vs %v", eps, b1, b2)
+		}
+	}
+}
+
+// TestDaemonIdleBelowThreshold: with too few observations the daemon must
+// not act at all.
+func TestDaemonIdle(t *testing.T) {
+	mto, design, store, _, shift := daemonScenario(t, 4)
+	d := New(mto, design, store, Config{MinCycleQueries: 50})
+	for i := 0; i < 10; i++ {
+		d.Observe(shift[0], map[string]int{"fact": 5})
+	}
+	before := store.Stats()
+	cs, err := d.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Action != "idle" {
+		t.Errorf("action = %q, want idle", cs.Action)
+	}
+	if delta := store.Stats().Sub(before); delta != (block.Stats{}) {
+		t.Errorf("idle cycle touched the store: %+v", delta)
+	}
+}

@@ -1,0 +1,178 @@
+package workload
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// LogEntry is one observed query execution in a RollingLog: the query that
+// ran, its position in the overall stream, and the blocks each table's scan
+// read (the reorganizer's staleness signal).
+type LogEntry struct {
+	Query *Query
+	// Seq is the entry's 0-based position in the full stream of appends,
+	// monotonically increasing across window wrap-arounds.
+	Seq uint64
+	// TableBlocks maps base-table name → blocks read for that table.
+	TableBlocks map[string]int
+}
+
+// RollingLog is a fixed-capacity ring buffer over the most recent query
+// executions. The incremental reorganizer daemon appends every execution
+// and periodically summarizes the window into staleness scores and a
+// re-optimization workload. The zero value is unusable; use NewRollingLog.
+type RollingLog struct {
+	cap  int
+	buf  []LogEntry
+	next uint64 // total appends so far; buf index = seq % cap
+}
+
+// NewRollingLog returns a log that retains the last capacity executions.
+// Capacity must be positive.
+func NewRollingLog(capacity int) *RollingLog {
+	if capacity <= 0 {
+		panic("workload: RollingLog capacity must be positive")
+	}
+	return &RollingLog{cap: capacity, buf: make([]LogEntry, 0, capacity)}
+}
+
+// Append records one query execution. tableBlocks may be nil; the map is
+// copied, so callers can reuse theirs.
+func (l *RollingLog) Append(q *Query, tableBlocks map[string]int) {
+	var tb map[string]int
+	if len(tableBlocks) > 0 {
+		tb = make(map[string]int, len(tableBlocks))
+		for t, b := range tableBlocks {
+			tb[t] = b
+		}
+	}
+	e := LogEntry{Query: q, Seq: l.next, TableBlocks: tb}
+	if len(l.buf) < l.cap {
+		l.buf = append(l.buf, e)
+	} else {
+		l.buf[int(l.next)%l.cap] = e
+	}
+	l.next++
+}
+
+// Len returns the number of retained entries (≤ capacity).
+func (l *RollingLog) Len() int { return len(l.buf) }
+
+// Seq returns the total number of appends ever made.
+func (l *RollingLog) Seq() uint64 { return l.next }
+
+// Window returns the retained entries oldest-first. The slice is freshly
+// allocated; entries are shared.
+func (l *RollingLog) Window() []LogEntry {
+	out := make([]LogEntry, 0, len(l.buf))
+	if len(l.buf) < l.cap {
+		return append(out, l.buf...)
+	}
+	start := int(l.next) % l.cap
+	out = append(out, l.buf[start:]...)
+	return append(out, l.buf[:start]...)
+}
+
+// WindowWorkload folds the retained window into a Workload suitable for
+// re-optimization: repeated executions of the same query ID collapse into
+// one entry whose Weight is the repetition count times the query's own
+// weight, so the optimizer sees observed frequencies. Queries appear in
+// first-seen (stream) order, which makes the result deterministic for a
+// deterministic stream.
+func (l *RollingLog) WindowWorkload() *Workload {
+	w := NewWorkload()
+	counts := map[string]int{}
+	order := []string{}
+	byID := map[string]*Query{}
+	anon := 0
+	for _, e := range l.Window() {
+		id := e.Query.ID
+		if id == "" {
+			// Unnamed queries can't be deduplicated; keep them distinct.
+			anon++
+			cq := *e.Query
+			w.Add(&cq)
+			continue
+		}
+		if _, ok := counts[id]; !ok {
+			order = append(order, id)
+			byID[id] = e.Query
+		}
+		counts[id]++
+	}
+	for _, id := range order {
+		cq := *byID[id]
+		cq.Weight = float64(counts[id]) * byID[id].EffectiveWeight()
+		w.Add(&cq)
+	}
+	return w
+}
+
+// BlocksPerQuery returns the window's mean blocks read per execution for
+// each table (tables never touched are absent). The reorganizer compares
+// this against a longer-horizon mean to detect drift.
+func (l *RollingLog) BlocksPerQuery() map[string]float64 {
+	sums := map[string]int{}
+	counts := map[string]int{}
+	for _, e := range l.buf {
+		for t, b := range e.TableBlocks {
+			sums[t] += b
+			counts[t]++
+		}
+	}
+	out := make(map[string]float64, len(sums))
+	for t, s := range sums {
+		out[t] = float64(s) / float64(counts[t])
+	}
+	return out
+}
+
+// Tables returns the sorted table names observed in the window.
+func (l *RollingLog) Tables() []string {
+	seen := map[string]bool{}
+	for _, e := range l.buf {
+		for t := range e.TableBlocks {
+			seen[t] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Drift generates a deterministic length-n query stream that gradually
+// shifts through the given phases: position t ∈ [0,1) maps to a continuous
+// phase coordinate, and each draw picks between the two adjacent phases
+// with probability equal to the fractional progress, then picks uniformly
+// inside the chosen phase's pool. The same (phases, n, seed) always yields
+// the same stream. Queries are shared with the input pools, not copied.
+func Drift(phases [][]*Query, n int, seed int64) []*Query {
+	if len(phases) == 0 || n <= 0 {
+		return nil
+	}
+	for _, p := range phases {
+		if len(p) == 0 {
+			panic("workload: Drift phase with empty query pool")
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*Query, 0, n)
+	for i := 0; i < n; i++ {
+		pos := float64(i) / float64(n) * float64(len(phases))
+		lo := int(pos)
+		if lo >= len(phases) {
+			lo = len(phases) - 1
+		}
+		hi := lo + 1
+		frac := pos - float64(lo)
+		pool := phases[lo]
+		if hi < len(phases) && rng.Float64() < frac {
+			pool = phases[hi]
+		}
+		out = append(out, pool[rng.Intn(len(pool))])
+	}
+	return out
+}

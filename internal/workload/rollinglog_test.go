@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"mto/internal/predicate"
+	"mto/internal/value"
+)
+
+func logQuery(id string, v int64) *Query {
+	q := NewQuery(id, TableRef{Table: "fact"})
+	q.Filter("fact", predicate.NewComparison("v", predicate.Eq, value.Int(v)))
+	return q
+}
+
+func TestRollingLogWindowWraps(t *testing.T) {
+	l := NewRollingLog(3)
+	if l.Len() != 0 || l.Seq() != 0 {
+		t.Fatal("fresh log not empty")
+	}
+	qs := []*Query{logQuery("a", 1), logQuery("b", 2), logQuery("c", 3), logQuery("d", 4), logQuery("e", 5)}
+	for i, q := range qs {
+		l.Append(q, map[string]int{"fact": i + 1})
+	}
+	if l.Len() != 3 || l.Seq() != 5 {
+		t.Fatalf("Len=%d Seq=%d, want 3/5", l.Len(), l.Seq())
+	}
+	win := l.Window()
+	wantIDs := []string{"c", "d", "e"}
+	for i, e := range win {
+		if e.Query.ID != wantIDs[i] {
+			t.Errorf("window[%d] = %s, want %s", i, e.Query.ID, wantIDs[i])
+		}
+		if e.Seq != uint64(i+2) {
+			t.Errorf("window[%d].Seq = %d, want %d", i, e.Seq, i+2)
+		}
+	}
+	// Appended maps are copied.
+	tb := map[string]int{"fact": 9}
+	l.Append(logQuery("f", 6), tb)
+	tb["fact"] = 0
+	if got := l.Window()[2].TableBlocks["fact"]; got != 9 {
+		t.Errorf("TableBlocks aliased caller's map: %d", got)
+	}
+	// Mean blocks per query over the retained window {d:4, e:5, f:9}.
+	if got := l.BlocksPerQuery()["fact"]; got != 6 {
+		t.Errorf("BlocksPerQuery = %g, want 6", got)
+	}
+	if got := l.Tables(); !reflect.DeepEqual(got, []string{"fact"}) {
+		t.Errorf("Tables = %v", got)
+	}
+}
+
+func TestRollingLogWindowWorkload(t *testing.T) {
+	l := NewRollingLog(10)
+	a, b := logQuery("a", 1), logQuery("b", 2)
+	b.Weight = 2
+	for i := 0; i < 3; i++ {
+		l.Append(a, nil)
+	}
+	l.Append(b, nil)
+	l.Append(b, nil)
+	w := l.WindowWorkload()
+	if err := w.Validate(); err != nil {
+		t.Fatalf("window workload invalid: %v", err)
+	}
+	if w.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (deduplicated)", w.Len())
+	}
+	if w.Queries[0].ID != "a" || w.Queries[0].Weight != 3 {
+		t.Errorf("query a: %+v", w.Queries[0])
+	}
+	if w.Queries[1].ID != "b" || w.Queries[1].Weight != 4 {
+		t.Errorf("query b folded weight = %g, want 2×2", w.Queries[1].Weight)
+	}
+	// Folding must not mutate the shared originals.
+	if a.Weight != 0 || b.Weight != 2 {
+		t.Error("WindowWorkload mutated source queries")
+	}
+}
+
+func TestDriftDeterministicAndShifting(t *testing.T) {
+	p0 := []*Query{logQuery("p0a", 1), logQuery("p0b", 2)}
+	p1 := []*Query{logQuery("p1a", 3), logQuery("p1b", 4)}
+	s1 := Drift([][]*Query{p0, p1}, 400, 7)
+	s2 := Drift([][]*Query{p0, p1}, 400, 7)
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("Drift not deterministic at fixed seed")
+	}
+	if len(s1) != 400 {
+		t.Fatalf("stream length %d", len(s1))
+	}
+	phase1 := func(qs []*Query) int {
+		n := 0
+		for _, q := range qs {
+			if q.ID[:2] == "p1" {
+				n++
+			}
+		}
+		return n
+	}
+	head, tail := phase1(s1[:100]), phase1(s1[300:])
+	if head >= tail {
+		t.Errorf("stream does not drift: %d phase-1 draws early, %d late", head, tail)
+	}
+	if head != 0 {
+		// The first quarter sits in phase 0's first half: cross-fade
+		// probability < 0.5, so some early phase-1 draws are fine — but the
+		// very start must be pure phase 0.
+		if phase1(s1[:10]) > 2 {
+			t.Errorf("stream starts mid-shift: %d phase-1 draws in first 10", phase1(s1[:10]))
+		}
+	}
+	if got := phase1(s1[390:]); got < 8 {
+		t.Errorf("stream end not settled in phase 1: %d/10", got)
+	}
+
+	if Drift(nil, 10, 1) != nil || Drift([][]*Query{p0}, 0, 1) != nil {
+		t.Error("degenerate Drift inputs must return nil")
+	}
+}
