@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench bench-build bench-replay bench-induce bench-store bench-reorg
+.PHONY: build test vet race check bench bench-build bench-replay bench-induce bench-store bench-scan bench-reorg
 
 build:
 	$(GO) build ./...
@@ -39,13 +39,18 @@ bench-replay:
 	$(GO) test -run='^$$' -bench='ExecuteWorkload|WorkloadReplay' -benchmem -count=1 \
 		. | $(GO) run ./cmd/benchjson -out BENCH_replay.json
 
-# Persistent segment store benchmarks with a JSON perf snapshot. Replays
-# the SSB workload against the disk backend cold (0-byte buffer pool) and
-# warm (pool primed with the working set) next to the in-memory backend,
-# and records the results in BENCH_store.json.
-bench-store:
-	$(GO) test -run='^$$' -bench='ReplayDisk' -benchmem -count=1 \
-		. | $(GO) run ./cmd/benchjson -out BENCH_store.json
+# Persistent segment store and compressed-scan benchmarks with a JSON perf
+# snapshot. Replays the SSB workload against the disk backend cold (0-byte
+# buffer pool, on both the compressed-domain and full-decode scan paths)
+# and warm (pool primed with the working set) next to the in-memory
+# backend, runs the selective-scan microbenchmark (predicate evaluation on
+# encoded pages + late materialization vs decode-everything), and records
+# the results in BENCH_store.json.
+bench-scan:
+	$(GO) test -run='^$$' -bench='ReplayDisk|CompressedScan' -benchmem -count=1 \
+		. ./internal/colstore | $(GO) run ./cmd/benchjson -out BENCH_store.json
+
+bench-store: bench-scan
 
 # Incremental-reorganization daemon benchmark with a JSON result snapshot.
 # Drives the reorgd daemon over the TPC-H 1-11 → 12-22 drift stream and

@@ -69,6 +69,8 @@ func main() {
 		store       = flag.String("store", "mem", `block backend: "mem" (in-memory) or "disk" (persistent columnar segments; identical results)`)
 		datadir     = flag.String("datadir", "", `segment directory for -store=disk (default: a temp dir removed on exit)`)
 		cacheMB     = flag.Int("cache-mb", 64, "disk backend buffer-pool capacity in MiB of decoded block data (0 = no cache)")
+		compressed  = flag.String("compressed", "auto", `compressed-domain scan execution: "on", "auto" (fall back per table when a scan cannot compile), or "off" (always decode pages); results are identical either way`)
+		readahead   = flag.Bool("readahead", true, "async segment readahead into the buffer pool (disk backend with cache only)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprofile  = flag.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
 	)
@@ -89,6 +91,14 @@ func main() {
 	scale.Parallel = *parallel
 	scale.Store = *store
 	scale.CacheMB = *cacheMB
+	switch *compressed {
+	case "on", "auto", "off":
+		scale.Compressed = *compressed
+	default:
+		fmt.Fprintf(os.Stderr, "mtobench: -compressed=%q (want on, auto, or off)\n", *compressed)
+		os.Exit(1)
+	}
+	scale.NoReadahead = !*readahead
 	if *store == "disk" {
 		scale.DataDir = *datadir
 		if scale.DataDir == "" {

@@ -62,6 +62,14 @@ type Stats struct {
 	// BytesRead counts actual segment bytes read from disk (page and
 	// row-ID-page I/O on cache misses); zone-map pruning never adds to it.
 	BytesRead int64
+
+	// Prefetched counts blocks loaded into the buffer pool by the disk
+	// backend's readahead workers ahead of demand; ReadaheadHits counts
+	// demand reads that found (or joined the in-flight load of) a
+	// prefetched block. Neither affects the simulated BlocksRead
+	// accounting — readahead only overlaps real I/O with compute.
+	Prefetched    int64
+	ReadaheadHits int64
 }
 
 // Sub returns s - o, for measuring deltas between snapshots.
@@ -75,6 +83,8 @@ func (s Stats) Sub(o Stats) Stats {
 		CacheMisses:    s.CacheMisses - o.CacheMisses,
 		CacheEvictions: s.CacheEvictions - o.CacheEvictions,
 		BytesRead:      s.BytesRead - o.BytesRead,
+		Prefetched:     s.Prefetched - o.Prefetched,
+		ReadaheadHits:  s.ReadaheadHits - o.ReadaheadHits,
 	}
 }
 

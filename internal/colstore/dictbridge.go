@@ -1,0 +1,78 @@
+package colstore
+
+import (
+	"fmt"
+	"math/bits"
+
+	"mto/internal/relation"
+	"mto/internal/value"
+)
+
+// BlockColumnDict builds a relation.ColumnDict directly from one encoded
+// dict-string column page: the page's dictionary entries become the Strs
+// value list and the packed codes become the row codes, with null rows
+// mapped to -1 off the page's null bitmap. No decode-then-rebuild.
+//
+// This is the bridge between the two dictionary worlds (DESIGN.md): both
+// a segment dict page and relation.BuildColumnDict store the sorted
+// distinct values with code = rank, so the returned dict obeys every
+// ColumnDict contract — CodeRange translates literals, TranslateCodes
+// maps codes order-preservingly into any other dictionary of the column.
+// The one divergence is that dict pages also encode the backing values
+// sitting at null slots, so the page dictionary may be a superset of the
+// column's non-null distinct values; TranslateCodes absorbs exactly that
+// (extra entries translate to -1 where absent).
+//
+// Non-dict encodings return an error; callers fall back to
+// relation.BuildColumnDict over decoded rows.
+func BlockColumnDict(payload []byte, nrows int) (*relation.ColumnDict, error) {
+	pv, err := parsePage(payload, nrows)
+	if err != nil {
+		return nil, err
+	}
+	if pv.enc != encStrDict {
+		return nil, fmt.Errorf("colstore: page encoding 0x%02x is not a string dictionary", pv.enc)
+	}
+	r := &bufReader{buf: pv.body}
+	n := r.count(0)
+	if !r.checkCount(n, nrows) {
+		return nil, r.err()
+	}
+	nd := r.count(1)
+	if r.fail != nil {
+		return nil, r.err()
+	}
+	strs := make([]string, nd)
+	for i := range strs {
+		ln := r.count(1)
+		b := r.bytes(ln)
+		if r.fail != nil {
+			return nil, r.err()
+		}
+		strs[i] = string(b)
+	}
+	width := int(r.u8())
+	if r.fail != nil {
+		return nil, r.err()
+	}
+	codes := make([]uint64, n)
+	if err := unpackBitsInto(codes, r.buf[r.off:], width); err != nil {
+		return nil, err
+	}
+	d := &relation.ColumnDict{Kind: value.KindString, Codes: make([]int32, n), Strs: strs}
+	for i, c := range codes {
+		if c >= uint64(nd) {
+			return nil, fmt.Errorf("colstore: dict code %d out of range (%d entries)", c, nd)
+		}
+		d.Codes[i] = int32(c)
+	}
+	for bi, b := range pv.nulls {
+		for ; b != 0; b &= b - 1 {
+			i := bi<<3 + bits.TrailingZeros8(b)
+			if i < n {
+				d.Codes[i] = -1
+			}
+		}
+	}
+	return d, nil
+}

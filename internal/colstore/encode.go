@@ -196,19 +196,46 @@ func packBits(vals []uint64, width int) []byte {
 
 // unpackBits reverses packBits into count elements of the given width.
 func unpackBits(buf []byte, count, width int) ([]uint64, error) {
+	out := make([]uint64, count)
+	if err := unpackBitsInto(out, buf, width); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// unpackBitsInto reverses packBits into dst (len(dst) elements of the
+// given width), letting callers reuse scratch buffers. Widths up to 57
+// take a word-at-a-time fast path: each element's bits fit one unaligned
+// 8-byte load.
+func unpackBitsInto(dst []uint64, buf []byte, width int) error {
+	count := len(dst)
 	if width < 0 || width > 64 {
-		return nil, fmt.Errorf("colstore: bad bit width %d", width)
+		return fmt.Errorf("colstore: bad bit width %d", width)
 	}
 	need := (count*width + 7) / 8
 	if len(buf) < need {
-		return nil, fmt.Errorf("colstore: bit-packed payload truncated: have %d bytes, need %d", len(buf), need)
+		return fmt.Errorf("colstore: bit-packed payload truncated: have %d bytes, need %d", len(buf), need)
 	}
-	out := make([]uint64, count)
 	if width == 0 {
-		return out, nil
+		for i := range dst {
+			dst[i] = 0
+		}
+		return nil
 	}
-	bitPos := 0
-	for i := range out {
+	i := 0
+	if width <= 57 {
+		mask := uint64(1)<<width - 1
+		for ; i < count; i++ {
+			bitPos := i * width
+			byteIdx := bitPos >> 3
+			if byteIdx+8 > len(buf) {
+				break // tail: fall through to the byte-wise loop
+			}
+			dst[i] = binary.LittleEndian.Uint64(buf[byteIdx:]) >> (bitPos & 7) & mask
+		}
+	}
+	bitPos := i * width
+	for ; i < count; i++ {
 		var v uint64
 		for b := 0; b < width; {
 			byteIdx, bitIdx := bitPos>>3, bitPos&7
@@ -221,9 +248,36 @@ func unpackBits(buf []byte, count, width int) ([]uint64, error) {
 			b += take
 			bitPos += take
 		}
-		out[i] = v
+		dst[i] = v
 	}
-	return out, nil
+	return nil
+}
+
+// unpackAt extracts the idx'th width-bit element of a packed payload
+// (random access, for gather-by-mask decoding). The caller must have
+// validated the payload length for the full element count.
+func unpackAt(buf []byte, idx, width int) uint64 {
+	if width == 0 {
+		return 0
+	}
+	bitPos := idx * width
+	byteIdx := bitPos >> 3
+	if width <= 57 && byteIdx+8 <= len(buf) {
+		return binary.LittleEndian.Uint64(buf[byteIdx:]) >> (bitPos & 7) & (uint64(1)<<width - 1)
+	}
+	var v uint64
+	for b := 0; b < width; {
+		byteIdx, bitIdx := bitPos>>3, bitPos&7
+		take := 8 - bitIdx
+		if take > width-b {
+			take = width - b
+		}
+		chunk := uint64(buf[byteIdx]>>bitIdx) & ((1 << take) - 1)
+		v |= chunk << b
+		b += take
+		bitPos += take
+	}
+	return v
 }
 
 // Page encodings. A page payload is [enc u8][body]; the body layout
@@ -352,14 +406,15 @@ func decodeInts(r *bufReader, enc byte, want int) []int64 {
 		if r.fail != nil {
 			return nil
 		}
-		packed, err := unpackBits(r.buf[r.off:], n, width)
-		if err != nil {
+		wb := getWordBuf(n)
+		defer putWordBuf(wb)
+		if err := unpackBitsInto(wb.w, r.buf[r.off:], width); err != nil {
 			r.setErr(err.Error())
 			return nil
 		}
 		r.off += (n*width + 7) / 8
 		out := make([]int64, n)
-		for i, p := range packed {
+		for i, p := range wb.w {
 			out[i] = int64(p + uint64(min))
 		}
 		return out
@@ -377,8 +432,9 @@ func decodeInts(r *bufReader, enc byte, want int) []int64 {
 		if r.fail != nil {
 			return nil
 		}
-		packed, err := unpackBits(r.buf[r.off:], n-1, width)
-		if err != nil {
+		wb := getWordBuf(n - 1)
+		defer putWordBuf(wb)
+		if err := unpackBitsInto(wb.w, r.buf[r.off:], width); err != nil {
 			r.setErr(err.Error())
 			return nil
 		}
@@ -386,7 +442,7 @@ func decodeInts(r *bufReader, enc byte, want int) []int64 {
 		out := make([]int64, n)
 		out[0] = first
 		cur := first
-		for i, p := range packed {
+		for i, p := range wb.w {
 			cur += int64(p + uint64(minDelta))
 			out[i+1] = cur
 		}
@@ -474,14 +530,15 @@ func decodeStrings(r *bufReader, enc byte, want int) []string {
 		if r.fail != nil {
 			return nil
 		}
-		codes, err := unpackBits(r.buf[r.off:], n, width)
-		if err != nil {
+		wb := getWordBuf(n)
+		defer putWordBuf(wb)
+		if err := unpackBitsInto(wb.w, r.buf[r.off:], width); err != nil {
 			r.setErr(err.Error())
 			return nil
 		}
 		r.off += (n*width + 7) / 8
 		out := make([]string, n)
-		for i, c := range codes {
+		for i, c := range wb.w {
 			if c >= uint64(nd) {
 				r.setErr(fmt.Sprintf("dictionary code %d out of range %d", c, nd))
 				return nil
@@ -547,6 +604,218 @@ func encodeNulls(w *bufWriter, nulls []bool, n int) {
 		}
 	}
 	w.bytes(mask)
+}
+
+// gatherColumn decodes only rows sel (ascending local row indexes) of one
+// raw column page payload — the late-materialization path: after a
+// compressed-domain scan has built the survivor set, payload columns are
+// gathered for just the surviving rows instead of decoding the full page.
+// The returned vectors are parallel to sel; Nulls is nil when the page has
+// no null section.
+func gatherColumn(payload []byte, kind value.Kind, nrows int, sel []int32) (ColumnData, error) {
+	cd := ColumnData{Kind: kind}
+	for i, l := range sel {
+		if l < 0 || int(l) >= nrows || (i > 0 && l <= sel[i-1]) {
+			return cd, fmt.Errorf("colstore: gather selection not ascending within %d rows", nrows)
+		}
+	}
+	r := &bufReader{buf: payload}
+	var nulls []byte
+	switch r.u8() {
+	case 0:
+	case 1:
+		nulls = r.bytes((nrows + 7) / 8)
+	default:
+		r.setErr("bad null-mask flag")
+	}
+	enc := r.u8()
+	if r.fail != nil {
+		return cd, r.fail
+	}
+	if nulls != nil {
+		cd.Nulls = make([]bool, len(sel))
+		for i, l := range sel {
+			cd.Nulls[i] = nulls[l>>3]&(1<<(l&7)) != 0
+		}
+	}
+	switch kind {
+	case value.KindInt:
+		cd.Ints = make([]int64, len(sel))
+		gatherInts(r, enc, nrows, sel, cd.Ints)
+	case value.KindFloat:
+		cd.Floats = make([]float64, len(sel))
+		gatherFloats(r, enc, nrows, sel, cd.Floats)
+	default:
+		cd.Strs = make([]string, len(sel))
+		gatherStrings(r, enc, nrows, sel, cd.Strs)
+	}
+	return cd, r.err()
+}
+
+// gatherInts decodes elements sel of an int page body into out. Raw and
+// FOR pages are random access; delta pages walk the prefix sum once up to
+// the last selected row.
+func gatherInts(r *bufReader, enc byte, want int, sel []int32, out []int64) {
+	switch enc {
+	case encIntRaw:
+		n := r.count(8)
+		if !r.checkCount(n, want) {
+			return
+		}
+		data := r.bytes(8 * n)
+		if r.fail != nil {
+			return
+		}
+		for i, l := range sel {
+			out[i] = int64(binary.LittleEndian.Uint64(data[int(l)*8:]))
+		}
+	case encIntFOR:
+		n := r.count(0)
+		if !r.checkCount(n, want) {
+			return
+		}
+		min := r.varint()
+		width := int(r.u8())
+		if r.fail != nil {
+			return
+		}
+		body := r.bytes((n*width + 7) / 8)
+		if r.fail != nil {
+			return
+		}
+		if width > 64 {
+			r.setErr(fmt.Sprintf("bad bit width %d", width))
+			return
+		}
+		for i, l := range sel {
+			out[i] = int64(unpackAt(body, int(l), width) + uint64(min))
+		}
+	case encIntDelta:
+		n := r.count(0)
+		if !r.checkCount(n, want) {
+			return
+		}
+		if n == 0 {
+			return
+		}
+		first := r.varint()
+		minDelta := r.varint()
+		width := int(r.u8())
+		if r.fail != nil {
+			return
+		}
+		body := r.bytes(((n-1)*width + 7) / 8)
+		if r.fail != nil {
+			return
+		}
+		if width > 64 {
+			r.setErr(fmt.Sprintf("bad bit width %d", width))
+			return
+		}
+		j := 0
+		cur := first
+		if j < len(sel) && sel[j] == 0 {
+			out[j] = cur
+			j++
+		}
+		for k := 1; k < n && j < len(sel); k++ {
+			cur += int64(unpackAt(body, k-1, width) + uint64(minDelta))
+			if int32(k) == sel[j] {
+				out[j] = cur
+				j++
+			}
+		}
+	default:
+		r.setErr(fmt.Sprintf("unknown int encoding 0x%02x", enc))
+	}
+}
+
+// gatherFloats decodes elements sel of a float page body into out.
+func gatherFloats(r *bufReader, enc byte, want int, sel []int32, out []float64) {
+	if enc != encFloatRaw {
+		r.setErr(fmt.Sprintf("unknown float encoding 0x%02x", enc))
+		return
+	}
+	n := r.count(8)
+	if !r.checkCount(n, want) {
+		return
+	}
+	data := r.bytes(8 * n)
+	if r.fail != nil {
+		return
+	}
+	for i, l := range sel {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[int(l)*8:]))
+	}
+}
+
+// gatherStrings decodes elements sel of a string page body into out,
+// allocating strings only for the selected rows. Dict pages random-access
+// the packed codes; raw pages walk entries up to the last selected row.
+func gatherStrings(r *bufReader, enc byte, want int, sel []int32, out []string) {
+	switch enc {
+	case encStrRaw:
+		n := r.count(1)
+		if !r.checkCount(n, want) {
+			return
+		}
+		j := 0
+		for k := 0; k < n && j < len(sel); k++ {
+			ln := r.count(1)
+			b := r.bytes(ln)
+			if r.fail != nil {
+				return
+			}
+			if int32(k) == sel[j] {
+				out[j] = string(b)
+				j++
+			}
+		}
+	case encStrDict:
+		n := r.count(0)
+		if !r.checkCount(n, want) {
+			return
+		}
+		nd := r.count(1)
+		if r.fail != nil {
+			return
+		}
+		// Index the dictionary entries without materializing them.
+		offs := make([]int32, nd)
+		lens := make([]int32, nd)
+		dictBase := r.buf
+		for i := 0; i < nd; i++ {
+			ln := r.count(1)
+			start := r.off
+			r.bytes(ln)
+			if r.fail != nil {
+				return
+			}
+			offs[i], lens[i] = int32(start), int32(ln)
+		}
+		width := int(r.u8())
+		if r.fail != nil {
+			return
+		}
+		body := r.bytes((n*width + 7) / 8)
+		if r.fail != nil {
+			return
+		}
+		if width > 64 {
+			r.setErr(fmt.Sprintf("bad bit width %d", width))
+			return
+		}
+		for i, l := range sel {
+			c := unpackAt(body, int(l), width)
+			if c >= uint64(nd) {
+				r.setErr(fmt.Sprintf("dictionary code %d out of range %d", c, nd))
+				return
+			}
+			out[i] = string(dictBase[offs[c] : offs[c]+lens[c]])
+		}
+	default:
+		r.setErr(fmt.Sprintf("unknown string encoding 0x%02x", enc))
+	}
 }
 
 // decodeNulls reads the null-mask section; nil means no nulls.

@@ -1,0 +1,341 @@
+package colstore
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"mto/internal/block"
+)
+
+// --- pool-level prefetch semantics (deterministic, synchronous) ---
+
+func TestPoolPrefetchCounters(t *testing.T) {
+	p := NewPool(1 << 20)
+	k := poolKey{table: "t", gen: 1, id: 0}
+	p.GetPrefetch(k, func() (any, int64, error) { return fakeBlock(1), 4, nil })
+
+	if pf, ra := p.PrefetchCounters(); pf != 1 || ra != 0 {
+		t.Fatalf("after prefetch: prefetched/readaheadHits = %d/%d, want 1/0", pf, ra)
+	}
+	if hits, misses, _ := p.Counters(); hits != 0 || misses != 0 {
+		t.Fatalf("prefetch loads must not count hits/misses, got %d/%d", hits, misses)
+	}
+
+	// First demand read consumes the readahead; the second is a plain hit.
+	load := func() (*BlockData, error) { t.Fatal("demand load ran despite prefetch"); return nil, nil }
+	p.Get(k, load)
+	p.Get(k, load)
+	if pf, ra := p.PrefetchCounters(); pf != 1 || ra != 1 {
+		t.Errorf("readahead hit counted %d times, want 1 (prefetched %d)", ra, pf)
+	}
+	if hits, _, _ := p.Counters(); hits != 2 {
+		t.Errorf("demand hits = %d, want 2", hits)
+	}
+
+	// Prefetching an already-cached block is a no-op on every counter.
+	p.GetPrefetch(k, func() (any, int64, error) { t.Fatal("reloaded cached block"); return nil, 0, nil })
+	if pf, _ := p.PrefetchCounters(); pf != 1 {
+		t.Errorf("prefetch of cached block counted, prefetched = %d", pf)
+	}
+}
+
+func TestPoolPrefetchFailedLoadNotCached(t *testing.T) {
+	p := NewPool(1 << 20)
+	k := poolKey{table: "t", gen: 1, id: 0}
+	p.GetPrefetch(k, func() (any, int64, error) { return nil, 0, errors.New("disk gone") })
+
+	if pf, _ := p.PrefetchCounters(); pf != 0 {
+		t.Errorf("failed prefetch counted as prefetched (%d)", pf)
+	}
+	if entries, bytes := p.Resident(); entries != 0 || bytes != 0 {
+		t.Fatalf("failed prefetch cached: %d entries, %d bytes", entries, bytes)
+	}
+	// The demand read re-runs the load and surfaces its own result.
+	boom := errors.New("boom")
+	if _, err := p.Get(k, func() (*BlockData, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("demand err = %v, want boom", err)
+	}
+	bd, err := p.Get(k, func() (*BlockData, error) { return fakeBlock(1), nil })
+	if err != nil || bd == nil {
+		t.Fatalf("recovery load: %v", err)
+	}
+	if _, ra := p.PrefetchCounters(); ra != 0 {
+		t.Errorf("demand loads after failed prefetch counted as readahead hits (%d)", ra)
+	}
+}
+
+func TestPoolDemandJoinsInflightPrefetch(t *testing.T) {
+	p := NewPool(1 << 20)
+	k := poolKey{table: "t", gen: 1, id: 0}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p.GetPrefetch(k, func() (any, int64, error) {
+			close(started)
+			<-release
+			return fakeBlock(1), 4, nil
+		})
+	}()
+	<-started
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		bd, err := p.Get(k, func() (*BlockData, error) {
+			t.Error("demand load ran instead of joining the prefetch flight")
+			return fakeBlock(1), nil
+		})
+		if err != nil || bd == nil {
+			t.Errorf("joined Get: %v", err)
+		}
+	}()
+	// Give the demand Get a moment to register as a waiter, then release.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if _, ra := p.PrefetchCounters(); ra != 1 {
+		t.Errorf("demand read joining a prefetch flight: readaheadHits = %d, want 1", ra)
+	}
+	// The joined demand read consumed the readahead; the cached entry must
+	// not be double-counted by the next Get.
+	p.Get(k, func() (*BlockData, error) { return fakeBlock(1), nil })
+	if _, ra := p.PrefetchCounters(); ra != 1 {
+		t.Errorf("readahead hit double-counted (%d)", ra)
+	}
+}
+
+// --- store-level readahead (async workers, real segments) ---
+
+// waitStats polls the store until cond holds or the deadline passes,
+// returning the last observed stats either way.
+func waitStats(t *testing.T, s *Store, cond func(block.Stats) bool) block.Stats {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := s.Stats()
+		if cond(st) || time.Now().After(deadline) {
+			return st
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestStoreReadaheadIdentity(t *testing.T) {
+	tab := scanTable(t, 200)
+	groups := interleavedGroups(200, 4)
+
+	// Baseline: no prefetch, demand reads only.
+	plain := newScanStore(t, tab, groups, 1<<20)
+	want := make([]*BlockData, plain.NumBlocks("sc"))
+	for id := range want {
+		bd, err := plain.ReadBlockData("sc", id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[id] = bd
+	}
+
+	s := newScanStore(t, tab, groups, 1<<20)
+	nb := s.NumBlocks("sc")
+	ids := make([]int, nb)
+	for i := range ids {
+		ids[i] = i
+	}
+	s.Prefetch("sc", ids)
+	st := waitStats(t, s, func(st block.Stats) bool { return st.Prefetched >= int64(nb) })
+	if st.Prefetched != int64(nb) {
+		t.Fatalf("prefetched = %d, want %d", st.Prefetched, nb)
+	}
+	for id := 0; id < nb; id++ {
+		got, err := s.ReadBlockData("sc", id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Cols, want[id].Cols) || !reflect.DeepEqual(got.Block.Rows, want[id].Block.Rows) {
+			t.Fatalf("block %d: prefetched data differs from demand read", id)
+		}
+	}
+	st = s.Stats()
+	if st.ReadaheadHits != int64(nb) {
+		t.Errorf("readahead hits = %d, want %d (every demand read served by prefetch)", st.ReadaheadHits, nb)
+	}
+	if st.CacheMisses != 0 {
+		t.Errorf("cache misses = %d, want 0 (all blocks were prefetched)", st.CacheMisses)
+	}
+}
+
+func TestStorePrefetchNoopWithoutCache(t *testing.T) {
+	tab := scanTable(t, 100)
+	s := newScanStore(t, tab, [][]int32{seqRows(100)}, 0)
+	s.Prefetch("sc", []int{0})
+	s.Prefetch("nosuch", []int{0})
+	// cacheBytes == 0 means prefetch must not even start workers; give a
+	// moment for any (buggy) async load to land, then check nothing did.
+	time.Sleep(20 * time.Millisecond)
+	if st := s.Stats(); st.Prefetched != 0 || st.BytesRead != 0 {
+		t.Errorf("prefetch with no cache did I/O: %+v", st)
+	}
+	if s.pf.started {
+		t.Error("prefetch workers started despite cacheBytes == 0")
+	}
+}
+
+func TestStorePrefetchOutOfRangeIDs(t *testing.T) {
+	tab := scanTable(t, 100)
+	s := newScanStore(t, tab, [][]int32{seqRows(100)}, 1<<20)
+	s.Prefetch("sc", []int{-5, 0, 999})
+	st := waitStats(t, s, func(st block.Stats) bool { return st.Prefetched >= 1 })
+	if st.Prefetched != 1 {
+		t.Errorf("prefetched = %d, want 1 (out-of-range ids skipped)", st.Prefetched)
+	}
+}
+
+// TestStorePrefetchEvictionChurn hammers a cache far smaller than the
+// segment with concurrent prefetches and demand reads: every demand read
+// must still return correct data, and nothing may deadlock while workers
+// insert-and-evict under the shard locks. Run with -race.
+func TestStorePrefetchEvictionChurn(t *testing.T) {
+	tab := scanTable(t, 400)
+	groups := interleavedGroups(400, 8)
+	// ~50-row blocks decode to a few KiB each; 4KiB keeps only a block or
+	// two resident so prefetch inserts constantly evict.
+	s := newScanStore(t, tab, groups, 4<<10)
+	nb := s.NumBlocks("sc")
+	ids := make([]int, nb)
+	for i := range ids {
+		ids[i] = i
+	}
+	want := make([]*BlockData, nb)
+	for id := range want {
+		bd, err := s.ReadBlockData("sc", id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[id] = bd
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 20; round++ {
+				s.Prefetch("sc", ids)
+			}
+		}()
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for round := 0; round < 20; round++ {
+				for id := 0; id < nb; id++ {
+					got, err := s.ReadBlockData("sc", (id+seed)%nb)
+					if err != nil {
+						t.Errorf("ReadBlockData: %v", err)
+						return
+					}
+					if len(got.Block.Rows) != len(want[(id+seed)%nb].Block.Rows) {
+						t.Errorf("block %d: wrong row count under churn", (id+seed)%nb)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestStoreCloseDuringPrefetch closes the store while readahead tasks are
+// still queued: shutdown must stop workers before any segment file closes,
+// so no worker ever reads a closed file. Run with -race.
+func TestStoreCloseDuringPrefetch(t *testing.T) {
+	tab := scanTable(t, 400)
+	groups := interleavedGroups(400, 8)
+	tl, err := block.NewTableLayout(tab, groups, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 10; round++ {
+		s, err := NewStore(t.TempDir(), 1<<20, block.DefaultCostModel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.SetLayout("sc", tl); err != nil {
+			t.Fatal(err)
+		}
+		nb := s.NumBlocks("sc")
+		ids := make([]int, nb)
+		for i := range ids {
+			ids[i] = i
+		}
+		for i := 0; i < 8; i++ {
+			s.Prefetch("sc", ids)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Close is idempotent and prefetch after close is a silent no-op.
+		s.Prefetch("sc", ids)
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestStorePrefetchAcrossSwap starts readahead against one generation,
+// swaps the segment mid-flight, and verifies demand reads only ever see
+// the new generation afterwards (the pool's generation floor refuses any
+// stale insert from the pinned old tableState).
+func TestStorePrefetchAcrossSwap(t *testing.T) {
+	tab := scanTable(t, 200)
+	s := newScanStore(t, tab, interleavedGroups(200, 4), 1<<20)
+	nb := s.NumBlocks("sc")
+	ids := make([]int, nb)
+	for i := range ids {
+		ids[i] = i
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			s.Prefetch("sc", ids)
+		}
+	}()
+	// Swap to a different layout while prefetches are in flight.
+	tl2, err := block.NewTableLayout(tab, interleavedGroups(200, 2), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SetLayout("sc", tl2); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	nb2 := s.NumBlocks("sc")
+	if nb2 == nb {
+		t.Fatalf("fixture: swap did not change block count (%d)", nb)
+	}
+	for id := 0; id < nb2; id++ {
+		bd, err := s.ReadBlockData("sc", id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(bd.Block.Rows) != 100 {
+			t.Fatalf("block %d: %d rows, want 100 (new generation)", id, len(bd.Block.Rows))
+		}
+	}
+}
+
+func seqRows(n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(i)
+	}
+	return out
+}

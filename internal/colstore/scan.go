@@ -1,0 +1,898 @@
+package colstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"mto/internal/block"
+	"mto/internal/predicate"
+	"mto/internal/value"
+)
+
+// This file implements compressed-domain predicate evaluation: filters
+// compiled by predicate.CompileScan run directly over a block's encoded
+// column pages. Dictionary-string pages translate the literal into a code
+// (or code range — dictionaries are sorted) and compare raw codes;
+// FOR-packed int pages rebase the literal into the packed unsigned domain
+// and compare packed words; delta/raw pages decode into pooled scratch,
+// never into retained vectors. Null rows are cleared from each leaf's mask
+// straight off the raw page null bitmap. The evaluation order and
+// semantics mirror predicate.CompileMask exactly — including AND/OR child
+// isolation and NOT IN null-literal handling — which is what makes the
+// compressed path's results byte-identical to the decode path's.
+
+// TableScan is one query's compiled compressed scan over one table,
+// pinned to the segment generation current at compile time. It is safe
+// for concurrent use by parallel scan workers.
+type TableScan struct {
+	store     *Store
+	table     string
+	st        *tableState
+	progs     []predicate.ScanNode // parallel to the CompileScan filters; nil = unsupported
+	supported []bool
+	colIdx    map[string]int
+}
+
+var _ block.CompressedScan = (*TableScan)(nil)
+
+// CompileScan implements block.CompressedScanner: it compiles filters for
+// compressed-domain evaluation against the table's current segment,
+// normalizing every literal once per (query, table). Returns nil when the
+// table has no segment.
+func (s *Store) CompileScan(table string, filters []predicate.Predicate) block.CompressedScan {
+	st := s.state(table)
+	if st == nil {
+		return nil
+	}
+	seg := st.seg
+	colIdx := make(map[string]int, len(seg.cols))
+	for i, c := range seg.cols {
+		colIdx[c.name] = i
+	}
+	kindOf := func(col string) (value.Kind, bool) {
+		ci, ok := colIdx[col]
+		if !ok {
+			return value.KindNull, false
+		}
+		return seg.cols[ci].kind, true
+	}
+	ts := &TableScan{
+		store:     s,
+		table:     table,
+		st:        st,
+		progs:     make([]predicate.ScanNode, len(filters)),
+		supported: make([]bool, len(filters)),
+		colIdx:    colIdx,
+	}
+	for i, f := range filters {
+		if node, ok := predicate.CompileScan(f, kindOf); ok {
+			ts.progs[i] = node
+			ts.supported[i] = true
+		}
+	}
+	return ts
+}
+
+// Supported implements block.CompressedScan. Callers must not mutate the
+// returned slice.
+func (t *TableScan) Supported() []bool { return t.supported }
+
+// Prefetch implements block.CompressedScan: it queues background loads of
+// the blocks' encoded pages (best-effort; the slice is copied).
+func (t *TableScan) Prefetch(ids []int) {
+	t.store.prefetch(t.table, t.st, ids, formEncoded)
+}
+
+// ScanBlock implements block.CompressedScan. It meters the block read
+// exactly like Backend.ReadBlock, fetches the encoded block through the
+// buffer pool, evaluates every supported filter with a non-nil mask over
+// the encoded pages, and ORs matching rows into the global-row masks.
+func (t *TableScan) ScanBlock(id int, masks [][]uint64) ([]int32, error) {
+	seg := t.st.seg
+	if id < 0 || id >= seg.NumBlocks() {
+		return nil, fmt.Errorf("colstore: %s has no block %d", t.table, id)
+	}
+	t.store.blocksRead.Add(1)
+	t.store.rowsRead.Add(int64(seg.BlockRows(id)))
+	eb, err := t.store.encodedBlock(t.table, t.st, id)
+	if err != nil {
+		return nil, err
+	}
+	nrows := len(eb.Block.Rows)
+	sc := getScratch()
+	defer putScratch(sc)
+	nw := (nrows + 63) / 64
+	for i, prog := range t.progs {
+		if prog == nil || i >= len(masks) || masks[i] == nil {
+			continue
+		}
+		local := sc.grabMask(nw)
+		err := t.eval(prog, eb, nrows, local, sc)
+		if err == nil {
+			scatterMask(local, eb.Block.Rows, masks[i])
+		}
+		sc.releaseMask(local)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return eb.Block.Rows, nil
+}
+
+// eval evaluates one compiled node over the block's encoded pages into
+// out, a zeroed local mask of the block's rows.
+func (t *TableScan) eval(n predicate.ScanNode, eb *EncodedBlock, nrows int, out []uint64, sc *scratch) error {
+	switch q := n.(type) {
+	case predicate.ScanConst:
+		if bool(q) {
+			setAllBits(out, nrows)
+		}
+		return nil
+	case *predicate.ScanAnd:
+		if err := t.eval(q.Children[0], eb, nrows, out, sc); err != nil {
+			return err
+		}
+		tmp := sc.grabMask(len(out))
+		defer sc.releaseMask(tmp)
+		for _, c := range q.Children[1:] {
+			for w := range tmp {
+				tmp[w] = 0
+			}
+			if err := t.eval(c, eb, nrows, tmp, sc); err != nil {
+				return err
+			}
+			for w := range out {
+				out[w] &= tmp[w]
+			}
+		}
+		return nil
+	case *predicate.ScanOr:
+		if err := t.eval(q.Children[0], eb, nrows, out, sc); err != nil {
+			return err
+		}
+		tmp := sc.grabMask(len(out))
+		defer sc.releaseMask(tmp)
+		for _, c := range q.Children[1:] {
+			for w := range tmp {
+				tmp[w] = 0
+			}
+			if err := t.eval(c, eb, nrows, tmp, sc); err != nil {
+				return err
+			}
+			for w := range out {
+				out[w] |= tmp[w]
+			}
+		}
+		return nil
+	case *predicate.ScanCmpInt:
+		pv, err := t.page(eb, q.Column, nrows)
+		if err != nil {
+			return err
+		}
+		if err := evalCmpInt(pv, q.Op, q.Lit, nrows, out, sc); err != nil {
+			return t.pageErr(q.Column, err)
+		}
+		clearNullBits(pv.nulls, out)
+		return nil
+	case *predicate.ScanCmpFloat:
+		pv, err := t.page(eb, q.Column, nrows)
+		if err != nil {
+			return err
+		}
+		if err := evalCmpFloat(pv, q.Op, q.Lit, nrows, out, sc); err != nil {
+			return t.pageErr(q.Column, err)
+		}
+		clearNullBits(pv.nulls, out)
+		return nil
+	case *predicate.ScanCmpStr:
+		pv, err := t.page(eb, q.Column, nrows)
+		if err != nil {
+			return err
+		}
+		if err := evalCmpStr(pv, q.Op, q.Lit, nrows, out, sc); err != nil {
+			return t.pageErr(q.Column, err)
+		}
+		clearNullBits(pv.nulls, out)
+		return nil
+	case *predicate.ScanInInt:
+		pv, err := t.page(eb, q.Column, nrows)
+		if err != nil {
+			return err
+		}
+		if err := evalInInt(pv, q, nrows, out, sc); err != nil {
+			return t.pageErr(q.Column, err)
+		}
+		clearNullBits(pv.nulls, out)
+		return nil
+	case *predicate.ScanInStr:
+		pv, err := t.page(eb, q.Column, nrows)
+		if err != nil {
+			return err
+		}
+		if err := evalInStr(pv, q, nrows, out, sc); err != nil {
+			return t.pageErr(q.Column, err)
+		}
+		clearNullBits(pv.nulls, out)
+		return nil
+	case *predicate.ScanLike:
+		pv, err := t.page(eb, q.Column, nrows)
+		if err != nil {
+			return err
+		}
+		if err := evalLike(pv, q, nrows, out, sc); err != nil {
+			return t.pageErr(q.Column, err)
+		}
+		clearNullBits(pv.nulls, out)
+		return nil
+	}
+	return fmt.Errorf("colstore: unknown scan node %T", n)
+}
+
+func (t *TableScan) page(eb *EncodedBlock, col string, nrows int) (pageView, error) {
+	pv, err := parsePage(eb.Cols[t.colIdx[col]], nrows)
+	if err != nil {
+		return pv, t.pageErr(col, err)
+	}
+	return pv, nil
+}
+
+func (t *TableScan) pageErr(col string, err error) error {
+	return fmt.Errorf("colstore: scan %s.%s: %w", t.table, col, err)
+}
+
+// pageView is a parsed column page: the raw null bitmap (nil when the
+// block has no nulls in the column), the encoding byte, and the encoded
+// body.
+type pageView struct {
+	nulls []byte
+	enc   byte
+	body  []byte
+}
+
+func parsePage(payload []byte, nrows int) (pageView, error) {
+	r := &bufReader{buf: payload}
+	var pv pageView
+	switch r.u8() {
+	case 0:
+	case 1:
+		pv.nulls = r.bytes((nrows + 7) / 8)
+	default:
+		r.setErr("bad null-mask flag")
+	}
+	pv.enc = r.u8()
+	if r.fail != nil {
+		return pv, r.fail
+	}
+	pv.body = r.buf[r.off:]
+	return pv, nil
+}
+
+// evalCmpInt evaluates (col op lit) over an int page. FOR pages with a
+// packable width rebase lit into the packed unsigned domain — classifying
+// it as below, inside, or above the page's value domain — and compare
+// packed words; other encodings decode into pooled scratch and compare.
+func evalCmpInt(pv pageView, op predicate.Op, lit int64, nrows int, out []uint64, sc *scratch) error {
+	if pv.enc == encIntFOR {
+		r := &bufReader{buf: pv.body}
+		n := r.count(0)
+		if !r.checkCount(n, nrows) {
+			return r.err()
+		}
+		min := r.varint()
+		width := int(r.u8())
+		if r.fail != nil {
+			return r.err()
+		}
+		if width < 64 {
+			codes := sc.grabWords(n)
+			if err := unpackBitsInto(codes, r.buf[r.off:], width); err != nil {
+				return err
+			}
+			switch {
+			case lit < min: // below the domain: only Ne/Gt/Ge can match
+				if op == predicate.Ne || op == predicate.Gt || op == predicate.Ge {
+					setAllBits(out, nrows)
+				}
+			case uint64(lit)-uint64(min) >= uint64(1)<<width: // above: only Ne/Lt/Le
+				if op == predicate.Ne || op == predicate.Lt || op == predicate.Le {
+					setAllBits(out, nrows)
+				}
+			default:
+				off := uint64(lit) - uint64(min)
+				switch op {
+				case predicate.Eq:
+					cmpPackedEq(codes, off, out)
+				case predicate.Ne:
+					cmpPackedNe(codes, off, out)
+				case predicate.Lt:
+					cmpPackedLt(codes, off, out)
+				case predicate.Le:
+					cmpPackedLt(codes, off+1, out)
+				case predicate.Gt:
+					cmpPackedGe(codes, off+1, out)
+				default: // Ge
+					cmpPackedGe(codes, off, out)
+				}
+			}
+			return nil
+		}
+	}
+	vals, err := decodeIntsScratch(pv, nrows, sc)
+	if err != nil {
+		return err
+	}
+	cmpInt64s(vals, op, lit, out)
+	return nil
+}
+
+// evalCmpFloat evaluates (col op lit) over a raw float page.
+func evalCmpFloat(pv pageView, op predicate.Op, lit float64, nrows int, out []uint64, sc *scratch) error {
+	if pv.enc != encFloatRaw {
+		return fmt.Errorf("unknown float encoding 0x%02x", pv.enc)
+	}
+	r := &bufReader{buf: pv.body}
+	n := r.count(8)
+	if !r.checkCount(n, nrows) {
+		return r.err()
+	}
+	data := r.bytes(8 * n)
+	if r.fail != nil {
+		return r.err()
+	}
+	vals := sc.grabFloats(n)
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+	}
+	cmpFloat64s(vals, op, lit, out)
+	return nil
+}
+
+// evalCmpStr evaluates (col op lit) over a string page. Dict pages
+// translate lit into a code bound via binary search over the sorted
+// dictionary — without materializing a single string — and compare raw
+// codes; raw pages compare bytes in place.
+func evalCmpStr(pv pageView, op predicate.Op, lit string, nrows int, out []uint64, sc *scratch) error {
+	r := &bufReader{buf: pv.body}
+	switch pv.enc {
+	case encStrRaw:
+		n := r.count(1)
+		if !r.checkCount(n, nrows) {
+			return r.err()
+		}
+		for k := 0; k < n; k++ {
+			ln := r.count(1)
+			b := r.bytes(ln)
+			if r.fail != nil {
+				return r.err()
+			}
+			if opMatches(op, bytesCompareString(b, lit)) {
+				out[k>>6] |= 1 << (uint(k) & 63)
+			}
+		}
+		return nil
+	case encStrDict:
+		n := r.count(0)
+		if !r.checkCount(n, nrows) {
+			return r.err()
+		}
+		nd := r.count(1)
+		if r.fail != nil {
+			return r.err()
+		}
+		offs, lens, err := indexDict(r, nd, sc)
+		if err != nil {
+			return err
+		}
+		width := int(r.u8())
+		if r.fail != nil {
+			return r.err()
+		}
+		codes := sc.grabWords(n)
+		if err := unpackBitsInto(codes, r.buf[r.off:], width); err != nil {
+			return err
+		}
+		entry := func(i int) []byte { return pv.body[offs[i] : offs[i]+lens[i]] }
+		lo := sort.Search(nd, func(i int) bool { return bytesCompareString(entry(i), lit) >= 0 })
+		exists := lo < nd && bytesCompareString(entry(lo), lit) == 0
+		hi := lo
+		if exists {
+			hi++
+		}
+		// Codes are ranks in the sorted dictionary, so value order is code
+		// order: v < lit ⇔ code < lo, v <= lit ⇔ code < hi, and so on.
+		switch op {
+		case predicate.Eq:
+			if exists {
+				cmpPackedEq(codes, uint64(lo), out)
+			}
+		case predicate.Ne:
+			if exists {
+				cmpPackedNe(codes, uint64(lo), out)
+			} else {
+				setAllBits(out, nrows)
+			}
+		case predicate.Lt:
+			cmpPackedLt(codes, uint64(lo), out)
+		case predicate.Le:
+			cmpPackedLt(codes, uint64(hi), out)
+		case predicate.Gt:
+			cmpPackedGe(codes, uint64(hi), out)
+		default: // Ge
+			cmpPackedGe(codes, uint64(lo), out)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown string encoding 0x%02x", pv.enc)
+	}
+}
+
+// evalInInt evaluates col [NOT] IN over an int page, decoding into pooled
+// scratch and probing the precompiled set. Mirrors maskInList: NOT IN with
+// a null literal matches nothing.
+func evalInInt(pv pageView, q *predicate.ScanInInt, nrows int, out []uint64, sc *scratch) error {
+	if q.Negate && q.HasNullLit {
+		return nil
+	}
+	vals, err := decodeIntsScratch(pv, nrows, sc)
+	if err != nil {
+		return err
+	}
+	neg := q.Negate
+	for i, v := range vals {
+		_, found := q.Set[v]
+		if found != neg {
+			out[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+	return nil
+}
+
+// evalInStr evaluates col [NOT] IN over a string page. Dict pages merge
+// the sorted literal list against the sorted dictionary into a code
+// membership bitset (both sides sorted — a single linear merge, no string
+// materialization) and probe codes; raw pages probe the set per row.
+func evalInStr(pv pageView, q *predicate.ScanInStr, nrows int, out []uint64, sc *scratch) error {
+	if q.Negate && q.HasNullLit {
+		return nil
+	}
+	neg := q.Negate
+	r := &bufReader{buf: pv.body}
+	switch pv.enc {
+	case encStrRaw:
+		n := r.count(1)
+		if !r.checkCount(n, nrows) {
+			return r.err()
+		}
+		for k := 0; k < n; k++ {
+			ln := r.count(1)
+			b := r.bytes(ln)
+			if r.fail != nil {
+				return r.err()
+			}
+			_, found := q.Set[string(b)] // no alloc: map lookup special case
+			if found != neg {
+				out[k>>6] |= 1 << (uint(k) & 63)
+			}
+		}
+		return nil
+	case encStrDict:
+		n := r.count(0)
+		if !r.checkCount(n, nrows) {
+			return r.err()
+		}
+		nd := r.count(1)
+		if r.fail != nil {
+			return r.err()
+		}
+		offs, lens, err := indexDict(r, nd, sc)
+		if err != nil {
+			return err
+		}
+		width := int(r.u8())
+		if r.fail != nil {
+			return r.err()
+		}
+		codes := sc.grabWords(n)
+		if err := unpackBitsInto(codes, r.buf[r.off:], width); err != nil {
+			return err
+		}
+		member := sc.grabMember(nd)
+		di := 0
+		for _, lit := range q.Sorted {
+			for di < nd && bytesCompareString(pv.body[offs[di]:offs[di]+lens[di]], lit) < 0 {
+				di++
+			}
+			if di < nd && bytesCompareString(pv.body[offs[di]:offs[di]+lens[di]], lit) == 0 {
+				member[di>>6] |= 1 << (uint(di) & 63)
+			}
+		}
+		for i, c := range codes {
+			found := c < uint64(nd) && member[c>>6]&(1<<(c&63)) != 0
+			if found != neg {
+				out[i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown string encoding 0x%02x", pv.enc)
+	}
+}
+
+// evalLike evaluates col [NOT] LIKE over a string page. Dict pages run the
+// matcher once per dictionary entry — enumerating the matching codes into
+// a bitset — then probe codes, so a block with d distinct values costs d
+// matcher calls instead of n.
+func evalLike(pv pageView, q *predicate.ScanLike, nrows int, out []uint64, sc *scratch) error {
+	neg := q.Negate
+	r := &bufReader{buf: pv.body}
+	switch pv.enc {
+	case encStrRaw:
+		n := r.count(1)
+		if !r.checkCount(n, nrows) {
+			return r.err()
+		}
+		for k := 0; k < n; k++ {
+			ln := r.count(1)
+			b := r.bytes(ln)
+			if r.fail != nil {
+				return r.err()
+			}
+			if q.Match(string(b)) != neg {
+				out[k>>6] |= 1 << (uint(k) & 63)
+			}
+		}
+		return nil
+	case encStrDict:
+		n := r.count(0)
+		if !r.checkCount(n, nrows) {
+			return r.err()
+		}
+		nd := r.count(1)
+		if r.fail != nil {
+			return r.err()
+		}
+		offs, lens, err := indexDict(r, nd, sc)
+		if err != nil {
+			return err
+		}
+		width := int(r.u8())
+		if r.fail != nil {
+			return r.err()
+		}
+		codes := sc.grabWords(n)
+		if err := unpackBitsInto(codes, r.buf[r.off:], width); err != nil {
+			return err
+		}
+		member := sc.grabMember(nd)
+		for i := 0; i < nd; i++ {
+			if q.Match(string(pv.body[offs[i] : offs[i]+lens[i]])) {
+				member[i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+		for i, c := range codes {
+			m := c < uint64(nd) && member[c>>6]&(1<<(c&63)) != 0
+			if m != neg {
+				out[i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown string encoding 0x%02x", pv.enc)
+	}
+}
+
+// decodeIntsScratch decodes an int page body into pooled scratch (never a
+// retained vector).
+func decodeIntsScratch(pv pageView, nrows int, sc *scratch) ([]int64, error) {
+	r := &bufReader{buf: pv.body}
+	switch pv.enc {
+	case encIntRaw:
+		n := r.count(8)
+		if !r.checkCount(n, nrows) {
+			return nil, r.err()
+		}
+		data := r.bytes(8 * n)
+		if r.fail != nil {
+			return nil, r.err()
+		}
+		out := sc.grabInts(n)
+		for i := range out {
+			out[i] = int64(binary.LittleEndian.Uint64(data[i*8:]))
+		}
+		return out, nil
+	case encIntFOR:
+		n := r.count(0)
+		if !r.checkCount(n, nrows) {
+			return nil, r.err()
+		}
+		min := r.varint()
+		width := int(r.u8())
+		if r.fail != nil {
+			return nil, r.err()
+		}
+		codes := sc.grabWords(n)
+		if err := unpackBitsInto(codes, r.buf[r.off:], width); err != nil {
+			return nil, err
+		}
+		out := sc.grabInts(n)
+		for i, c := range codes {
+			out[i] = int64(c + uint64(min))
+		}
+		return out, nil
+	case encIntDelta:
+		n := r.count(0)
+		if !r.checkCount(n, nrows) {
+			return nil, r.err()
+		}
+		if n == 0 {
+			return sc.grabInts(0), nil
+		}
+		first := r.varint()
+		minDelta := r.varint()
+		width := int(r.u8())
+		if r.fail != nil {
+			return nil, r.err()
+		}
+		deltas := sc.grabWords(n - 1)
+		if err := unpackBitsInto(deltas, r.buf[r.off:], width); err != nil {
+			return nil, err
+		}
+		out := sc.grabInts(n)
+		cur := first
+		out[0] = cur
+		for i, d := range deltas {
+			cur += int64(d + uint64(minDelta))
+			out[i+1] = cur
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("unknown int encoding 0x%02x", pv.enc)
+	}
+}
+
+// indexDict records the byte offsets and lengths of a dict page's entries
+// relative to the page body, leaving r positioned after the dictionary.
+// No strings are materialized.
+func indexDict(r *bufReader, nd int, sc *scratch) ([]int32, []int32, error) {
+	offs, lens := sc.grabOffs(nd)
+	for i := 0; i < nd; i++ {
+		ln := r.count(1)
+		start := r.off
+		r.bytes(ln)
+		if r.fail != nil {
+			return nil, nil, r.err()
+		}
+		offs[i], lens[i] = int32(start), int32(ln)
+	}
+	return offs, lens, nil
+}
+
+// bytesCompareString is bytes.Compare against a string, avoiding the
+// []byte(s) conversion.
+func bytesCompareString(b []byte, s string) int {
+	n := len(b)
+	if len(s) < n {
+		n = len(s)
+	}
+	for i := 0; i < n; i++ {
+		if b[i] != s[i] {
+			if b[i] < s[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(b) < len(s):
+		return -1
+	case len(b) > len(s):
+		return 1
+	}
+	return 0
+}
+
+func opMatches(op predicate.Op, c int) bool {
+	switch op {
+	case predicate.Eq:
+		return c == 0
+	case predicate.Ne:
+		return c != 0
+	case predicate.Lt:
+		return c < 0
+	case predicate.Le:
+		return c <= 0
+	case predicate.Gt:
+		return c > 0
+	default: // Ge
+		return c >= 0
+	}
+}
+
+// cmpPacked{Eq,Ne,Lt,Ge} are the packed-domain comparison kernels: tight
+// branchless loops over unpacked code words, mirroring maskCompare's
+// bool-to-bit pattern. Lt/Ge take an exclusive/inclusive bound, which is
+// enough to express all six operators (Le x ⇔ Lt x+1, Gt x ⇔ Ge x+1).
+func cmpPackedEq(vals []uint64, x uint64, out []uint64) {
+	for i, v := range vals {
+		var b uint64
+		if v == x {
+			b = 1
+		}
+		out[i>>6] |= b << (uint(i) & 63)
+	}
+}
+
+func cmpPackedNe(vals []uint64, x uint64, out []uint64) {
+	for i, v := range vals {
+		var b uint64
+		if v != x {
+			b = 1
+		}
+		out[i>>6] |= b << (uint(i) & 63)
+	}
+}
+
+func cmpPackedLt(vals []uint64, x uint64, out []uint64) {
+	for i, v := range vals {
+		var b uint64
+		if v < x {
+			b = 1
+		}
+		out[i>>6] |= b << (uint(i) & 63)
+	}
+}
+
+func cmpPackedGe(vals []uint64, x uint64, out []uint64) {
+	for i, v := range vals {
+		var b uint64
+		if v >= x {
+			b = 1
+		}
+		out[i>>6] |= b << (uint(i) & 63)
+	}
+}
+
+func cmpInt64s(vals []int64, op predicate.Op, lit int64, out []uint64) {
+	switch op {
+	case predicate.Eq:
+		for i, v := range vals {
+			var b uint64
+			if v == lit {
+				b = 1
+			}
+			out[i>>6] |= b << (uint(i) & 63)
+		}
+	case predicate.Ne:
+		for i, v := range vals {
+			var b uint64
+			if v != lit {
+				b = 1
+			}
+			out[i>>6] |= b << (uint(i) & 63)
+		}
+	case predicate.Lt:
+		for i, v := range vals {
+			var b uint64
+			if v < lit {
+				b = 1
+			}
+			out[i>>6] |= b << (uint(i) & 63)
+		}
+	case predicate.Le:
+		for i, v := range vals {
+			var b uint64
+			if v <= lit {
+				b = 1
+			}
+			out[i>>6] |= b << (uint(i) & 63)
+		}
+	case predicate.Gt:
+		for i, v := range vals {
+			var b uint64
+			if v > lit {
+				b = 1
+			}
+			out[i>>6] |= b << (uint(i) & 63)
+		}
+	default: // Ge
+		for i, v := range vals {
+			var b uint64
+			if v >= lit {
+				b = 1
+			}
+			out[i>>6] |= b << (uint(i) & 63)
+		}
+	}
+}
+
+func cmpFloat64s(vals []float64, op predicate.Op, lit float64, out []uint64) {
+	switch op {
+	case predicate.Eq:
+		for i, v := range vals {
+			var b uint64
+			if v == lit {
+				b = 1
+			}
+			out[i>>6] |= b << (uint(i) & 63)
+		}
+	case predicate.Ne:
+		for i, v := range vals {
+			var b uint64
+			if v != lit {
+				b = 1
+			}
+			out[i>>6] |= b << (uint(i) & 63)
+		}
+	case predicate.Lt:
+		for i, v := range vals {
+			var b uint64
+			if v < lit {
+				b = 1
+			}
+			out[i>>6] |= b << (uint(i) & 63)
+		}
+	case predicate.Le:
+		for i, v := range vals {
+			var b uint64
+			if v <= lit {
+				b = 1
+			}
+			out[i>>6] |= b << (uint(i) & 63)
+		}
+	case predicate.Gt:
+		for i, v := range vals {
+			var b uint64
+			if v > lit {
+				b = 1
+			}
+			out[i>>6] |= b << (uint(i) & 63)
+		}
+	default: // Ge
+		for i, v := range vals {
+			var b uint64
+			if v >= lit {
+				b = 1
+			}
+			out[i>>6] |= b << (uint(i) & 63)
+		}
+	}
+}
+
+// clearNullBits clears null rows' bits straight off the raw page null
+// bitmap: both bitmaps are little-endian by row, so eight null-mask bytes
+// fold into one mask word.
+func clearNullBits(nulls []byte, out []uint64) {
+	if nulls == nil {
+		return
+	}
+	for bi, b := range nulls {
+		out[bi>>3] &^= uint64(b) << ((bi & 7) * 8)
+	}
+}
+
+// setAllBits sets bits [0, n), leaving the last word's tail clear.
+func setAllBits(mask []uint64, n int) {
+	for w := 0; w < n>>6; w++ {
+		mask[w] = ^uint64(0)
+	}
+	if rem := n & 63; rem != 0 {
+		mask[n>>6] = (1 << uint(rem)) - 1
+	}
+}
+
+// scatterMask ORs a block-local survivor mask into a global-row mask via
+// the block's row IDs.
+func scatterMask(local []uint64, rows []int32, global []uint64) {
+	for w, word := range local {
+		base := w << 6
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			r := rows[base+b]
+			global[r>>6] |= 1 << (uint(r) & 63)
+		}
+	}
+}

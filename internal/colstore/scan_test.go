@@ -1,0 +1,544 @@
+package colstore
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mto/internal/block"
+	"mto/internal/predicate"
+	"mto/internal/relation"
+	"mto/internal/value"
+)
+
+// scanTable builds a table whose columns force every page encoding the
+// compressed scan handles: FOR-packed ints, delta-packed ints, raw ints
+// (extreme values overflow the packed range), raw floats, dictionary
+// strings, and raw strings — each with its own null cadence.
+func scanTable(t testing.TB, n int) *relation.Table {
+	t.Helper()
+	tab := relation.NewTable(relation.MustSchema("sc",
+		relation.Column{Name: "i_for", Type: value.KindInt},
+		relation.Column{Name: "i_delta", Type: value.KindInt},
+		relation.Column{Name: "i_raw", Type: value.KindInt},
+		relation.Column{Name: "f", Type: value.KindFloat},
+		relation.Column{Name: "s_dict", Type: value.KindString},
+		relation.Column{Name: "s_raw", Type: value.KindString},
+	))
+	for i := 0; i < n; i++ {
+		vFor := value.Value(value.Int(int64(100 + (i*37)%300)))
+		if i%7 == 0 {
+			vFor = value.Null
+		}
+		var vRaw value.Value
+		switch i % 3 {
+		case 0:
+			vRaw = value.Int(math.MinInt64 + int64(i))
+		case 1:
+			vRaw = value.Int(math.MaxInt64 - int64(i))
+		default:
+			vRaw = value.Int(int64(i))
+		}
+		if i%11 == 0 {
+			vRaw = value.Null
+		}
+		vF := value.Value(value.Float(float64(i) * 0.25))
+		if i%5 == 0 {
+			vF = value.Null
+		}
+		vDict := value.Value(value.String(fmt.Sprintf("v%02d", i%8)))
+		if i%6 == 0 {
+			vDict = value.Null
+		}
+		vStr := value.Value(value.String(fmt.Sprintf("u%04d-%d", i, i*13)))
+		if i%9 == 0 {
+			vStr = value.Null
+		}
+		tab.MustAppendRow(
+			vFor,
+			value.Int(int64(i)*1_000_003),
+			vRaw,
+			vF,
+			vDict,
+			vStr,
+		)
+	}
+	return tab
+}
+
+// scanPredicates is the identity matrix: every operator × every column
+// (hence every encoding) × literals below / at the bottom of / inside
+// (existing and missing) / at the top of / above the page value domain,
+// plus IN / NOT IN (with and without null literals), LIKE shapes, and
+// nested AND/OR composition.
+func scanPredicates() []predicate.Predicate {
+	ops := []predicate.Op{predicate.Eq, predicate.Ne, predicate.Lt, predicate.Le, predicate.Gt, predicate.Ge}
+	var preds []predicate.Predicate
+	intLits := map[string][]int64{
+		// i_for holds {0 (null backing)} ∪ [100,399]; 250 misses (100+37k pattern).
+		"i_for": {-5, 0, 100, 211, 250, 399, 1000},
+		// i_delta holds multiples of 1000003 in [0, (n-1)*1000003].
+		"i_delta": {-1, 0, 3 * 1_000_003, 500, 199 * 1_000_003, math.MaxInt64},
+		// i_raw spans the extremes.
+		"i_raw": {math.MinInt64, math.MinInt64 + 3, 0, 7, math.MaxInt64 - 4, math.MaxInt64},
+	}
+	for col, lits := range intLits {
+		for _, op := range ops {
+			for _, lit := range lits {
+				preds = append(preds, predicate.NewComparison(col, op, value.Int(lit)))
+			}
+		}
+	}
+	for _, op := range ops {
+		for _, lit := range []float64{-1, 0, 10.25, 10.3, 49.75, 1e9} {
+			preds = append(preds, predicate.NewComparison("f", op, value.Float(lit)))
+		}
+		for _, lit := range []string{"", "v00", "v05", "v07", "v07x", "zz"} {
+			preds = append(preds, predicate.NewComparison("s_dict", op, value.String(lit)))
+		}
+		for _, lit := range []string{"", "u0000-0", "u0100-1300", "u0100-0", "zz"} {
+			preds = append(preds, predicate.NewComparison("s_raw", op, value.String(lit)))
+		}
+	}
+	preds = append(preds,
+		predicate.NewIn("i_for", value.Int(100), value.Int(250), value.Int(211)),
+		predicate.NewNotIn("i_for", value.Int(100), value.Int(211)),
+		predicate.NewNotIn("i_for", value.Int(100), value.Null),
+		predicate.NewIn("i_raw", value.Int(math.MinInt64), value.Int(7)),
+		predicate.NewIn("i_delta", value.Int(0), value.Int(5*1_000_003), value.Int(17)),
+		predicate.NewIn("s_dict", value.String("v01"), value.String("v07"), value.String("nope")),
+		predicate.NewNotIn("s_dict", value.String("v01"), value.String("v02")),
+		predicate.NewNotIn("s_dict", value.String("v01"), value.Null),
+		predicate.NewIn("s_raw", value.String("u0001-13"), value.String("zz")),
+		predicate.NewNotIn("s_raw", value.String("u0001-13")),
+		// Mixed-kind and empty lists.
+		predicate.NewIn("i_for", value.String("x"), value.Int(137)),
+		predicate.NewIn("i_for"),
+		predicate.NewLike("s_dict", "v0%"),
+		predicate.NewLike("s_dict", "%1"),
+		predicate.NewLike("s_dict", "v_1"),
+		predicate.NewNotLike("s_dict", "v0%"),
+		predicate.NewLike("s_raw", "u00%"),
+		predicate.NewNotLike("s_raw", "%13"),
+		predicate.True(),
+		predicate.False(),
+		predicate.NewComparison("missing", predicate.Lt, value.Int(1)),
+		predicate.NewAnd(
+			predicate.NewComparison("i_for", predicate.Gt, value.Int(150)),
+			predicate.NewComparison("s_dict", predicate.Ne, value.String("v03")),
+		),
+		predicate.NewOr(
+			predicate.NewComparison("i_for", predicate.Eq, value.Int(137)),
+			predicate.NewAnd(
+				predicate.NewComparison("f", predicate.Lt, value.Float(20)),
+				predicate.NewComparison("i_delta", predicate.Ge, value.Int(50*1_000_003)),
+			),
+		),
+		predicate.NewOr(
+			predicate.NewComparison("s_dict", predicate.Eq, value.String("v02")),
+			predicate.NewComparison("i_raw", predicate.Gt, value.Int(0)),
+			predicate.NewLike("s_raw", "u001%"),
+		),
+	)
+	return preds
+}
+
+// newScanStore writes tab's layout (grouped as given) into a fresh disk
+// store.
+func newScanStore(t *testing.T, tab *relation.Table, groups [][]int32, cacheBytes int64) *Store {
+	t.Helper()
+	tl, err := block.NewTableLayout(tab, groups, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStore(t.TempDir(), cacheBytes, block.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	if _, err := s.SetLayout("sc", tl); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestCompressedScanMatchesFillMask is the per-encoding identity gate:
+// every predicate the compressed compiler accepts must produce exactly
+// FillMask's bits when evaluated over encoded pages, on a single-block
+// layout and on out-of-order multi-block layouts (exercising the
+// global-row scatter), with and without a cache.
+func TestCompressedScanMatchesFillMask(t *testing.T) {
+	tab := scanTable(t, 200)
+	n := tab.NumRows()
+	layouts := map[string][][]int32{
+		"single-block": {seq32(0, n)},
+		"two-blocks":   {seq32(n/2, n), seq32(0, n/2)},
+		"interleaved":  interleavedGroups(n, 3),
+	}
+	preds := scanPredicates()
+	// The encoder picks each block's encoding independently, so coverage
+	// of all five value encodings is asserted over the union of layouts.
+	seenEnc := map[byte]bool{}
+	for name, groups := range layouts {
+		for _, cacheBytes := range []int64{0, 1 << 20} {
+			t.Run(fmt.Sprintf("%s-cache%d", name, cacheBytes), func(t *testing.T) {
+				s := newScanStore(t, tab, groups, cacheBytes)
+				recordEncodings(t, s, seenEnc)
+				scan := s.CompileScan("sc", preds).(*TableScan)
+				supported := scan.Supported()
+				masks := make([][]uint64, len(preds))
+				nw := (n + 63) / 64
+				for i := range masks {
+					if supported[i] {
+						masks[i] = make([]uint64, nw)
+					}
+				}
+				for id := 0; id < s.NumBlocks("sc"); id++ {
+					if _, err := scan.ScanBlock(id, masks); err != nil {
+						t.Fatal(err)
+					}
+				}
+				unsupported := 0
+				for i, p := range preds {
+					want := make([]uint64, nw)
+					wantOK := predicate.CompileMask(p, tab, want)
+					if supported[i] != wantOK {
+						t.Errorf("%s: CompileScan support %v, CompileMask support %v", p, supported[i], wantOK)
+						continue
+					}
+					if !supported[i] {
+						unsupported++
+						continue
+					}
+					if !reflect.DeepEqual(masks[i], want) {
+						t.Errorf("%s: compressed mask differs from FillMask\n got %x\nwant %x", p, masks[i], want)
+					}
+				}
+				// The matrix must actually exercise the compressed path.
+				if supportedCount := len(preds) - unsupported; supportedCount < len(preds)*3/4 {
+					t.Fatalf("only %d/%d predicates compiled to compressed scans", supportedCount, len(preds))
+				}
+			})
+		}
+	}
+	for _, enc := range []byte{encIntRaw, encIntFOR, encIntDelta, encFloatRaw, encStrRaw, encStrDict} {
+		if !seenEnc[enc] {
+			t.Errorf("no layout produced encoding 0x%02x (got %v)", enc, seenEnc)
+		}
+	}
+}
+
+// recordEncodings accumulates which page encodings the store's segment
+// actually uses, so the parent test can assert full coverage.
+func recordEncodings(t *testing.T, s *Store, seen map[byte]bool) {
+	t.Helper()
+	st := s.state("sc")
+	for id := 0; id < st.seg.NumBlocks(); id++ {
+		eb, err := st.seg.ReadBlockEncoded(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, payload := range eb.Cols {
+			pv, err := parsePage(payload, len(eb.Block.Rows))
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen[pv.enc] = true
+		}
+	}
+}
+
+func interleavedGroups(n, k int) [][]int32 {
+	groups := make([][]int32, k)
+	for i := 0; i < n; i++ {
+		groups[i%k] = append(groups[i%k], int32(i))
+	}
+	return groups
+}
+
+// TestMaterializeRowsMatchesDecode pins the gather decoders (late
+// materialization) to the full-decode path: for random ascending
+// selections, MaterializeRows must return exactly the decoded vectors'
+// values and null flags at those positions.
+func TestMaterializeRowsMatchesDecode(t *testing.T) {
+	tab := scanTable(t, 150)
+	n := tab.NumRows()
+	s := newScanStore(t, tab, [][]int32{seq32(n/2, n), seq32(0, n/2)}, 1<<20)
+	cols := []string{"i_for", "i_delta", "i_raw", "f", "s_dict", "s_raw"}
+	rng := rand.New(rand.NewSource(7))
+	for id := 0; id < s.NumBlocks("sc"); id++ {
+		bd, err := s.ReadBlockData("sc", id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nrows := len(bd.Block.Rows)
+		for trial := 0; trial < 4; trial++ {
+			var sel []int32
+			switch trial {
+			case 0: // everything
+				sel = seq32(0, nrows)
+			case 1: // empty
+			default:
+				for i := 0; i < nrows; i++ {
+					if rng.Intn(3) == 0 {
+						sel = append(sel, int32(i))
+					}
+				}
+			}
+			got, err := s.MaterializeRows("sc", id, sel, cols)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for c, name := range cols {
+				ci := -1
+				for j, cm := range s.state("sc").seg.cols {
+					if cm.name == name {
+						ci = j
+					}
+				}
+				full := bd.Cols[ci]
+				for k, r := range sel {
+					var want, have value.Value
+					switch full.Kind {
+					case value.KindInt:
+						want, have = value.Int(full.Ints[r]), value.Int(got[c].Ints[k])
+					case value.KindFloat:
+						want, have = value.Float(full.Floats[r]), value.Float(got[c].Floats[k])
+					default:
+						want, have = value.String(full.Strs[r]), value.String(got[c].Strs[k])
+					}
+					if !want.Equal(have) {
+						t.Fatalf("block %d %s sel[%d]=%d: got %v want %v", id, name, k, r, have, want)
+					}
+					wantNull := full.Nulls != nil && full.Nulls[r]
+					haveNull := got[c].Nulls != nil && got[c].Nulls[k]
+					if wantNull != haveNull {
+						t.Fatalf("block %d %s sel[%d]=%d: null %v want %v", id, name, k, r, haveNull, wantNull)
+					}
+				}
+			}
+		}
+		// Out-of-order and out-of-range selections are rejected.
+		if nrows >= 2 {
+			if _, err := s.MaterializeRows("sc", id, []int32{1, 0}, cols[:1]); err == nil {
+				t.Error("descending selection accepted")
+			}
+			if _, err := s.MaterializeRows("sc", id, []int32{int32(nrows)}, cols[:1]); err == nil {
+				t.Error("out-of-range selection accepted")
+			}
+		}
+	}
+}
+
+// TestBlockColumnDictBridge pins the dictionary bridge: a segment dict
+// page lifted into a relation.ColumnDict must agree with the decoded rows
+// value for value (nulls → -1), and its codes must translate
+// order-preservingly into the engine-side table dictionary.
+func TestBlockColumnDictBridge(t *testing.T) {
+	tab := scanTable(t, 120)
+	n := tab.NumRows()
+	s := newScanStore(t, tab, [][]int32{seq32(n/2, n), seq32(0, n/2)}, 1<<20)
+	tableDict, err := relation.BuildColumnDict(tab, "s_dict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.state("sc")
+	ci := -1
+	for j, cm := range st.seg.cols {
+		if cm.name == "s_dict" {
+			ci = j
+		}
+	}
+	for id := 0; id < st.seg.NumBlocks(); id++ {
+		eb, err := st.seg.ReadBlockEncoded(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bd, err := st.seg.ReadBlock(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blockDict, err := BlockColumnDict(eb.Cols[ci], len(eb.Block.Rows))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Sorted + distinct: the rank contract both worlds share.
+		for i := 1; i < len(blockDict.Strs); i++ {
+			if blockDict.Strs[i-1] >= blockDict.Strs[i] {
+				t.Fatalf("block %d dict not sorted-distinct: %q >= %q", id, blockDict.Strs[i-1], blockDict.Strs[i])
+			}
+		}
+		xl := relation.TranslateCodes(blockDict, tableDict)
+		for k := range eb.Block.Rows {
+			isNull := bd.Cols[ci].Nulls != nil && bd.Cols[ci].Nulls[k]
+			code := blockDict.Codes[k]
+			if isNull {
+				if code != -1 {
+					t.Fatalf("block %d row %d: null row has code %d", id, k, code)
+				}
+				continue
+			}
+			if got := blockDict.Strs[code]; got != bd.Cols[ci].Strs[k] {
+				t.Fatalf("block %d row %d: dict value %q, decoded %q", id, k, got, bd.Cols[ci].Strs[k])
+			}
+			// Non-null row values exist in the table dictionary, so the
+			// translated code must land on the same value.
+			tc := xl[code]
+			if tc < 0 {
+				t.Fatalf("block %d row %d: value %q missing from table dict", id, k, blockDict.Strs[code])
+			}
+			if tableDict.Strs[tc] != blockDict.Strs[code] {
+				t.Fatalf("block %d row %d: translation changed value", id, k)
+			}
+		}
+		// CodeRange on the bridged dict obeys the shared sorted-dict
+		// contract for literals below, inside, and above the dictionary.
+		for _, lit := range []string{"", "v00", "v04", "v04x", "zzz"} {
+			lo, hi, exists := blockDict.CodeRange(value.String(lit))
+			for c, v := range blockDict.Strs {
+				if (v < lit) != (int32(c) < lo) || (v <= lit) != (int32(c) < hi) {
+					t.Fatalf("CodeRange(%q): lo=%d hi=%d wrong at code %d (%q)", lit, lo, hi, c, v)
+				}
+				if exists && int32(c) == lo && v != lit {
+					t.Fatalf("CodeRange(%q): exists but lo holds %q", lit, v)
+				}
+			}
+		}
+	}
+	if _, err := BlockColumnDict([]byte{0, encIntRaw, 0}, 0); err == nil {
+		t.Error("non-dict page accepted")
+	}
+}
+
+// FuzzCompressedPredicate cross-checks the compressed evaluator against
+// FillMask on randomly generated single-column pages: random value
+// distributions (forcing different encodings), random null cadences, and
+// random operators/literals.
+func FuzzCompressedPredicate(f *testing.F) {
+	f.Add(int64(1), int64(150), uint8(0), uint8(0))
+	f.Add(int64(2), int64(-7), uint8(3), uint8(1))
+	f.Add(int64(3), int64(0), uint8(6), uint8(2))
+	f.Add(int64(4), int64(1<<40), uint8(7), uint8(0))
+	f.Add(int64(5), int64(42), uint8(2), uint8(2))
+	f.Fuzz(func(t *testing.T, seed, rawLit int64, opRaw, kindRaw uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(150)
+		kind := []value.Kind{value.KindInt, value.KindFloat, value.KindString}[int(kindRaw)%3]
+		tab := relation.NewTable(relation.MustSchema("fz", relation.Column{Name: "c", Type: kind}))
+		nullEvery := rng.Intn(6) // 0 = no nulls
+		dist := rng.Intn(4)
+		var strPool []string
+		for i := 0; i < 8; i++ {
+			strPool = append(strPool, fmt.Sprintf("k%c%d", 'a'+rng.Intn(4), rng.Intn(20)))
+		}
+		for i := 0; i < n; i++ {
+			var v value.Value
+			switch kind {
+			case value.KindInt:
+				switch dist {
+				case 0: // narrow range → FOR
+					v = value.Int(int64(rng.Intn(100)))
+				case 1: // monotone, wide → delta
+					v = value.Int(int64(i)*9973 + int64(rng.Intn(5)))
+				case 2: // extremes → raw
+					if rng.Intn(2) == 0 {
+						v = value.Int(math.MinInt64 + int64(rng.Intn(1000)))
+					} else {
+						v = value.Int(math.MaxInt64 - int64(rng.Intn(1000)))
+					}
+				default:
+					v = value.Int(int64(rng.Intn(20)) - 10)
+				}
+			case value.KindFloat:
+				v = value.Float(float64(rng.Intn(40)) * 0.5)
+			default:
+				v = value.String(strPool[rng.Intn(len(strPool))])
+			}
+			if nullEvery > 0 && i%nullEvery == 0 {
+				v = value.Null
+			}
+			tab.MustAppendRow(v)
+		}
+		var lit value.Value
+		switch kind {
+		case value.KindInt:
+			lit = value.Int(rawLit)
+		case value.KindFloat:
+			lit = value.Float(float64(rawLit) * 0.5)
+		default:
+			lit = value.String(strPool[int(uint64(rawLit)%uint64(len(strPool)))])
+		}
+		ops := []predicate.Op{predicate.Eq, predicate.Ne, predicate.Lt, predicate.Le, predicate.Gt, predicate.Ge}
+		var p predicate.Predicate
+		switch int(opRaw) % 9 {
+		case 6:
+			p = predicate.NewIn("c", lit, value.Int(3))
+		case 7:
+			p = predicate.NewNotIn("c", lit)
+		case 8:
+			if kind == value.KindString {
+				p = predicate.NewLike("c", "k_%")
+			} else {
+				p = predicate.NewComparison("c", predicate.Ge, lit)
+			}
+		default:
+			p = predicate.NewComparison("c", ops[int(opRaw)%6], lit)
+		}
+		checkPageIdentity(t, tab, p)
+	})
+}
+
+// checkPageIdentity encodes tab's single column exactly as WriteSegment
+// would, evaluates p over the encoded page, and compares against FillMask.
+func checkPageIdentity(t *testing.T, tab *relation.Table, p predicate.Predicate) {
+	t.Helper()
+	n := tab.NumRows()
+	payload := encodeColumnPage(tab, 0)
+	node, ok := predicate.CompileScan(p, func(col string) (value.Kind, bool) {
+		ci, found := tab.Schema().ColumnIndex(col)
+		if !found {
+			return value.KindNull, false
+		}
+		return tab.Schema().Column(ci).Type, true
+	})
+	nw := (n + 63) / 64
+	want := make([]uint64, nw)
+	wantOK := predicate.CompileMask(p, tab, want)
+	if ok != wantOK {
+		t.Fatalf("%s: CompileScan support %v, CompileMask support %v", p, ok, wantOK)
+	}
+	if !ok {
+		return
+	}
+	ts := &TableScan{table: "fz", colIdx: map[string]int{tab.Schema().Column(0).Name: 0}}
+	eb := &EncodedBlock{Cols: [][]byte{payload}}
+	got := make([]uint64, nw)
+	sc := getScratch()
+	defer putScratch(sc)
+	if err := ts.eval(node, eb, n, got, sc); err != nil {
+		t.Fatalf("%s: eval: %v", p, err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: compressed mask differs\n got %x\nwant %x", p, got, want)
+	}
+}
+
+// encodeColumnPage builds column ci's page payload exactly like
+// WriteSegment: null section, then the best value encoding of the backing
+// values (null slots keep their backing value, as on disk).
+func encodeColumnPage(tab *relation.Table, ci int) []byte {
+	w := &bufWriter{}
+	n := tab.NumRows()
+	encodeNulls(w, tab.Nulls(ci), n)
+	switch tab.Schema().Column(ci).Type {
+	case value.KindInt:
+		encodeInts(w, tab.Ints(ci))
+	case value.KindFloat:
+		encodeFloats(w, tab.Floats(ci))
+	default:
+		encodeStrings(w, tab.Strings(ci))
+	}
+	return w.buf
+}

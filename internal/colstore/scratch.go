@@ -1,0 +1,129 @@
+package colstore
+
+import "sync"
+
+// Reusable decode scratch (the hot-path allocation pass): page read
+// buffers, bit-unpack word buffers, and the compressed-scan evaluator's
+// working set are pooled so steady-state block reads allocate only their
+// retained outputs (typed vectors, strings), not their temporaries.
+//
+// Nothing returned to callers may alias a pooled buffer: every decoder
+// copies into freshly allocated output slices before its scratch is
+// released.
+
+// byteBuf is a pooled page read buffer.
+type byteBuf struct{ b []byte }
+
+var byteBufPool = sync.Pool{New: func() any { return new(byteBuf) }}
+
+func getByteBuf() *byteBuf  { return byteBufPool.Get().(*byteBuf) }
+func putByteBuf(b *byteBuf) { byteBufPool.Put(b) }
+
+// grow returns b.b resized to n bytes, reusing capacity.
+func (b *byteBuf) grow(n int) []byte {
+	if cap(b.b) < n {
+		b.b = make([]byte, n)
+	}
+	b.b = b.b[:n]
+	return b.b
+}
+
+// wordBuf is a pooled []uint64 buffer for bit-unpacked values.
+type wordBuf struct{ w []uint64 }
+
+var wordBufPool = sync.Pool{New: func() any { return new(wordBuf) }}
+
+func getWordBuf(n int) *wordBuf {
+	wb := wordBufPool.Get().(*wordBuf)
+	if cap(wb.w) < n {
+		wb.w = make([]uint64, n)
+	}
+	wb.w = wb.w[:n]
+	return wb
+}
+
+func putWordBuf(wb *wordBuf) { wordBufPool.Put(wb) }
+
+// scratch is the compressed-scan evaluator's pooled working set: local row
+// masks (with a small free list for nested AND/OR evaluation), unpacked
+// code words, decoded int runs, and dictionary offset indexes.
+type scratch struct {
+	free   [][]uint64 // local-mask free list
+	words  []uint64   // unpacked packed-domain values / dictionary codes
+	ints   []int64    // decoded int values (delta / raw paths, IN probes)
+	floats []float64  // decoded float values
+	offs   []int32    // dictionary entry byte offsets (into the page body)
+	lens   []int32    // dictionary entry byte lengths
+	member []uint64   // dictionary-code membership bits (IN / LIKE)
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func getScratch() *scratch  { return scratchPool.Get().(*scratch) }
+func putScratch(s *scratch) { scratchPool.Put(s) }
+
+// grabMask returns a zeroed nw-word mask, reusing a released one if
+// available.
+func (s *scratch) grabMask(nw int) []uint64 {
+	if n := len(s.free); n > 0 {
+		m := s.free[n-1]
+		s.free = s.free[:n-1]
+		if cap(m) >= nw {
+			m = m[:nw]
+			for i := range m {
+				m[i] = 0
+			}
+			return m
+		}
+	}
+	return make([]uint64, nw)
+}
+
+func (s *scratch) releaseMask(m []uint64) { s.free = append(s.free, m) }
+
+// grabWords returns an n-word buffer (contents undefined).
+func (s *scratch) grabWords(n int) []uint64 {
+	if cap(s.words) < n {
+		s.words = make([]uint64, n)
+	}
+	s.words = s.words[:n]
+	return s.words
+}
+
+func (s *scratch) grabInts(n int) []int64 {
+	if cap(s.ints) < n {
+		s.ints = make([]int64, n)
+	}
+	s.ints = s.ints[:n]
+	return s.ints
+}
+
+func (s *scratch) grabFloats(n int) []float64 {
+	if cap(s.floats) < n {
+		s.floats = make([]float64, n)
+	}
+	s.floats = s.floats[:n]
+	return s.floats
+}
+
+func (s *scratch) grabOffs(n int) ([]int32, []int32) {
+	if cap(s.offs) < n {
+		s.offs = make([]int32, n)
+		s.lens = make([]int32, n)
+	}
+	s.offs, s.lens = s.offs[:n], s.lens[:n]
+	return s.offs, s.lens
+}
+
+// grabMember returns a zeroed n-bit set.
+func (s *scratch) grabMember(nbits int) []uint64 {
+	nw := (nbits + 63) / 64
+	if cap(s.member) < nw {
+		s.member = make([]uint64, nw)
+	}
+	s.member = s.member[:nw]
+	for i := range s.member {
+		s.member[i] = 0
+	}
+	return s.member
+}

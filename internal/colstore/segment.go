@@ -90,6 +90,19 @@ type BlockData struct {
 	Bytes int64
 }
 
+// EncodedBlock is one block in wire form: the reconstructed block.Block
+// (row IDs decoded from page 0, zone map from the footer) plus the raw,
+// checksum-verified column page payloads, un-decoded. The compressed-scan
+// path evaluates predicates directly on these payloads and gathers only
+// surviving rows; the buffer pool caches this form far more densely than
+// decoded vectors. Payloads are immutable and shared — callers must not
+// mutate them.
+type EncodedBlock struct {
+	Block *block.Block
+	Cols  [][]byte // column page payloads: [null section][enc u8][body]
+	Bytes int64    // on-disk bytes read (frames + payloads)
+}
+
 // WriteSegment writes tl as a segment file at path, atomically: the
 // segment is written to a temp file in the same directory and renamed
 // into place, so a crash mid-write never leaves a half-written segment
@@ -437,35 +450,51 @@ func (s *Segment) Zones() []*zonemap.ZoneMap { return s.zones }
 // Close releases the file handle.
 func (s *Segment) Close() error { return s.f.Close() }
 
-// readPage fetches and checksums one page's payload. The returned count
-// is the on-disk bytes read (frame + payload).
+// readPage fetches and checksums one page's payload into a fresh buffer.
+// The returned count is the on-disk bytes read (frame + payload).
 func (s *Segment) readPage(bi, pi int) ([]byte, int64, error) {
+	pm := s.blocks[bi].pages[pi]
+	buf := make([]byte, frameSize+pm.length)
+	payload, err := s.readPageBuf(bi, pi, buf)
+	if err != nil {
+		return nil, 0, err
+	}
+	return payload, frameSize + pm.length, nil
+}
+
+// readPageBuf fetches and checksums one page's payload into buf, which
+// must hold frameSize+length bytes. The returned payload aliases buf, so
+// callers reusing a scratch buffer must copy everything they retain before
+// the next read.
+func (s *Segment) readPageBuf(bi, pi int, buf []byte) ([]byte, error) {
 	fail := func(format string, args ...interface{}) error {
 		prefix := fmt.Sprintf("colstore: segment %s: block %d: page %d: ", filepath.Base(s.path), bi, pi)
 		return fmt.Errorf(prefix+format, args...)
 	}
 	pm := s.blocks[bi].pages[pi]
-	buf := make([]byte, frameSize+pm.length)
 	if _, err := s.f.ReadAt(buf, pm.off); err != nil {
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
-			return nil, 0, fail("truncated page read")
+			return nil, fail("truncated page read")
 		}
-		return nil, 0, fail("%w", err)
+		return nil, fail("%w", err)
 	}
 	if l := binary.LittleEndian.Uint32(buf[0:]); int64(l) != pm.length {
-		return nil, 0, fail("frame length %d disagrees with footer %d", l, pm.length)
+		return nil, fail("frame length %d disagrees with footer %d", l, pm.length)
 	}
 	payload := buf[frameSize:]
 	if crc := crc32.ChecksumIEEE(payload); crc != binary.LittleEndian.Uint32(buf[4:]) {
-		return nil, 0, fail("checksum mismatch")
+		return nil, fail("checksum mismatch")
 	}
-	return payload, frameSize + pm.length, nil
+	return payload, nil
 }
 
 // ReadRowIDs reads and decodes only block id's row-ID page, returning the
 // row indexes and the on-disk bytes read.
 func (s *Segment) ReadRowIDs(id int) ([]int32, int64, error) {
-	payload, n, err := s.readPage(id, 0)
+	pm := s.blocks[id].pages[0]
+	bb := getByteBuf()
+	defer putByteBuf(bb)
+	payload, err := s.readPageBuf(id, 0, bb.grow(int(frameSize+pm.length)))
 	if err != nil {
 		return nil, 0, err
 	}
@@ -473,7 +502,7 @@ func (s *Segment) ReadRowIDs(id int) ([]int32, int64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	return rows, n, nil
+	return rows, frameSize + pm.length, nil
 }
 
 func (s *Segment) decodeRowIDs(id int, payload []byte) ([]int32, error) {
@@ -505,22 +534,28 @@ func (s *Segment) ReadBlock(id int) (*BlockData, error) {
 		return nil, fmt.Errorf("colstore: segment %s: no block %d", filepath.Base(s.path), id)
 	}
 	bd := &BlockData{Cols: make([]ColumnData, len(s.cols))}
-	payload, n, err := s.readPage(id, 0)
+	// One pooled frame buffer serves every page read of the block: the
+	// decoders copy all retained data out of the payload, so reuse is safe.
+	bb := getByteBuf()
+	defer putByteBuf(bb)
+	pm := s.blocks[id].pages[0]
+	payload, err := s.readPageBuf(id, 0, bb.grow(int(frameSize+pm.length)))
 	if err != nil {
 		return nil, err
 	}
-	bd.Bytes += n
+	bd.Bytes += frameSize + pm.length
 	rows, err := s.decodeRowIDs(id, payload)
 	if err != nil {
 		return nil, err
 	}
 	nrows := s.blocks[id].nrows
 	for ci := range s.cols {
-		payload, n, err := s.readPage(id, 1+ci)
+		pm := s.blocks[id].pages[1+ci]
+		payload, err := s.readPageBuf(id, 1+ci, bb.grow(int(frameSize+pm.length)))
 		if err != nil {
 			return nil, err
 		}
-		bd.Bytes += n
+		bd.Bytes += frameSize + pm.length
 		r := &bufReader{buf: payload}
 		cd := ColumnData{Kind: s.cols[ci].kind}
 		cd.Nulls = decodeNulls(r, nrows)
@@ -544,6 +579,76 @@ func (s *Segment) ReadBlock(id int) (*BlockData, error) {
 	}
 	bd.Block = &block.Block{ID: id, Rows: rows, Zone: s.blocks[id].zone}
 	return bd, nil
+}
+
+// ReadBlockEncoded reads and checksums all of block id's pages without
+// decoding the column payloads: row IDs are decoded (the engine needs
+// block membership), columns stay in wire form for compressed-domain
+// evaluation or gather-by-mask materialization. The writer lays a block's
+// pages out contiguously, so the common case is one ReadAt over the whole
+// block span — a single I/O instead of one per page; footers describing
+// non-contiguous pages (never produced by WriteSegment, but the format
+// allows them) fall back to per-page reads.
+func (s *Segment) ReadBlockEncoded(id int) (*EncodedBlock, error) {
+	if id < 0 || id >= len(s.blocks) {
+		return nil, fmt.Errorf("colstore: segment %s: no block %d", filepath.Base(s.path), id)
+	}
+	bm := &s.blocks[id]
+	eb := &EncodedBlock{Cols: make([][]byte, len(s.cols))}
+	payloads := make([][]byte, len(bm.pages))
+
+	contiguous := true
+	next := bm.pages[0].off
+	for _, pm := range bm.pages {
+		if pm.off != next {
+			contiguous = false
+			break
+		}
+		next += frameSize + pm.length
+	}
+	if contiguous {
+		span := next - bm.pages[0].off
+		buf := make([]byte, span)
+		if _, err := s.f.ReadAt(buf, bm.pages[0].off); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return nil, fmt.Errorf("colstore: segment %s: block %d: truncated block read", filepath.Base(s.path), id)
+			}
+			return nil, fmt.Errorf("colstore: segment %s: block %d: %w", filepath.Base(s.path), id, err)
+		}
+		off := int64(0)
+		for pi, pm := range bm.pages {
+			frame := buf[off : off+frameSize]
+			payload := buf[off+frameSize : off+frameSize+pm.length]
+			if l := binary.LittleEndian.Uint32(frame[0:]); int64(l) != pm.length {
+				return nil, fmt.Errorf("colstore: segment %s: block %d: page %d: frame length %d disagrees with footer %d",
+					filepath.Base(s.path), id, pi, l, pm.length)
+			}
+			if crc := crc32.ChecksumIEEE(payload); crc != binary.LittleEndian.Uint32(frame[4:]) {
+				return nil, fmt.Errorf("colstore: segment %s: block %d: page %d: checksum mismatch",
+					filepath.Base(s.path), id, pi)
+			}
+			payloads[pi] = payload
+			off += frameSize + pm.length
+		}
+		eb.Bytes = span
+	} else {
+		for pi := range bm.pages {
+			payload, n, err := s.readPage(id, pi)
+			if err != nil {
+				return nil, err
+			}
+			payloads[pi] = payload
+			eb.Bytes += n
+		}
+	}
+
+	rows, err := s.decodeRowIDs(id, payloads[0])
+	if err != nil {
+		return nil, err
+	}
+	copy(eb.Cols, payloads[1:])
+	eb.Block = &block.Block{ID: id, Rows: rows, Zone: bm.zone}
+	return eb, nil
 }
 
 // ValidateAgainst cross-checks the footer's schema echo against the live

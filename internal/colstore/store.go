@@ -33,9 +33,11 @@ import (
 // invalidate the table's buffer-pool entries; the retired segment stays
 // open until Close so in-flight reads never hit a closed file.
 type Store struct {
-	dir  string
-	cost block.CostModel
-	pool *Pool
+	dir        string
+	cost       block.CostModel
+	pool       *Pool
+	cacheBytes int64
+	pf         *prefetcher
 
 	mu      sync.RWMutex
 	tables  map[string]*tableState
@@ -49,7 +51,11 @@ type Store struct {
 	bytesRead     atomic.Int64
 }
 
-var _ block.Backend = (*Store)(nil)
+var (
+	_ block.Backend           = (*Store)(nil)
+	_ block.CompressedScanner = (*Store)(nil)
+	_ block.Prefetcher        = (*Store)(nil)
+)
 
 // tableState is one table's current segment plus its lazily built
 // row→block auxiliary index.
@@ -73,11 +79,13 @@ func NewStore(dir string, cacheBytes int64, cost block.CostModel) (*Store, error
 		return nil, fmt.Errorf("colstore: create data dir: %w", err)
 	}
 	s := &Store{
-		dir:    dir,
-		cost:   cost,
-		pool:   NewPool(cacheBytes),
-		tables: make(map[string]*tableState),
+		dir:        dir,
+		cost:       cost,
+		pool:       NewPool(cacheBytes),
+		cacheBytes: cacheBytes,
+		tables:     make(map[string]*tableState),
 	}
+	s.pf = newPrefetcher(s)
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("colstore: read data dir: %w", err)
@@ -132,8 +140,11 @@ func (s *Store) Dir() string { return s.dir }
 // Cost returns the store's cost model.
 func (s *Store) Cost() block.CostModel { return s.cost }
 
-// Close releases every open segment, current and retired.
+// Close stops the readahead workers, then releases every open segment,
+// current and retired — in that order, so a prefetch load can never read
+// from a closed file.
 func (s *Store) Close() error {
+	s.pf.shutdown()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var errs []error
@@ -302,6 +313,102 @@ func (s *Store) ReadBlockData(table string, id int) (*BlockData, error) {
 	})
 }
 
+// encodedBlock returns block id of st's segment in wire form through the
+// buffer pool (encoded form), without simulated-I/O metering — the
+// compressed scan meters the block itself, matching ReadBlock.
+func (s *Store) encodedBlock(table string, st *tableState, id int) (*EncodedBlock, error) {
+	return s.pool.GetEncoded(poolKey{table: table, gen: st.gen, id: id, form: formEncoded}, func() (*EncodedBlock, error) {
+		eb, err := st.seg.ReadBlockEncoded(id)
+		if err != nil {
+			return nil, err
+		}
+		s.bytesRead.Add(eb.Bytes)
+		return eb, nil
+	})
+}
+
+// MaterializeRows decodes only the selected rows of the named columns from
+// one block's encoded pages (late materialization: the compressed scan
+// finds survivors first, then gathers just their values). sel holds
+// strictly ascending block-local row positions. Not metered as a block
+// read — the scan that produced sel already metered the block.
+func (s *Store) MaterializeRows(table string, id int, sel []int32, cols []string) ([]ColumnData, error) {
+	st := s.state(table)
+	if st == nil {
+		return nil, fmt.Errorf("colstore: no segment for table %q", table)
+	}
+	if id < 0 || id >= st.seg.NumBlocks() {
+		return nil, fmt.Errorf("colstore: %s has no block %d", table, id)
+	}
+	eb, err := s.encodedBlock(table, st, id)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ColumnData, len(cols))
+	for i, name := range cols {
+		ci := -1
+		for j, c := range st.seg.cols {
+			if c.name == name {
+				ci = j
+				break
+			}
+		}
+		if ci < 0 {
+			return nil, fmt.Errorf("colstore: %s has no column %q", table, name)
+		}
+		cd, err := gatherColumn(eb.Cols[ci], st.seg.cols[ci].kind, len(eb.Block.Rows), sel)
+		if err != nil {
+			return nil, fmt.Errorf("colstore: gather %s.%s: %w", table, name, err)
+		}
+		out[i] = cd
+	}
+	return out, nil
+}
+
+// Prefetch implements block.Prefetcher: it queues background loads of the
+// table's blocks in decoded form (the ReadBlock path's representation).
+// Best-effort and asynchronous; a no-op when the store has no buffer pool
+// to park the result in (readahead without a cache would just read every
+// block twice).
+func (s *Store) Prefetch(table string, ids []int) {
+	s.prefetch(table, s.state(table), ids, formDecoded)
+}
+
+func (s *Store) prefetch(table string, st *tableState, ids []int, form poolForm) {
+	if s.cacheBytes <= 0 || st == nil || len(ids) == 0 {
+		return
+	}
+	cp := make([]int, len(ids))
+	copy(cp, ids) // callers reuse their candidate slices
+	s.pf.enqueue(prefetchTask{table: table, st: st, ids: cp, form: form})
+}
+
+// prefetchOne loads one block into the buffer pool on behalf of a
+// readahead worker. Errors are swallowed: failed loads are never cached,
+// and the demand read re-runs the load and surfaces the error.
+func (s *Store) prefetchOne(t prefetchTask, id int) {
+	if id < 0 || id >= t.st.seg.NumBlocks() {
+		return
+	}
+	k := poolKey{table: t.table, gen: t.st.gen, id: id, form: t.form}
+	s.pool.GetPrefetch(k, func() (any, int64, error) {
+		if t.form == formEncoded {
+			eb, err := t.st.seg.ReadBlockEncoded(id)
+			if err != nil {
+				return nil, 0, err
+			}
+			s.bytesRead.Add(eb.Bytes)
+			return eb, encSize(eb), nil
+		}
+		bd, err := t.st.seg.ReadBlock(id)
+		if err != nil {
+			return nil, 0, err
+		}
+		s.bytesRead.Add(bd.Bytes)
+		return bd, memSize(bd), nil
+	})
+}
+
 // RowToBlock returns the table's row index → block ID mapping, built
 // lazily (once per segment generation) from the segment's row-ID pages.
 // As an auxiliary-index read it is not metered as block I/O; only the
@@ -369,6 +476,7 @@ func (s *Store) TotalBlocks(tables ...string) int {
 // Stats returns a snapshot of the I/O and buffer-pool counters.
 func (s *Store) Stats() block.Stats {
 	hits, misses, evictions := s.pool.Counters()
+	prefetched, raHits := s.pool.PrefetchCounters()
 	return block.Stats{
 		BlocksRead:     s.blocksRead.Load(),
 		BlocksWritten:  s.blocksWritten.Load(),
@@ -378,5 +486,7 @@ func (s *Store) Stats() block.Stats {
 		CacheMisses:    misses,
 		CacheEvictions: evictions,
 		BytesRead:      s.bytesRead.Load(),
+		Prefetched:     prefetched,
+		ReadaheadHits:  raHits,
 	}
 }

@@ -47,6 +47,16 @@ type Options struct {
 	// matching rows, regardless of clustering — the SI comparison of
 	// §6.3.1.
 	SecondaryIndexes map[string]string
+	// DecodeScan disables compressed-domain execution: scans read fully
+	// decoded blocks (Backend.ReadBlock) even when the backend supports
+	// evaluating predicates on encoded pages. Compressed execution is on
+	// by default and produces byte-identical Results; this switch exists
+	// for A/B benchmarking and identity tests.
+	DecodeScan bool
+	// NoReadahead disables async block prefetching on backends that
+	// support it. Readahead never changes Results — only wall-clock time
+	// and the Prefetched/ReadaheadHits counters.
+	NoReadahead bool
 }
 
 // DefaultOptions mirrors the plain simulation setting (no runtime extras).

@@ -5,6 +5,7 @@ import (
 	"math/bits"
 
 	"mto/internal/bitmap"
+	"mto/internal/block"
 	"mto/internal/predicate"
 	"mto/internal/relation"
 	"mto/internal/value"
@@ -212,13 +213,46 @@ func (e *Engine) executeKernel(q *workload.Query) (*Result, error) {
 		ts.afterDiPs = len(ts.candidates)
 	}
 
+	// Compile compressed-domain scans (one per table; literals are
+	// translated into each table's encoding once per query), then queue
+	// readahead for the admitted candidate blocks. Runtime pruning below
+	// may still shrink the sets — prefetching a superset is harmless, it
+	// only warms the cache.
+	scans := map[string]block.CompressedScan{}
+	if !e.opts.DecodeScan {
+		if cs, ok := e.store.(block.CompressedScanner); ok {
+			for _, name := range order {
+				filters := make([]predicate.Predicate, len(byTable[name]))
+				for i, a := range byTable[name] {
+					filters[i] = a.filter
+				}
+				if scan := cs.CompileScan(name, filters); scan != nil {
+					scans[name] = scan
+				}
+			}
+		}
+	}
+	if !e.opts.NoReadahead {
+		for _, name := range order {
+			ts := tables[name]
+			if len(ts.candidates) == 0 {
+				continue
+			}
+			if scan := scans[name]; scan != nil {
+				scan.Prefetch(ts.candidates)
+			} else if pf, ok := e.store.(block.Prefetcher); ok {
+				pf.Prefetch(name, ts.candidates)
+			}
+		}
+	}
+
 	reducers := 0
 	for _, name := range matOrderOf(tables, order) {
 		ts := tables[name]
 		if e.opts.SemiJoinReduction || e.opts.SecondaryIndexes[name] != "" {
 			reducers += e.blockPruneKernel(q, ts, vecAliases, tables)
 		}
-		if err := e.scanKernel(ts, byTable[name]); err != nil {
+		if err := e.scanKernel(ts, byTable[name], scans[name]); err != nil {
 			return nil, err
 		}
 	}
@@ -236,13 +270,54 @@ func (e *Engine) executeKernel(q *workload.Query) (*Result, error) {
 // each alias's filtered row set as one dense bitset: the filter's
 // full-table mask ANDed with the bitset of rows present in the candidate
 // blocks (blocks hold arbitrary row subsets, so the two are independent).
-func (e *Engine) scanKernel(ts *tableState, aliases []*vecAlias) error {
+//
+// With a compiled compressed scan, candidate blocks are read in encoded
+// form and each supported filter is evaluated directly on the encoded
+// pages (ScanBlock ORs block-local survivors into the alias's dense mask
+// and meters the read identically to ReadBlock); filters the compressed
+// compiler rejected fall back to FillMask over the base table, exactly the
+// decode path's computation. Either way the alias masks come out
+// bit-identical.
+func (e *Engine) scanKernel(ts *tableState, aliases []*vecAlias, scan block.CompressedScan) error {
 	tbl := e.ds.Table(ts.table)
 	if tbl == nil {
 		return fmt.Errorf("engine: dataset missing table %q", ts.table)
 	}
 	n := tbl.NumRows()
 	inBlocks := bitmap.NewDense(n)
+	masks := make([]bitmap.Dense, len(aliases))
+	if scan != nil {
+		supported := scan.Supported()
+		scanMasks := make([][]uint64, len(aliases))
+		for i := range aliases {
+			masks[i] = bitmap.NewDense(n)
+			if supported[i] {
+				scanMasks[i] = masks[i]
+			}
+		}
+		for _, id := range ts.candidates {
+			rows, err := scan.ScanBlock(id, scanMasks)
+			if err != nil {
+				return err
+			}
+			ts.blocksRead++
+			ts.rowsRead += len(rows)
+			for _, r := range rows {
+				inBlocks.Set(int(r))
+			}
+		}
+		for i, a := range aliases {
+			mask := masks[i]
+			if !supported[i] {
+				predicate.FillMask(a.filter, tbl, mask)
+				mask.And(inBlocks)
+			}
+			a.set = mask
+			a.count = mask.Count()
+		}
+		ts.read = true
+		return nil
+	}
 	for _, id := range ts.candidates {
 		b, err := e.store.ReadBlock(ts.table, id)
 		if err != nil {

@@ -43,6 +43,15 @@ type Bench struct {
 	// CacheMB is the disk backend's buffer-pool capacity in MiB of decoded
 	// block data; 0 disables caching.
 	CacheMB int
+	// Compressed selects the scan path on backends that support
+	// compressed-domain execution: "" or "auto" or "on" evaluate predicates
+	// on encoded pages (the default; backends without the capability fall
+	// back to decoded scans automatically), "off" forces full-decode scans.
+	// Results are byte-identical either way.
+	Compressed string
+	// NoReadahead disables the disk backend's async block prefetching.
+	// Readahead never changes Results, only wall-clock time.
+	NoReadahead bool
 }
 
 // Scale configures how large the experiment datasets are. The paper runs
@@ -63,6 +72,9 @@ type Scale struct {
 	Store   string
 	DataDir string
 	CacheMB int
+	// Compressed/NoReadahead select the scan path; see Bench.
+	Compressed  string
+	NoReadahead bool
 }
 
 // DefaultScale is used by the CLI and benchmarks unless overridden.
@@ -80,51 +92,57 @@ func DefaultScale() Scale {
 // SSBBench builds the Star Schema Benchmark bundle (13 queries).
 func SSBBench(s Scale) *Bench {
 	return &Bench{
-		Name:       "SSB",
-		Dataset:    datagen.SSB(datagen.SSBConfig{ScaleFactor: s.SF, Seed: s.Seed}),
-		Workload:   datagen.SSBWorkload(s.Seed + 1),
-		SortKeys:   datagen.SSBSortKeys(),
-		BlockSize:  s.BlockSizeSSB,
-		SampleRate: 0.25,
-		Seed:       s.Seed,
-		Parallel:   s.Parallel,
-		Store:      s.Store,
-		DataDir:    s.DataDir,
-		CacheMB:    s.CacheMB,
+		Name:        "SSB",
+		Dataset:     datagen.SSB(datagen.SSBConfig{ScaleFactor: s.SF, Seed: s.Seed}),
+		Workload:    datagen.SSBWorkload(s.Seed + 1),
+		SortKeys:    datagen.SSBSortKeys(),
+		BlockSize:   s.BlockSizeSSB,
+		SampleRate:  0.25,
+		Seed:        s.Seed,
+		Parallel:    s.Parallel,
+		Store:       s.Store,
+		DataDir:     s.DataDir,
+		CacheMB:     s.CacheMB,
+		Compressed:  s.Compressed,
+		NoReadahead: s.NoReadahead,
 	}
 }
 
 // TPCHBench builds the TPC-H bundle (22 templates × PerTemplate queries).
 func TPCHBench(s Scale) *Bench {
 	return &Bench{
-		Name:       "TPC-H",
-		Dataset:    datagen.TPCH(datagen.TPCHConfig{ScaleFactor: s.SF, Seed: s.Seed}),
-		Workload:   datagen.TPCHWorkload(s.PerTemplate, s.Seed+1),
-		SortKeys:   datagen.TPCHSortKeys(),
-		BlockSize:  s.BlockSizeH,
-		SampleRate: 0.25,
-		Seed:       s.Seed,
-		Parallel:   s.Parallel,
-		Store:      s.Store,
-		DataDir:    s.DataDir,
-		CacheMB:    s.CacheMB,
+		Name:        "TPC-H",
+		Dataset:     datagen.TPCH(datagen.TPCHConfig{ScaleFactor: s.SF, Seed: s.Seed}),
+		Workload:    datagen.TPCHWorkload(s.PerTemplate, s.Seed+1),
+		SortKeys:    datagen.TPCHSortKeys(),
+		BlockSize:   s.BlockSizeH,
+		SampleRate:  0.25,
+		Seed:        s.Seed,
+		Parallel:    s.Parallel,
+		Store:       s.Store,
+		DataDir:     s.DataDir,
+		CacheMB:     s.CacheMB,
+		Compressed:  s.Compressed,
+		NoReadahead: s.NoReadahead,
 	}
 }
 
 // TPCDSBench builds the TPC-DS-like bundle (46 templates × 1 query).
 func TPCDSBench(s Scale) *Bench {
 	return &Bench{
-		Name:       "TPC-DS",
-		Dataset:    datagen.TPCDS(datagen.TPCDSConfig{ScaleFactor: s.SF, Seed: s.Seed}),
-		Workload:   datagen.TPCDSWorkload(s.Seed + 1),
-		SortKeys:   datagen.TPCDSSortKeys(),
-		BlockSize:  s.BlockSizeDS,
-		SampleRate: 0.25,
-		Seed:       s.Seed,
-		Parallel:   s.Parallel,
-		Store:      s.Store,
-		DataDir:    s.DataDir,
-		CacheMB:    s.CacheMB,
+		Name:        "TPC-DS",
+		Dataset:     datagen.TPCDS(datagen.TPCDSConfig{ScaleFactor: s.SF, Seed: s.Seed}),
+		Workload:    datagen.TPCDSWorkload(s.Seed + 1),
+		SortKeys:    datagen.TPCDSSortKeys(),
+		BlockSize:   s.BlockSizeDS,
+		SampleRate:  0.25,
+		Seed:        s.Seed,
+		Parallel:    s.Parallel,
+		Store:       s.Store,
+		DataDir:     s.DataDir,
+		CacheMB:     s.CacheMB,
+		Compressed:  s.Compressed,
+		NoReadahead: s.NoReadahead,
 	}
 }
 

@@ -13,6 +13,11 @@ import (
 func replayWith(t *testing.T, b *Bench, method string, cloudDW bool, store string, cacheMB, parallel int, datadir string) *RunResult {
 	t.Helper()
 	b.Store, b.CacheMB, b.Parallel, b.DataDir = store, cacheMB, parallel, datadir
+	return deployAndReplay(t, b, method, cloudDW)
+}
+
+func deployAndReplay(t *testing.T, b *Bench, method string, cloudDW bool) *RunResult {
+	t.Helper()
 	d, err := DeployMethod(b, method, cloudDW)
 	if err != nil {
 		t.Fatal(err)
@@ -32,8 +37,9 @@ func replayWith(t *testing.T, b *Bench, method string, cloudDW bool, store strin
 // SSB and TPC-H against the persistent columnar store must produce exactly
 // the same Results as the in-memory backend — same blocks, fractions,
 // simulated seconds, and per-query metrics — at any cache size (including
-// a 0-byte cache, where every read decodes pages from disk) and at any
-// replay parallelism.
+// a 0-byte cache, where every read decodes pages from disk), at any replay
+// parallelism, on both the compressed-domain and the full-decode scan
+// path, with readahead on or off.
 func TestDiskBackendReplayIdentity(t *testing.T) {
 	s := testScale()
 	for _, mk := range []struct {
@@ -54,24 +60,33 @@ func TestDiskBackendReplayIdentity(t *testing.T) {
 			dir := t.TempDir()
 			want := replayWith(t, b, mk.method, mk.cloudDW, "mem", 0, 1, "")
 			configs := []struct {
-				name     string
-				store    string
-				cacheMB  int
-				parallel int
+				name        string
+				store       string
+				cacheMB     int
+				parallel    int
+				compressed  string
+				noReadahead bool
 			}{
-				{"mem-parallel", "mem", 0, 0},
-				{"disk-nocache-seq", "disk", 0, 1},
-				{"disk-nocache-parallel", "disk", 0, 0},
-				{"disk-cached-seq", "disk", 64, 1},
-				{"disk-cached-parallel", "disk", 64, 0},
+				{name: "mem-parallel", store: "mem", parallel: 0},
+				{name: "disk-nocache-seq", store: "disk", cacheMB: 0, parallel: 1},
+				{name: "disk-nocache-parallel", store: "disk", cacheMB: 0, parallel: 0},
+				{name: "disk-cached-seq", store: "disk", cacheMB: 64, parallel: 1},
+				{name: "disk-cached-parallel", store: "disk", cacheMB: 64, parallel: 0},
+				{name: "disk-nocache-seq-decode", store: "disk", cacheMB: 0, parallel: 1, compressed: "off"},
+				{name: "disk-cached-parallel-decode", store: "disk", cacheMB: 64, parallel: 0, compressed: "off"},
+				{name: "disk-cached-seq-noreadahead", store: "disk", cacheMB: 64, parallel: 1, noReadahead: true},
+				{name: "disk-cached-parallel-noreadahead", store: "disk", cacheMB: 64, parallel: 0, noReadahead: true},
 			}
 			for _, c := range configs {
-				got := replayWith(t, b, mk.method, mk.cloudDW, c.store, c.cacheMB, c.parallel, dir)
+				b.Store, b.CacheMB, b.Parallel, b.DataDir = c.store, c.cacheMB, c.parallel, dir
+				b.Compressed, b.NoReadahead = c.compressed, c.noReadahead
+				got := deployAndReplay(t, b, mk.method, mk.cloudDW)
 				if !reflect.DeepEqual(got, want) {
 					t.Errorf("%s: results diverge from sequential mem replay\n got: %+v\nwant: %+v",
 						c.name, got, want)
 				}
 			}
+			b.Compressed, b.NoReadahead = "", false
 		})
 	}
 }

@@ -1,0 +1,211 @@
+package predicate
+
+import (
+	"sort"
+
+	"mto/internal/value"
+)
+
+// ScanNode is a predicate compiled for compressed-domain execution: a plan
+// tree whose leaves carry kind-checked, pre-normalized literals (IN sets
+// built and sorted, LIKE matchers specialized) so a storage engine can
+// evaluate them directly against encoded column pages — comparing
+// dictionary codes or bit-packed words — without materializing values.
+//
+// CompileScan's support matrix is an exact mirror of CompileMask's: it
+// returns ok=false precisely when CompileMask would refuse (callers then
+// fall back to the decode-and-evaluate path), and the leaf semantics —
+// including null handling and NOT IN with a null literal — match
+// CompileMask bit for bit. Keeping the two in lockstep is what lets the
+// compressed scan path promise byte-identical results.
+type ScanNode interface {
+	scanNode()
+}
+
+// ScanAnd matches rows matched by every child.
+type ScanAnd struct{ Children []ScanNode }
+
+// ScanOr matches rows matched by at least one child.
+type ScanOr struct{ Children []ScanNode }
+
+// ScanConst matches every row (true) or no row (false). Missing-column
+// leaves compile to ScanConst(false): they match nothing, like
+// CompileMask's zero mask. It never touches a null bitmap — there is no
+// column behind it.
+type ScanConst bool
+
+// ScanCmpInt is an int-column comparison against an int literal.
+type ScanCmpInt struct {
+	Column string
+	Op     Op
+	Lit    int64
+}
+
+// ScanCmpFloat is a float-column comparison; int literals arrive widened
+// via AsFloat, mirroring CompileMask.
+type ScanCmpFloat struct {
+	Column string
+	Op     Op
+	Lit    float64
+}
+
+// ScanCmpStr is a string-column comparison against a string literal.
+// Sorted dictionary pages evaluate it as a code-range test.
+type ScanCmpStr struct {
+	Column string
+	Op     Op
+	Lit    string
+}
+
+// ScanInInt is col [NOT] IN over an int column. Set holds the int-kind
+// literals; Sorted is the same values ascending and distinct, for
+// merge-joins against sorted page dictionaries. HasNullLit records a NULL
+// literal: NOT IN with a NULL literal matches nothing.
+type ScanInInt struct {
+	Column     string
+	Set        map[int64]struct{}
+	Sorted     []int64
+	Negate     bool
+	HasNullLit bool
+}
+
+// ScanInStr is col [NOT] IN over a string column.
+type ScanInStr struct {
+	Column     string
+	Set        map[string]struct{}
+	Sorted     []string
+	Negate     bool
+	HasNullLit bool
+}
+
+// ScanLike is col [NOT] LIKE over a string column, with the matcher
+// specialized once at compile time (exact/prefix/suffix/substring shapes
+// avoid the recursive wildcard walk).
+type ScanLike struct {
+	Column  string
+	Pattern string
+	Match   func(string) bool
+	Negate  bool
+}
+
+func (*ScanAnd) scanNode()      {}
+func (*ScanOr) scanNode()       {}
+func (ScanConst) scanNode()     {}
+func (*ScanCmpInt) scanNode()   {}
+func (*ScanCmpFloat) scanNode() {}
+func (*ScanCmpStr) scanNode()   {}
+func (*ScanInInt) scanNode()    {}
+func (*ScanInStr) scanNode()    {}
+func (*ScanLike) scanNode()     {}
+
+// CompileScan compiles p for compressed-domain evaluation against a table
+// whose column kinds are reported by kindOf (missing columns return
+// ok=false from kindOf). All literal normalization — kind checks, IN-set
+// construction and sorting, LIKE matcher specialization — happens here,
+// once per (query, table), so per-page evaluation only translates the
+// normalized literals into each page's code space.
+//
+// It reports ok=false exactly when CompileMask would: the caller must then
+// use the decode path for the whole predicate.
+func CompileScan(p Predicate, kindOf func(col string) (value.Kind, bool)) (ScanNode, bool) {
+	switch q := p.(type) {
+	case *Comparison:
+		kind, ok := kindOf(q.Column)
+		if !ok {
+			return ScanConst(false), true // no such column: matches nothing
+		}
+		if kind == value.KindInt && q.Value.Kind() == value.KindInt {
+			return &ScanCmpInt{Column: q.Column, Op: q.Op, Lit: q.Value.Int()}, true
+		}
+		if kind == value.KindFloat && !q.Value.IsNull() &&
+			(q.Value.Kind() == value.KindFloat || q.Value.Kind() == value.KindInt) {
+			return &ScanCmpFloat{Column: q.Column, Op: q.Op, Lit: q.Value.AsFloat()}, true
+		}
+		if kind == value.KindString && q.Value.Kind() == value.KindString {
+			return &ScanCmpStr{Column: q.Column, Op: q.Op, Lit: q.Value.Str()}, true
+		}
+		return nil, false
+	case *InList:
+		kind, ok := kindOf(q.Column)
+		if !ok {
+			return ScanConst(false), true
+		}
+		switch kind {
+		case value.KindInt:
+			node := &ScanInInt{
+				Column: q.Column,
+				Set:    make(map[int64]struct{}, len(q.Values)),
+				Negate: q.Negate_,
+			}
+			for _, v := range q.Values {
+				switch {
+				case v.IsNull():
+					node.HasNullLit = true
+				case v.Kind() == value.KindInt:
+					node.Set[v.Int()] = struct{}{}
+				}
+			}
+			node.Sorted = make([]int64, 0, len(node.Set))
+			for v := range node.Set {
+				node.Sorted = append(node.Sorted, v)
+			}
+			sort.Slice(node.Sorted, func(i, j int) bool { return node.Sorted[i] < node.Sorted[j] })
+			return node, true
+		case value.KindString:
+			node := &ScanInStr{
+				Column: q.Column,
+				Set:    make(map[string]struct{}, len(q.Values)),
+				Negate: q.Negate_,
+			}
+			for _, v := range q.Values {
+				switch {
+				case v.IsNull():
+					node.HasNullLit = true
+				case v.Kind() == value.KindString:
+					node.Set[v.Str()] = struct{}{}
+				}
+			}
+			node.Sorted = make([]string, 0, len(node.Set))
+			for v := range node.Set {
+				node.Sorted = append(node.Sorted, v)
+			}
+			sort.Strings(node.Sorted)
+			return node, true
+		}
+		return nil, false
+	case *Like:
+		kind, ok := kindOf(q.Column)
+		if !ok || kind != value.KindString {
+			return ScanConst(false), true // missing or non-string column: matches nothing
+		}
+		return &ScanLike{
+			Column:  q.Column,
+			Pattern: q.Pattern,
+			Match:   likeMatcher(q.Pattern),
+			Negate:  q.Negate_,
+		}, true
+	case *And:
+		node := &ScanAnd{Children: make([]ScanNode, len(q.Children))}
+		for i, c := range q.Children {
+			child, ok := CompileScan(c, kindOf)
+			if !ok {
+				return nil, false
+			}
+			node.Children[i] = child
+		}
+		return node, true
+	case *Or:
+		node := &ScanOr{Children: make([]ScanNode, len(q.Children))}
+		for i, c := range q.Children {
+			child, ok := CompileScan(c, kindOf)
+			if !ok {
+				return nil, false
+			}
+			node.Children[i] = child
+		}
+		return node, true
+	case Const:
+		return ScanConst(bool(q)), true
+	}
+	return nil, false // ColumnComparison and anything unknown: decode path
+}

@@ -118,12 +118,28 @@ func CompileMask(p Predicate, t *relation.Table, mask []uint64) bool {
 		}
 		return true
 	case *Or:
-		for _, c := range q.Children {
-			if !CompileMask(c, t, mask) {
+		// Each child must be evaluated into a clean mask: children AND in
+		// conjuncts and clear null-row bits, and either would corrupt bits
+		// already accumulated by earlier disjuncts if they shared the mask.
+		scratch := make([]uint64, len(mask))
+		for i, c := range q.Children {
+			if i == 0 {
+				if !CompileMask(c, t, mask) {
+					return false
+				}
+				continue
+			}
+			for w := range scratch {
+				scratch[w] = 0
+			}
+			if !CompileMask(c, t, scratch) {
 				for w := range mask {
 					mask[w] = 0
 				}
 				return false
+			}
+			for w := range mask {
+				mask[w] |= scratch[w]
 			}
 		}
 		return true

@@ -74,6 +74,43 @@ func TestCompileMaskMatchesCompile(t *testing.T) {
 	}
 }
 
+// TestCompileMaskOrChildIsolation pins the fix for Or children sharing the
+// accumulator mask: an And child must not AND its conjuncts against earlier
+// disjuncts' bits, and a leaf child's null-clearing must not wipe rows that
+// an earlier disjunct already matched.
+func TestCompileMaskOrChildIsolation(t *testing.T) {
+	tab := testTable(t)
+	preds := []Predicate{
+		// Row 0 matches x=5; the And child is false there (s="apple"), and the
+		// broken path computed (x=5 OR y=10) AND s="banana", dropping row 0.
+		NewOr(NewComparison("x", Eq, value.Int(5)),
+			NewAnd(NewComparison("y", Eq, value.Int(10)), NewComparison("s", Eq, value.String("banana")))),
+		// Row 3 matches y=0 but has s=null; the s-children's clearNulls must
+		// not clear the bit the first disjunct set.
+		NewOr(NewComparison("y", Eq, value.Int(0)), NewComparison("s", Eq, value.String("apple"))),
+		NewOr(NewComparison("y", Eq, value.Int(0)), NewLike("s", "z%")),
+		NewOr(NewComparison("y", Eq, value.Int(0)), NewIn("s", value.String("apple"))),
+		// Row 2 matches x=25 but has f=null.
+		NewOr(NewComparison("x", Eq, value.Int(25)), NewComparison("f", Gt, value.Float(100))),
+		// Nested: And under Or under And.
+		NewAnd(NewComparison("x", Gt, value.Int(0)),
+			NewOr(NewComparison("x", Eq, value.Int(5)),
+				NewAnd(NewComparison("y", Eq, value.Int(10)), NewComparison("s", Eq, value.String("banana"))))),
+	}
+	for _, p := range preds {
+		got, ok := maskRows(t, p, tab)
+		if !ok {
+			t.Errorf("%s: CompileMask refused a supported shape", p)
+			continue
+		}
+		for r := 0; r < tab.NumRows(); r++ {
+			if want := p.EvalRow(tab, r); got[r] != want {
+				t.Errorf("%s: row %d mask=%v EvalRow=%v", p, r, got[r], want)
+			}
+		}
+	}
+}
+
 // TestCompileMaskFallback verifies unsupported shapes refuse cleanly and
 // leave the mask untouched.
 func TestCompileMaskFallback(t *testing.T) {

@@ -99,6 +99,40 @@ func (d *ColumnDict) Value(code int32) value.Value {
 	return value.String(d.Strs[code])
 }
 
+// CodeRange translates one literal into d's code space: lo is the rank of
+// the first dictionary value ≥ v, hi is the rank just past the last value
+// ≤ v, and exists reports whether v itself is in the dictionary (so
+// hi == lo+1 when it is, hi == lo when it is not). Because codes are
+// ranks in the sorted value list, every comparison predicate on values
+// becomes a code probe: v' < v ⇔ code < lo, v' ≤ v ⇔ code < hi,
+// v' = v ⇔ exists ∧ code == lo, v' ≥ v ⇔ code ≥ lo, v' > v ⇔ code ≥ hi.
+// A literal of a different kind is below every value (lo = hi = 0).
+//
+// This is the same sorted-dict contract colstore's compressed scan applies
+// to segment dictionary pages — one representation shared by the engine's
+// join-key caches and the storage encoding — so a query translates each
+// literal once per dictionary, and codes translate order-preservingly
+// between the two worlds via TranslateCodes (see DESIGN.md).
+func (d *ColumnDict) CodeRange(v value.Value) (lo, hi int32, exists bool) {
+	switch {
+	case d.Kind == value.KindInt && v.Kind() == value.KindInt:
+		x := v.Int()
+		l := sort.Search(len(d.Ints), func(i int) bool { return d.Ints[i] >= x })
+		exists = l < len(d.Ints) && d.Ints[l] == x
+		lo = int32(l)
+	case d.Kind == value.KindString && v.Kind() == value.KindString:
+		x := v.Str()
+		l := sort.SearchStrings(d.Strs, x)
+		exists = l < len(d.Strs) && d.Strs[l] == x
+		lo = int32(l)
+	}
+	hi = lo
+	if exists {
+		hi++
+	}
+	return lo, hi, exists
+}
+
 // TranslateCodes returns, for every code of from, the code of the equal
 // value in to, or -1 when to's column never holds it. Dictionaries of
 // different kinds translate to all -1: join-key membership uses exact
