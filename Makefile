@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench bench-build bench-replay bench-induce bench-store bench-scan bench-reorg
+.PHONY: build test vet race check bench bench-build bench-replay bench-induce bench-store bench-scan bench-agg bench-reorg
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ race:
 check: build vet test race
 
 # Replay-speedup and paper-figure benchmarks.
-bench: bench-build bench-replay bench-induce bench-store bench-reorg
+bench: bench-build bench-replay bench-induce bench-store bench-agg bench-reorg
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
 # Construction/routing benchmarks with a JSON perf snapshot. Compares the
@@ -51,6 +51,14 @@ bench-scan:
 		. ./internal/colstore | $(GO) run ./cmd/benchjson -out BENCH_store.json
 
 bench-store: bench-scan
+
+# Aggregation-pushdown benchmark with a JSON perf snapshot. Compares the
+# compressed-domain fold (packed FOR sums over survivor bitmaps) against
+# the materialize-then-fold fallback on a selective SUM, and records the
+# results in BENCH_agg.json. The acceptance bar is >=3x fewer ns/op and
+# >=10x fewer allocs/op for the compressed fold.
+bench-agg:
+	$(GO) test -run='^$$' -bench='CompressedAggregate' -benchmem -count=1 		./internal/colstore | $(GO) run ./cmd/benchjson -out BENCH_agg.json
 
 # Incremental-reorganization daemon benchmark with a JSON result snapshot.
 # Drives the reorgd daemon over the TPC-H 1-11 → 12-22 drift stream and

@@ -5,6 +5,7 @@ import (
 
 	"mto/internal/predicate"
 	"mto/internal/relation"
+	"mto/internal/workload"
 	"mto/internal/zonemap"
 )
 
@@ -100,6 +101,81 @@ type CompressedScan interface {
 // surface on the demand read, not here.
 type Prefetcher interface {
 	Prefetch(table string, ids []int)
+}
+
+// CompressedAggregator is the optional backend capability behind
+// aggregation pushdown: a backend that can fold SUM/COUNT/MIN/MAX
+// aggregates directly over its encoded pages (packed FOR words, dictionary
+// codes, null bitmaps) without decoding column vectors. The engine
+// type-asserts for it and falls back to the materialized fold over the
+// base table when absent or when CompileAggregate declines an aggregate.
+type CompressedAggregator interface {
+	// CompileAggregate compiles the aggregates for compressed-domain
+	// folding against the named table, deciding support per aggregate once
+	// per (query, table, alias) — kind/operator fit, and for integer sums
+	// an overflow-safety bound derived from the segment's zone maps. It
+	// returns nil when the table has no stored layout.
+	CompileAggregate(table string, aggs []workload.Aggregate) CompressedAggregate
+}
+
+// CompressedAggregate is one query's compiled aggregate fold over one
+// table. It is safe for concurrent use.
+type CompressedAggregate interface {
+	// Supported reports, per aggregate (parallel to the CompileAggregate
+	// input), whether FoldBlock folds it. Unsupported aggregates must be
+	// computed by the caller via the materialized path.
+	Supported() []bool
+	// FoldBlock folds every supported aggregate with a non-nil state over
+	// block id's rows that are set in survivors — a global-row bitmap with
+	// the same indexing as CompressedScan masks (bit r of word r>>6 is
+	// table row r) — accumulating into states (parallel to the
+	// CompileAggregate input). Not metered: the scan that built survivors
+	// already charged the block read.
+	FoldBlock(id int, survivors []uint64, states []*AggState) error
+}
+
+// AggState is one aggregate's running fold, shared by the compressed and
+// materialized paths so a per-block compressed fold and a row-at-a-time
+// fold accumulate into the same representation. Count is the number of
+// non-null rows folded (the AVG denominator and the COUNT(col) result);
+// Rows counts survivors regardless of nulls (COUNT(*)). Sum must not be
+// trusted unless the caller proved the total cannot overflow int64 or
+// performed checked additions. MinS/MaxS retain decoded strings.
+type AggState struct {
+	Count int64
+	Rows  int64
+	Sum   int64
+	MinI  int64
+	MaxI  int64
+	MinS  string
+	MaxS  string
+	Seen  bool
+}
+
+// FoldInt accumulates one non-null int row into every int-op field; the
+// finalizer reads only the fields its operator needs.
+func (s *AggState) FoldInt(v int64) {
+	s.Count++
+	s.Sum += v
+	if !s.Seen || v < s.MinI {
+		s.MinI = v
+	}
+	if !s.Seen || v > s.MaxI {
+		s.MaxI = v
+	}
+	s.Seen = true
+}
+
+// FoldStr accumulates one non-null string row.
+func (s *AggState) FoldStr(v string) {
+	s.Count++
+	if !s.Seen || v < s.MinS {
+		s.MinS = v
+	}
+	if !s.Seen || v > s.MaxS {
+		s.MaxS = v
+	}
+	s.Seen = true
 }
 
 // WriteDelta is the accounting charged for one layout write. Both

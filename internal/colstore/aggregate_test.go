@@ -1,0 +1,403 @@
+package colstore
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"mto/internal/block"
+	"mto/internal/relation"
+	"mto/internal/value"
+	"mto/internal/workload"
+)
+
+// aggMatrix is the identity matrix: every aggregate operator over every
+// scanTable column (hence every page encoding), plus COUNT(*).
+func aggMatrix() []workload.Aggregate {
+	out := []workload.Aggregate{{Op: workload.AggCount, Alias: "sc"}}
+	for _, col := range []string{"i_for", "i_delta", "i_raw", "f", "s_dict", "s_raw"} {
+		for _, op := range []workload.AggOp{workload.AggSum, workload.AggCount, workload.AggMin, workload.AggMax, workload.AggAvg} {
+			out = append(out, workload.Aggregate{Op: op, Alias: "sc", Column: col})
+		}
+	}
+	return out
+}
+
+// wantSupported is the expected compile-time support decision for each
+// matrix entry: COUNT always folds; MIN/MAX fold for ints and strings;
+// SUM/AVG fold only for int columns whose zone maps bound the sum — which
+// rules out i_raw (values near ±MaxInt64) — and floats never fold.
+func wantSupported(a workload.Aggregate) bool {
+	if a.Column == "" {
+		return a.Op == workload.AggCount
+	}
+	switch a.Op {
+	case workload.AggCount:
+		return true
+	case workload.AggSum, workload.AggAvg:
+		return a.Column == "i_for" || a.Column == "i_delta"
+	default:
+		return a.Column != "f"
+	}
+}
+
+// survivorMasks builds global-row survivor bitmaps at the selectivities
+// that pick different fold kernels: full blocks (zone-only MIN/MAX, whole-
+// word sums), empty, sparse (random-access packed reads), and dense.
+func survivorMasks(n int) map[string][]uint64 {
+	mk := func(pred func(int) bool) []uint64 {
+		m := make([]uint64, (n+63)/64)
+		for r := 0; r < n; r++ {
+			if pred(r) {
+				m[r>>6] |= 1 << (uint(r) & 63)
+			}
+		}
+		return m
+	}
+	rng := rand.New(rand.NewSource(42))
+	random := mk(func(int) bool { return rng.Intn(2) == 0 })
+	return map[string][]uint64{
+		"all":       mk(func(int) bool { return true }),
+		"none":      mk(func(int) bool { return false }),
+		"every-3rd": mk(func(r int) bool { return r%3 == 0 }),
+		"sparse":    mk(func(r int) bool { return r%37 == 0 }),
+		"single":    mk(func(r int) bool { return r == 137 }),
+		"random":    random,
+	}
+}
+
+// referenceAgg folds one aggregate row-at-a-time from the base table — the
+// definition the compressed fold must reproduce exactly.
+func referenceAgg(t *testing.T, tab *relation.Table, a workload.Aggregate, survivors []uint64) block.AggState {
+	t.Helper()
+	var st block.AggState
+	ci := -1
+	if a.Column != "" {
+		var ok bool
+		ci, ok = tab.Schema().ColumnIndex(a.Column)
+		if !ok {
+			t.Fatalf("no column %q", a.Column)
+		}
+	}
+	for r := 0; r < tab.NumRows(); r++ {
+		if survivors[r>>6]>>(uint(r)&63)&1 == 0 {
+			continue
+		}
+		st.Rows++
+		if ci < 0 || tab.IsNullAt(r, ci) {
+			continue
+		}
+		switch v := tab.Value(r, ci); v.Kind() {
+		case value.KindInt:
+			st.FoldInt(v.Int())
+		case value.KindString:
+			st.FoldStr(v.Str())
+		default:
+			st.Count++
+		}
+	}
+	return st
+}
+
+// compareAgg checks the fields the aggregate's operator reads — the
+// compressed fold deliberately leaves the other fields untouched.
+func compareAgg(t *testing.T, label string, a workload.Aggregate, kind value.Kind, got, want *block.AggState) {
+	t.Helper()
+	switch a.Op {
+	case workload.AggCount:
+		if a.Column == "" {
+			if got.Rows != want.Rows {
+				t.Errorf("%s: Rows=%d want %d", label, got.Rows, want.Rows)
+			}
+		} else if got.Count != want.Count {
+			t.Errorf("%s: Count=%d want %d", label, got.Count, want.Count)
+		}
+	case workload.AggSum, workload.AggAvg:
+		if got.Sum != want.Sum || got.Count != want.Count {
+			t.Errorf("%s: Sum=%d Count=%d want Sum=%d Count=%d", label, got.Sum, got.Count, want.Sum, want.Count)
+		}
+	case workload.AggMin:
+		if got.Seen != want.Seen {
+			t.Errorf("%s: Seen=%v want %v", label, got.Seen, want.Seen)
+		} else if want.Seen {
+			if kind == value.KindString && got.MinS != want.MinS {
+				t.Errorf("%s: MinS=%q want %q", label, got.MinS, want.MinS)
+			}
+			if kind == value.KindInt && got.MinI != want.MinI {
+				t.Errorf("%s: MinI=%d want %d", label, got.MinI, want.MinI)
+			}
+		}
+	case workload.AggMax:
+		if got.Seen != want.Seen {
+			t.Errorf("%s: Seen=%v want %v", label, got.Seen, want.Seen)
+		} else if want.Seen {
+			if kind == value.KindString && got.MaxS != want.MaxS {
+				t.Errorf("%s: MaxS=%q want %q", label, got.MaxS, want.MaxS)
+			}
+			if kind == value.KindInt && got.MaxI != want.MaxI {
+				t.Errorf("%s: MaxI=%d want %d", label, got.MaxI, want.MaxI)
+			}
+		}
+	}
+}
+
+// TestCompressedAggregateMatchesReference is the per-encoding identity
+// gate for aggregation pushdown: every aggregate CompileAggregate accepts
+// must fold to exactly the row-at-a-time reference over the base table, on
+// single-block and out-of-order multi-block layouts (exercising both the
+// word-copy and the permuted survivor localization), with and without a
+// cache, at every survivor selectivity.
+func TestCompressedAggregateMatchesReference(t *testing.T) {
+	tab := scanTable(t, 200)
+	n := tab.NumRows()
+	layouts := map[string][][]int32{
+		"single-block": {seq32(0, n)},
+		"two-blocks":   {seq32(n/2, n), seq32(0, n/2)},
+		"interleaved":  interleavedGroups(n, 3),
+	}
+	aggs := aggMatrix()
+	masks := survivorMasks(n)
+	kinds := map[string]value.Kind{}
+	for i := 0; i < tab.Schema().NumColumns(); i++ {
+		c := tab.Schema().Column(i)
+		kinds[c.Name] = c.Type
+	}
+	for name, groups := range layouts {
+		for _, cacheBytes := range []int64{0, 1 << 20} {
+			t.Run(fmt.Sprintf("%s-cache%d", name, cacheBytes), func(t *testing.T) {
+				s := newScanStore(t, tab, groups, cacheBytes)
+				ca := s.CompileAggregate("sc", aggs)
+				if ca == nil {
+					t.Fatal("CompileAggregate returned nil for a stored table")
+				}
+				sup := ca.Supported()
+				for i, a := range aggs {
+					if want := wantSupported(a); sup[i] != want {
+						t.Errorf("%s: supported=%v want %v", a, sup[i], want)
+					}
+				}
+				for mname, surv := range masks {
+					states := make([]*block.AggState, len(aggs))
+					for i := range aggs {
+						if sup[i] {
+							states[i] = &block.AggState{}
+						}
+					}
+					for id := 0; id < s.NumBlocks("sc"); id++ {
+						if err := ca.FoldBlock(id, surv, states); err != nil {
+							t.Fatal(err)
+						}
+					}
+					for i, a := range aggs {
+						if !sup[i] {
+							continue
+						}
+						want := referenceAgg(t, tab, a, surv)
+						compareAgg(t, fmt.Sprintf("%s/%s", mname, a), a, kinds[a.Column], states[i], &want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCompressedAggregateOverflowGuard pins the compile-time overflow
+// bound: FOR frames near ±MaxInt64 must decline the compressed SUM (the
+// engine then folds materialized, with checked additions), while large-
+// but-provably-safe magnitudes stay supported and fold exactly.
+func TestCompressedAggregateOverflowGuard(t *testing.T) {
+	sum := []workload.Aggregate{{Op: workload.AggSum, Alias: "sc", Column: "big"}}
+	mkTab := func(vals []int64) *relation.Table {
+		tab := relation.NewTable(relation.MustSchema("sc", relation.Column{Name: "big", Type: value.KindInt}))
+		for _, v := range vals {
+			tab.MustAppendRow(value.Int(v))
+		}
+		return tab
+	}
+	rng := rand.New(rand.NewSource(9))
+
+	// 64 rows in [MaxInt64-2000, MaxInt64-1901]: a narrow FOR frame whose
+	// nrows·|max| bound overflows — compressed SUM must be declined.
+	big := make([]int64, 64)
+	for i := range big {
+		big[i] = math.MaxInt64 - 2000 + int64(rng.Intn(100))
+	}
+	s := newScanStore(t, mkTab(big), [][]int32{seq32(0, 64)}, 0)
+	if s.CompileAggregate("sc", sum).Supported()[0] {
+		t.Error("near-MaxInt64 FOR frame accepted for compressed SUM")
+	}
+
+	// MinInt64 itself: |min| needs the full uint64 range (absInt64's edge)
+	// and 2·2^63 overflows the product's high word.
+	s = newScanStore(t, mkTab([]int64{math.MinInt64, 0}), [][]int32{seq32(0, 2)}, 0)
+	if s.CompileAggregate("sc", sum).Supported()[0] {
+		t.Error("MinInt64 frame accepted for compressed SUM")
+	}
+
+	// 64 rows around 2^54: the bound is ~2^60 ≤ 2^62, so the fold runs —
+	// on a FOR page with a huge frame value — and must match the scalar
+	// sum exactly, fully and partially selected.
+	safe := make([]int64, 64)
+	for i := range safe {
+		safe[i] = 1<<54 + int64(rng.Intn(100))
+	}
+	s = newScanStore(t, mkTab(safe), [][]int32{seq32(0, 64)}, 0)
+	ca := s.CompileAggregate("sc", sum)
+	if !ca.Supported()[0] {
+		t.Fatal("provably-safe 2^54 frame declined for compressed SUM")
+	}
+	if pv, err := parsePage(s.state("sc").seg.mustEncoded(t, 0)[0], 64); err != nil || pv.enc != encIntFOR {
+		t.Fatalf("want a FOR page for the safe frame, got enc=%#x err=%v", pv.enc, err)
+	}
+	for _, tc := range []struct {
+		name string
+		keep func(int) bool
+	}{
+		{"all", func(int) bool { return true }},
+		{"every-other", func(r int) bool { return r%2 == 0 }},
+	} {
+		surv := make([]uint64, 1)
+		var want int64
+		for r := range safe {
+			if tc.keep(r) {
+				surv[0] |= 1 << uint(r)
+				want += safe[r]
+			}
+		}
+		st := &block.AggState{}
+		if err := ca.FoldBlock(0, surv, []*block.AggState{st}); err != nil {
+			t.Fatal(err)
+		}
+		if st.Sum != want {
+			t.Errorf("%s: Sum=%d want %d", tc.name, st.Sum, want)
+		}
+	}
+}
+
+// mustEncoded is a test helper: block id's encoded column payloads.
+func (seg *Segment) mustEncoded(t *testing.T, id int) [][]byte {
+	t.Helper()
+	eb, err := seg.ReadBlockEncoded(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eb.Cols
+}
+
+// FuzzCompressedAggregate cross-checks the page-level fold kernels —
+// packed FOR sums, packed-domain MIN/MAX, dictionary-rank extremes, null
+// clearing — against a row-at-a-time fold on randomly generated single-
+// column pages, mirroring FuzzCompressedPredicate. Sums are compared mod
+// 2^64 (uint64 accumulation and wrapped int64 reference agree exactly),
+// so even distributions CompileAggregate would decline check out here.
+func FuzzCompressedAggregate(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(0), uint8(128))
+	f.Add(int64(2), uint8(1), uint8(0), uint8(3))
+	f.Add(int64(3), uint8(2), uint8(1), uint8(255))
+	f.Add(int64(4), uint8(3), uint8(1), uint8(16))
+	f.Add(int64(5), uint8(0), uint8(1), uint8(0))
+	f.Fuzz(func(t *testing.T, seed int64, opRaw, kindRaw, densityRaw uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(150)
+		kind := []value.Kind{value.KindInt, value.KindString}[int(kindRaw)%2]
+		tab := relation.NewTable(relation.MustSchema("fz", relation.Column{Name: "c", Type: kind}))
+		nullEvery := rng.Intn(6) // 0 = no nulls
+		dist := rng.Intn(4)
+		var strPool []string
+		for i := 0; i < 8; i++ {
+			strPool = append(strPool, fmt.Sprintf("k%c%d", 'a'+rng.Intn(4), rng.Intn(20)))
+		}
+		for i := 0; i < n; i++ {
+			var v value.Value
+			if kind == value.KindInt {
+				switch dist {
+				case 0: // narrow range → FOR
+					v = value.Int(int64(rng.Intn(100)))
+				case 1: // monotone, wide → delta
+					v = value.Int(int64(i)*9973 + int64(rng.Intn(5)))
+				case 2: // extremes → raw (and wrapped-sum coverage)
+					if rng.Intn(2) == 0 {
+						v = value.Int(math.MinInt64 + int64(rng.Intn(1000)))
+					} else {
+						v = value.Int(math.MaxInt64 - int64(rng.Intn(1000)))
+					}
+				default:
+					v = value.Int(int64(rng.Intn(20)) - 10)
+				}
+			} else {
+				v = value.String(strPool[rng.Intn(len(strPool))])
+			}
+			if nullEvery > 0 && i%nullEvery == 0 {
+				v = value.Null
+			}
+			tab.MustAppendRow(v)
+		}
+		pv, err := parsePage(encodeColumnPage(tab, 0), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		density := 1 + int(densityRaw)%7
+		mask := make([]uint64, (n+63)/64)
+		for r := 0; r < n; r++ {
+			if rng.Intn(density) == 0 {
+				mask[r>>6] |= 1 << (uint(r) & 63)
+			}
+		}
+		// Replicate foldColumn's null clearing, then drive the kernel the
+		// dispatcher would pick.
+		masked := mask
+		if pv.nulls != nil {
+			masked = append([]uint64(nil), mask...)
+			clearNullBits(pv.nulls, masked)
+		}
+		pop := popcountMask(masked)
+		var want block.AggState
+		for r := 0; r < n; r++ {
+			if mask[r>>6]>>(uint(r)&63)&1 == 0 || tab.IsNullAt(r, 0) {
+				continue
+			}
+			if kind == value.KindInt {
+				want.FoldInt(tab.Ints(0)[r])
+			} else {
+				want.FoldStr(tab.Strings(0)[r])
+			}
+		}
+		if pop != int(want.Count) {
+			t.Fatalf("null-cleared popcount %d, reference non-null survivors %d", pop, want.Count)
+		}
+		if pop == 0 {
+			return // FoldBlock never reaches the kernels with an empty mask
+		}
+		sc := getScratch()
+		defer putScratch(sc)
+		var got block.AggState
+		op := []workload.AggOp{workload.AggSum, workload.AggMin, workload.AggMax}[int(opRaw)%3]
+		switch {
+		case op == workload.AggSum:
+			if kind != value.KindInt {
+				return
+			}
+			if err := foldSumInt(pv, n, masked, pop, &got, sc); err != nil {
+				t.Fatal(err)
+			}
+			if got.Sum != want.Sum || got.Count != want.Count {
+				t.Fatalf("sum: got Sum=%d Count=%d want Sum=%d Count=%d", got.Sum, got.Count, want.Sum, want.Count)
+			}
+		case kind == value.KindString:
+			if err := foldMinMaxStr(pv, op, n, masked, &got, sc); err != nil {
+				t.Fatal(err)
+			}
+			if !got.Seen || (op == workload.AggMin && got.MinS != want.MinS) || (op == workload.AggMax && got.MaxS != want.MaxS) {
+				t.Fatalf("%s: got %+v want MinS=%q MaxS=%q", op, got, want.MinS, want.MaxS)
+			}
+		default:
+			if err := foldMinMaxInt(pv, op, n, masked, &got, sc); err != nil {
+				t.Fatal(err)
+			}
+			if !got.Seen || (op == workload.AggMin && got.MinI != want.MinI) || (op == workload.AggMax && got.MaxI != want.MaxI) {
+				t.Fatalf("%s: got %+v want MinI=%d MaxI=%d", op, got, want.MinI, want.MaxI)
+			}
+		}
+	})
+}

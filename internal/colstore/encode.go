@@ -222,6 +222,58 @@ func unpackBitsInto(dst []uint64, buf []byte, width int) error {
 		}
 		return nil
 	}
+	// Byte-aligned widths are straight loads: no shifting or masking, and
+	// eight lanes per iteration keep the loop ahead of the generic path.
+	switch width {
+	case 8:
+		i := 0
+		for ; i+8 <= count; i += 8 {
+			d := dst[i : i+8 : i+8]
+			b := buf[i : i+8 : i+8]
+			d[0], d[1], d[2], d[3] = uint64(b[0]), uint64(b[1]), uint64(b[2]), uint64(b[3])
+			d[4], d[5], d[6], d[7] = uint64(b[4]), uint64(b[5]), uint64(b[6]), uint64(b[7])
+		}
+		for ; i < count; i++ {
+			dst[i] = uint64(buf[i])
+		}
+		return nil
+	case 16:
+		i := 0
+		for ; i+8 <= count; i += 8 {
+			d := dst[i : i+8 : i+8]
+			b := buf[i*2 : i*2+16 : i*2+16]
+			d[0] = uint64(binary.LittleEndian.Uint16(b[0:]))
+			d[1] = uint64(binary.LittleEndian.Uint16(b[2:]))
+			d[2] = uint64(binary.LittleEndian.Uint16(b[4:]))
+			d[3] = uint64(binary.LittleEndian.Uint16(b[6:]))
+			d[4] = uint64(binary.LittleEndian.Uint16(b[8:]))
+			d[5] = uint64(binary.LittleEndian.Uint16(b[10:]))
+			d[6] = uint64(binary.LittleEndian.Uint16(b[12:]))
+			d[7] = uint64(binary.LittleEndian.Uint16(b[14:]))
+		}
+		for ; i < count; i++ {
+			dst[i] = uint64(binary.LittleEndian.Uint16(buf[i*2:]))
+		}
+		return nil
+	case 32:
+		i := 0
+		for ; i+8 <= count; i += 8 {
+			d := dst[i : i+8 : i+8]
+			b := buf[i*4 : i*4+32 : i*4+32]
+			d[0] = uint64(binary.LittleEndian.Uint32(b[0:]))
+			d[1] = uint64(binary.LittleEndian.Uint32(b[4:]))
+			d[2] = uint64(binary.LittleEndian.Uint32(b[8:]))
+			d[3] = uint64(binary.LittleEndian.Uint32(b[12:]))
+			d[4] = uint64(binary.LittleEndian.Uint32(b[16:]))
+			d[5] = uint64(binary.LittleEndian.Uint32(b[20:]))
+			d[6] = uint64(binary.LittleEndian.Uint32(b[24:]))
+			d[7] = uint64(binary.LittleEndian.Uint32(b[28:]))
+		}
+		for ; i < count; i++ {
+			dst[i] = uint64(binary.LittleEndian.Uint32(buf[i*4:]))
+		}
+		return nil
+	}
 	i := 0
 	if width <= 57 {
 		mask := uint64(1)<<width - 1
@@ -687,8 +739,64 @@ func gatherInts(r *bufReader, enc byte, want int, sel []int32, out []int64) {
 			r.setErr(fmt.Sprintf("bad bit width %d", width))
 			return
 		}
-		for i, l := range sel {
-			out[i] = int64(unpackAt(body, int(l), width) + uint64(min))
+		// Byte-aligned widths gather with direct loads, eight rows per
+		// iteration; other widths random-access bit offsets.
+		switch width {
+		case 8:
+			i := 0
+			for ; i+8 <= len(sel); i += 8 {
+				s := sel[i : i+8 : i+8]
+				o := out[i : i+8 : i+8]
+				o[0] = int64(uint64(body[s[0]]) + uint64(min))
+				o[1] = int64(uint64(body[s[1]]) + uint64(min))
+				o[2] = int64(uint64(body[s[2]]) + uint64(min))
+				o[3] = int64(uint64(body[s[3]]) + uint64(min))
+				o[4] = int64(uint64(body[s[4]]) + uint64(min))
+				o[5] = int64(uint64(body[s[5]]) + uint64(min))
+				o[6] = int64(uint64(body[s[6]]) + uint64(min))
+				o[7] = int64(uint64(body[s[7]]) + uint64(min))
+			}
+			for ; i < len(sel); i++ {
+				out[i] = int64(uint64(body[sel[i]]) + uint64(min))
+			}
+		case 16:
+			i := 0
+			for ; i+8 <= len(sel); i += 8 {
+				s := sel[i : i+8 : i+8]
+				o := out[i : i+8 : i+8]
+				o[0] = int64(uint64(binary.LittleEndian.Uint16(body[s[0]*2:])) + uint64(min))
+				o[1] = int64(uint64(binary.LittleEndian.Uint16(body[s[1]*2:])) + uint64(min))
+				o[2] = int64(uint64(binary.LittleEndian.Uint16(body[s[2]*2:])) + uint64(min))
+				o[3] = int64(uint64(binary.LittleEndian.Uint16(body[s[3]*2:])) + uint64(min))
+				o[4] = int64(uint64(binary.LittleEndian.Uint16(body[s[4]*2:])) + uint64(min))
+				o[5] = int64(uint64(binary.LittleEndian.Uint16(body[s[5]*2:])) + uint64(min))
+				o[6] = int64(uint64(binary.LittleEndian.Uint16(body[s[6]*2:])) + uint64(min))
+				o[7] = int64(uint64(binary.LittleEndian.Uint16(body[s[7]*2:])) + uint64(min))
+			}
+			for ; i < len(sel); i++ {
+				out[i] = int64(uint64(binary.LittleEndian.Uint16(body[sel[i]*2:])) + uint64(min))
+			}
+		case 32:
+			i := 0
+			for ; i+8 <= len(sel); i += 8 {
+				s := sel[i : i+8 : i+8]
+				o := out[i : i+8 : i+8]
+				o[0] = int64(uint64(binary.LittleEndian.Uint32(body[s[0]*4:])) + uint64(min))
+				o[1] = int64(uint64(binary.LittleEndian.Uint32(body[s[1]*4:])) + uint64(min))
+				o[2] = int64(uint64(binary.LittleEndian.Uint32(body[s[2]*4:])) + uint64(min))
+				o[3] = int64(uint64(binary.LittleEndian.Uint32(body[s[3]*4:])) + uint64(min))
+				o[4] = int64(uint64(binary.LittleEndian.Uint32(body[s[4]*4:])) + uint64(min))
+				o[5] = int64(uint64(binary.LittleEndian.Uint32(body[s[5]*4:])) + uint64(min))
+				o[6] = int64(uint64(binary.LittleEndian.Uint32(body[s[6]*4:])) + uint64(min))
+				o[7] = int64(uint64(binary.LittleEndian.Uint32(body[s[7]*4:])) + uint64(min))
+			}
+			for ; i < len(sel); i++ {
+				out[i] = int64(uint64(binary.LittleEndian.Uint32(body[sel[i]*4:])) + uint64(min))
+			}
+		default:
+			for i, l := range sel {
+				out[i] = int64(unpackAt(body, int(l), width) + uint64(min))
+			}
 		}
 	case encIntDelta:
 		n := r.count(0)

@@ -868,8 +868,12 @@ func clearNullBits(nulls []byte, out []uint64) {
 	if nulls == nil {
 		return
 	}
-	for bi, b := range nulls {
-		out[bi>>3] &^= uint64(b) << ((bi & 7) * 8)
+	nw := len(nulls) >> 3
+	for w := 0; w < nw; w++ {
+		out[w] &^= binary.LittleEndian.Uint64(nulls[w<<3:])
+	}
+	for bi := nw << 3; bi < len(nulls); bi++ {
+		out[bi>>3] &^= uint64(nulls[bi]) << ((bi & 7) * 8)
 	}
 }
 

@@ -52,6 +52,7 @@ func BenchmarkCompressedScan(b *testing.B) {
 		if scan == nil || !scan.Supported()[0] {
 			b.Fatal("predicate did not compile to a compressed scan")
 		}
+		b.ReportAllocs()
 		masks := make([][]uint64, 1)
 		masks[0] = make([]uint64, (nrows+63)/64)
 		sel := make([]int32, 0, 4096)
@@ -93,6 +94,7 @@ func BenchmarkCompressedScan(b *testing.B) {
 	})
 
 	b.Run("full-decode", func(b *testing.B) {
+		b.ReportAllocs()
 		survivors := 0
 		for i := 0; i < b.N; i++ {
 			survivors = 0

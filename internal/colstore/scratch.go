@@ -81,6 +81,19 @@ func (s *scratch) grabMask(nw int) []uint64 {
 
 func (s *scratch) releaseMask(m []uint64) { s.free = append(s.free, m) }
 
+// grabMaskDirty is grabMask without the wipe, for callers that overwrite
+// every word before reading any.
+func (s *scratch) grabMaskDirty(nw int) []uint64 {
+	if n := len(s.free); n > 0 {
+		m := s.free[n-1]
+		s.free = s.free[:n-1]
+		if cap(m) >= nw {
+			return m[:nw]
+		}
+	}
+	return make([]uint64, nw)
+}
+
 // grabWords returns an n-word buffer (contents undefined).
 func (s *scratch) grabWords(n int) []uint64 {
 	if cap(s.words) < n {

@@ -212,6 +212,10 @@ func SSBQuery(flight, qn int, rng *rand.Rand) *workload.Query {
 			q.Filter("lineorder", between("lo_discount", value.Int(5), value.Int(7)))
 			q.Filter("lineorder", between("lo_quantity", value.Int(26), value.Int(35)))
 		}
+		// SSB flight 1 measures sum(lo_extendedprice*lo_discount); without
+		// expression support the revenue column is the natural stand-in.
+		q.Aggregate(workload.AggSum, "lineorder", "lo_revenue")
+		q.Aggregate(workload.AggCount, "lineorder", "")
 		return q
 	case 2:
 		q := newQ("date", "part", "supplier")
@@ -230,6 +234,8 @@ func SSBQuery(flight, qn int, rng *rand.Rand) *workload.Query {
 				value.String(fmt.Sprintf("MFGR#%d%d%02d", mfgr, rng.Intn(5)+1, rng.Intn(40)+1))))
 		}
 		q.Filter("supplier", cmp("s_region", predicate.Eq, value.String(region)))
+		q.Aggregate(workload.AggSum, "lineorder", "lo_revenue")
+		q.Aggregate(workload.AggMax, "part", "p_brand1")
 		return q
 	case 3:
 		q := newQ("date", "customer", "supplier")
@@ -258,6 +264,9 @@ func SSBQuery(flight, qn int, rng *rand.Rand) *workload.Query {
 			q.Filter("supplier", predicate.NewIn("s_city", value.String(city1), value.String(city2)))
 			q.Filter("date", cmp("d_yearmonthnum", predicate.Eq, value.Int(199712)))
 		}
+		q.Aggregate(workload.AggSum, "lineorder", "lo_revenue")
+		q.Aggregate(workload.AggMin, "date", "d_year")
+		q.Aggregate(workload.AggMax, "date", "d_year")
 		return q
 	default: // flight 4
 		q := newQ("date", "customer", "supplier", "part")
@@ -281,6 +290,10 @@ func SSBQuery(flight, qn int, rng *rand.Rand) *workload.Query {
 			q.Filter("part", cmp("p_category", predicate.Eq,
 				value.String(fmt.Sprintf("MFGR#%d%d", rng.Intn(5)+1, rng.Intn(5)+1))))
 		}
+		// Profit = sum(lo_revenue - lo_supplycost): two pushed-down sums.
+		q.Aggregate(workload.AggSum, "lineorder", "lo_revenue")
+		q.Aggregate(workload.AggSum, "lineorder", "lo_supplycost")
+		q.Aggregate(workload.AggAvg, "lineorder", "lo_revenue")
 		return q
 	}
 }

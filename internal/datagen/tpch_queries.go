@@ -36,8 +36,10 @@ func TPCHWorkloadTemplates(from, to, perTemplate int, seed int64) *workload.Work
 
 // TPCHQuery instantiates one TPC-H template (1-based) with random
 // parameters. The structured form keeps each template's join graph and
-// filter shape; aggregates and projections are irrelevant to blocking and
-// are omitted.
+// filter shape; projections are irrelevant to blocking and are omitted,
+// while a representative subset of templates carries its natural
+// aggregates (sum(l_extendedprice), count(*), …) so replay exercises the
+// aggregation pushdown on both the int and the float fold paths.
 func TPCHQuery(template int, rng *rand.Rand) *workload.Query {
 	f := tpchTemplates[template-1]
 	q := f(rng)
@@ -59,6 +61,10 @@ var tpchTemplates = [NumTPCHTemplates]func(*rand.Rand) *workload.Query{
 		q := workload.NewQuery("", workload.TableRef{Table: "lineitem"})
 		delta := int64(rng.Intn(61) + 60)
 		q.Filter("lineitem", cmp("l_shipdate", predicate.Le, value.Int(date("1998-12-01").Int()-delta)))
+		q.Aggregate(workload.AggSum, "lineitem", "l_quantity")
+		q.Aggregate(workload.AggSum, "lineitem", "l_extendedprice")
+		q.Aggregate(workload.AggAvg, "lineitem", "l_discount")
+		q.Aggregate(workload.AggCount, "lineitem", "")
 		return q
 	},
 	// Q2: minimum-cost supplier over the part/supplier snowflake.
@@ -92,6 +98,8 @@ var tpchTemplates = [NumTPCHTemplates]func(*rand.Rand) *workload.Query{
 		q.Filter("customer", cmp("c_mktsegment", predicate.Eq, value.String(pick(rng, segments))))
 		q.Filter("orders", cmp("o_orderdate", predicate.Lt, d))
 		q.Filter("lineitem", cmp("l_shipdate", predicate.Gt, d))
+		q.Aggregate(workload.AggSum, "lineitem", "l_extendedprice")
+		q.Aggregate(workload.AggMin, "orders", "o_orderdate")
 		return q
 	},
 	// Q4: order priority checking — EXISTS over lineitem (semi join).
@@ -144,6 +152,8 @@ var tpchTemplates = [NumTPCHTemplates]func(*rand.Rand) *workload.Query{
 		q.Filter("lineitem", between("l_discount",
 			value.Float(disc-0.011), value.Float(disc+0.011)))
 		q.Filter("lineitem", cmp("l_quantity", predicate.Lt, value.Int(int64(rng.Intn(2)+24))))
+		q.Aggregate(workload.AggSum, "lineitem", "l_extendedprice")
+		q.Aggregate(workload.AggSum, "lineitem", "l_quantity")
 		return q
 	},
 	// Q7: volume shipping — two nation aliases.
@@ -223,6 +233,8 @@ var tpchTemplates = [NumTPCHTemplates]func(*rand.Rand) *workload.Query{
 		d := dateRange(rng, "1993-02-01", "1994-12-01")
 		q.Filter("orders", between("o_orderdate", d, value.Int(d.Int()+90)))
 		q.Filter("lineitem", cmp("l_returnflag", predicate.Eq, value.String("R")))
+		q.Aggregate(workload.AggSum, "lineitem", "l_extendedprice")
+		q.Aggregate(workload.AggMax, "lineitem", "l_shipmode")
 		return q
 	},
 	// Q11: important stock identification.
@@ -347,6 +359,8 @@ var tpchTemplates = [NumTPCHTemplates]func(*rand.Rand) *workload.Query{
 			Type: workload.SemiJoin,
 		})
 		q.Filter("l2", cmp("l_quantity", predicate.Gt, value.Int(int64(rng.Intn(3)+48))))
+		q.Aggregate(workload.AggSum, "lineitem", "l_quantity")
+		q.Aggregate(workload.AggMax, "orders", "o_orderdate")
 		return q
 	},
 	// Q19: discounted revenue — three-branch disjunction on both tables.
@@ -458,6 +472,8 @@ var tpchTemplates = [NumTPCHTemplates]func(*rand.Rand) *workload.Query{
 		}
 		q.Filter("customer", predicate.NewOr(prefixes...))
 		q.Filter("customer", cmp("c_acctbal", predicate.Gt, value.Float(0)))
+		q.Aggregate(workload.AggCount, "customer", "")
+		q.Aggregate(workload.AggAvg, "customer", "c_acctbal")
 		return q
 	},
 }

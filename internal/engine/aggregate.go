@@ -1,0 +1,339 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"mto/internal/bitmap"
+	"mto/internal/block"
+	"mto/internal/relation"
+	"mto/internal/value"
+	"mto/internal/workload"
+)
+
+// This file computes query aggregates (workload.Query.Aggregates) over the
+// per-alias surviving row sets, after all filters and join semantics. Two
+// folds exist and must agree byte for byte:
+//
+//   - the compressed fold: when the backend is a block.CompressedAggregator
+//     (the colstore segment store), supported aggregates fold per candidate
+//     block directly over encoded pages — no column decode, no survivor
+//     materialization. Integer SUM/COUNT/MIN/MAX are order-independent, so
+//     the per-block accumulation is exact regardless of block order;
+//   - the materialized fold: everything else (the in-memory backend, the
+//     reference path, aggregates the compressed compiler declined) iterates
+//     the survivor bitmap in ascending global row order over the base
+//     table's decoded vectors.
+//
+// Floats are never folded compressed: float addition is order-sensitive,
+// and the one float accumulation order that defines the result is the
+// materialized fold's ascending row order. Both execution paths use the
+// same fold code, so Results stay byte-identical across backends, scan
+// modes, and replay parallelism (parallel replay folds per query inside
+// Execute; RunWorkload only collects whole Results in input order).
+
+// AggValue is one computed aggregate in a Result: the requested spec and
+// its SQL-semantics value — Null for SUM/MIN/MAX/AVG over an empty (or
+// all-null) survivor set, a count of 0 for COUNT.
+type AggValue struct {
+	Spec  workload.Aggregate
+	Value value.Value
+}
+
+// String renders "sum(lo.lo_revenue)=4099853".
+func (av AggValue) String() string {
+	return fmt.Sprintf("%s=%s", av.Spec, av.Value)
+}
+
+// aggColumnKind resolves spec's column in the alias's base table and
+// validates the operator/kind fit. ci is -1 for COUNT(*). Both execution
+// paths route through this, so unsupported shapes fail identically.
+func aggColumnKind(tbl *relation.Table, spec workload.Aggregate) (ci int, kind value.Kind, err error) {
+	if spec.Column == "" {
+		// Validate() already requires Op == AggCount for column-less
+		// aggregates.
+		return -1, value.KindNull, nil
+	}
+	ci, ok := tbl.Schema().ColumnIndex(spec.Column)
+	if !ok {
+		return 0, 0, fmt.Errorf("engine: aggregate %s: table %q has no column %q",
+			spec, tbl.Schema().Table(), spec.Column)
+	}
+	kind = tbl.Schema().Column(ci).Type
+	switch spec.Op {
+	case workload.AggSum, workload.AggAvg:
+		if kind != value.KindInt && kind != value.KindFloat {
+			return 0, 0, fmt.Errorf("engine: aggregate %s: %s over %s column", spec, spec.Op, kind)
+		}
+	}
+	return ci, kind, nil
+}
+
+// foldAggregate computes spec over the rows of tbl set in the survivor
+// bitmap — the materialized fold. Iteration is ascending global row order,
+// which is the defining accumulation order for float results. Integer sums
+// use checked addition and error out deterministically on overflow.
+func foldAggregate(tbl *relation.Table, set bitmap.Dense, spec workload.Aggregate) (value.Value, error) {
+	ci, kind, err := aggColumnKind(tbl, spec)
+	if err != nil {
+		return value.Null, err
+	}
+	if ci < 0 { // COUNT(*): surviving rows, nulls included
+		return value.Int(int64(set.Count())), nil
+	}
+	nulls := tbl.Nulls(ci)
+	var st block.AggState
+	switch kind {
+	case value.KindInt:
+		ints := tbl.Ints(ci)
+		for w := range set {
+			word := set[w]
+			for word != 0 {
+				r := w<<6 | bits.TrailingZeros64(word)
+				word &= word - 1
+				if nulls != nil && nulls[r] {
+					continue
+				}
+				v := ints[r]
+				if spec.Op == workload.AggSum || spec.Op == workload.AggAvg {
+					if (v > 0 && st.Sum > math.MaxInt64-v) || (v < 0 && st.Sum < math.MinInt64-v) {
+						return value.Null, fmt.Errorf("engine: aggregate %s: int64 sum overflow", spec)
+					}
+				}
+				st.FoldInt(v)
+			}
+		}
+		return finalizeAgg(spec, kind, &st), nil
+	case value.KindFloat:
+		floats := tbl.Floats(ci)
+		var fsum, fmin, fmax float64
+		for w := range set {
+			word := set[w]
+			for word != 0 {
+				r := w<<6 | bits.TrailingZeros64(word)
+				word &= word - 1
+				if nulls != nil && nulls[r] {
+					continue
+				}
+				v := floats[r]
+				fsum += v
+				if !st.Seen || v < fmin {
+					fmin = v
+				}
+				if !st.Seen || v > fmax {
+					fmax = v
+				}
+				st.Seen = true
+				st.Count++
+			}
+		}
+		switch spec.Op {
+		case workload.AggCount:
+			return value.Int(st.Count), nil
+		case workload.AggMin:
+			if !st.Seen {
+				return value.Null, nil
+			}
+			return value.Float(fmin), nil
+		case workload.AggMax:
+			if !st.Seen {
+				return value.Null, nil
+			}
+			return value.Float(fmax), nil
+		case workload.AggAvg:
+			if st.Count == 0 {
+				return value.Null, nil
+			}
+			return value.Float(fsum / float64(st.Count)), nil
+		default: // AggSum
+			if st.Count == 0 {
+				return value.Null, nil
+			}
+			return value.Float(fsum), nil
+		}
+	default: // strings
+		strs := tbl.Strings(ci)
+		for w := range set {
+			word := set[w]
+			for word != 0 {
+				r := w<<6 | bits.TrailingZeros64(word)
+				word &= word - 1
+				if nulls != nil && nulls[r] {
+					continue
+				}
+				st.FoldStr(strs[r])
+			}
+		}
+		return finalizeAgg(spec, kind, &st), nil
+	}
+}
+
+// finalizeAgg turns a fold state into the aggregate's SQL value. The
+// compressed and materialized int/string folds both land here, so the two
+// paths cannot diverge in the empty-set, all-null, or AVG-division rules.
+func finalizeAgg(spec workload.Aggregate, kind value.Kind, st *block.AggState) value.Value {
+	switch spec.Op {
+	case workload.AggCount:
+		if spec.Column == "" {
+			return value.Int(st.Rows)
+		}
+		return value.Int(st.Count)
+	case workload.AggMin:
+		if !st.Seen {
+			return value.Null
+		}
+		if kind == value.KindString {
+			return value.String(st.MinS)
+		}
+		return value.Int(st.MinI)
+	case workload.AggMax:
+		if !st.Seen {
+			return value.Null
+		}
+		if kind == value.KindString {
+			return value.String(st.MaxS)
+		}
+		return value.Int(st.MaxI)
+	case workload.AggAvg:
+		if st.Count == 0 {
+			return value.Null
+		}
+		return value.Float(float64(st.Sum) / float64(st.Count))
+	default: // AggSum
+		if st.Count == 0 {
+			return value.Null
+		}
+		return value.Int(st.Sum)
+	}
+}
+
+// foldAggregatesKernel computes q's aggregates for the vectorized path:
+// compressed per-block folds over each alias's candidate blocks where the
+// backend supports the shape, the materialized bitmap fold for the rest.
+func (e *Engine) foldAggregatesKernel(q *workload.Query, vecAliases map[string]*vecAlias,
+	tables map[string]*tableState) ([]AggValue, error) {
+
+	if len(q.Aggregates) == 0 {
+		return nil, nil
+	}
+	// Validate every aggregate up front so unsupported shapes fail before
+	// any fold, identically to the reference path.
+	for _, spec := range q.Aggregates {
+		a := vecAliases[spec.Alias]
+		tbl := e.ds.Table(a.table)
+		if _, _, err := aggColumnKind(tbl, spec); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]AggValue, len(q.Aggregates))
+	done := make([]bool, len(q.Aggregates))
+	if !e.opts.DecodeScan {
+		if ca, ok := e.store.(block.CompressedAggregator); ok {
+			if err := e.foldCompressed(q, vecAliases, tables, ca, out, done); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for i, spec := range q.Aggregates {
+		if done[i] {
+			continue
+		}
+		a := vecAliases[spec.Alias]
+		v, err := foldAggregate(e.ds.Table(a.table), a.set, spec)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = AggValue{Spec: spec, Value: v}
+	}
+	return out, nil
+}
+
+// foldCompressed runs the per-alias compressed folds: aggregates are
+// grouped by alias (first-seen order), compiled once per (query, alias),
+// and each supported one folds over the alias table's candidate blocks —
+// exactly the blocks the scan read, which cover every set survivor bit.
+func (e *Engine) foldCompressed(q *workload.Query, vecAliases map[string]*vecAlias,
+	tables map[string]*tableState, ca block.CompressedAggregator, out []AggValue, done []bool) error {
+
+	var aliasOrder []string
+	byAlias := map[string][]int{}
+	for i, spec := range q.Aggregates {
+		if _, ok := byAlias[spec.Alias]; !ok {
+			aliasOrder = append(aliasOrder, spec.Alias)
+		}
+		byAlias[spec.Alias] = append(byAlias[spec.Alias], i)
+	}
+	for _, alias := range aliasOrder {
+		idxs := byAlias[alias]
+		a := vecAliases[alias]
+		ts := tables[a.table]
+		specs := make([]workload.Aggregate, len(idxs))
+		for k, i := range idxs {
+			specs[k] = q.Aggregates[i]
+		}
+		agg := ca.CompileAggregate(a.table, specs)
+		if agg == nil {
+			continue
+		}
+		supported := agg.Supported()
+		states := make([]*block.AggState, len(idxs))
+		any := false
+		for k := range idxs {
+			if supported[k] {
+				states[k] = &block.AggState{}
+				any = true
+			}
+		}
+		if !any {
+			continue
+		}
+		for _, id := range ts.candidates {
+			if err := agg.FoldBlock(id, a.set, states); err != nil {
+				return err
+			}
+		}
+		tbl := e.ds.Table(a.table)
+		for k, i := range idxs {
+			if !supported[k] {
+				continue
+			}
+			_, kind, err := aggColumnKind(tbl, specs[k])
+			if err != nil {
+				return err
+			}
+			out[i] = AggValue{Spec: specs[k], Value: finalizeAgg(specs[k], kind, states[k])}
+			done[i] = true
+		}
+	}
+	return nil
+}
+
+// foldAggregatesReference computes q's aggregates for the scalar reference
+// path: each alias's surviving row list becomes a bitmap so the shared
+// materialized fold sees the exact accumulation order the kernel path uses.
+func (e *Engine) foldAggregatesReference(q *workload.Query, aliasStates map[string]*aliasState) ([]AggValue, error) {
+	if len(q.Aggregates) == 0 {
+		return nil, nil
+	}
+	out := make([]AggValue, len(q.Aggregates))
+	sets := map[string]bitmap.Dense{}
+	for i, spec := range q.Aggregates {
+		as := aliasStates[spec.Alias]
+		tbl := e.ds.Table(as.table)
+		set, ok := sets[spec.Alias]
+		if !ok {
+			set = bitmap.NewDense(tbl.NumRows())
+			for _, r := range as.rows {
+				set.Set(int(r))
+			}
+			sets[spec.Alias] = set
+		}
+		v, err := foldAggregate(tbl, set, spec)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = AggValue{Spec: spec, Value: v}
+	}
+	return out, nil
+}

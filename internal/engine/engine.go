@@ -103,6 +103,12 @@ type Result struct {
 	// SurvivingRows maps alias → rows that participate in the query
 	// result after all filters and join semantics. Layout-invariant.
 	SurvivingRows map[string]int
+	// Aggregates holds the query's computed aggregates in declaration
+	// order (nil when the query requests none). Values are identical
+	// whichever fold produced them — compressed per-block folds over
+	// encoded pages or the materialized bitmap fold — and, like
+	// SurvivingRows, layout-invariant.
+	Aggregates []AggValue
 	// Seconds is the simulated end-to-end execution time.
 	Seconds float64
 }

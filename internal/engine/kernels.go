@@ -41,6 +41,7 @@ type vecAlias struct {
 	table   string
 	filter  predicate.Predicate
 	set     bitmap.Dense
+	setBuf  *denseBuf // pooled backing of set, released after the query
 	count   int
 	version int
 	keys    map[string]*cachedKeys
@@ -263,7 +264,20 @@ func (e *Engine) executeKernel(q *workload.Query) (*Result, error) {
 	for alias, a := range vecAliases {
 		surviving[alias] = a.count
 	}
-	return e.assemble(q, order, tables, surviving, joinProbes, reducers), nil
+	// The aggregate folds consume the alias survivor masks, so the pooled
+	// masks are released only after folding.
+	aggs, err := e.foldAggregatesKernel(q, vecAliases, tables)
+	for _, a := range vecAliases {
+		if a.setBuf != nil {
+			putDense(a.setBuf)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	res := e.assemble(q, order, tables, surviving, joinProbes, reducers)
+	res.Aggregates = aggs
+	return res, nil
 }
 
 // scanKernel meters the reads of the table's candidate blocks and computes
@@ -284,15 +298,17 @@ func (e *Engine) scanKernel(ts *tableState, aliases []*vecAlias, scan block.Comp
 		return fmt.Errorf("engine: dataset missing table %q", ts.table)
 	}
 	n := tbl.NumRows()
-	inBlocks := bitmap.NewDense(n)
-	masks := make([]bitmap.Dense, len(aliases))
+	inBuf := grabDense(n)
+	defer putDense(inBuf)
+	inBlocks := inBuf.dense()
 	if scan != nil {
 		supported := scan.Supported()
 		scanMasks := make([][]uint64, len(aliases))
-		for i := range aliases {
-			masks[i] = bitmap.NewDense(n)
+		for i, a := range aliases {
+			a.setBuf = grabDense(n)
+			a.set = a.setBuf.dense()
 			if supported[i] {
-				scanMasks[i] = masks[i]
+				scanMasks[i] = a.set
 			}
 		}
 		for _, id := range ts.candidates {
@@ -307,13 +323,11 @@ func (e *Engine) scanKernel(ts *tableState, aliases []*vecAlias, scan block.Comp
 			}
 		}
 		for i, a := range aliases {
-			mask := masks[i]
 			if !supported[i] {
-				predicate.FillMask(a.filter, tbl, mask)
-				mask.And(inBlocks)
+				predicate.FillMask(a.filter, tbl, a.set)
+				a.set.And(inBlocks)
 			}
-			a.set = mask
-			a.count = mask.Count()
+			a.count = a.set.Count()
 		}
 		ts.read = true
 		return nil
@@ -330,11 +344,11 @@ func (e *Engine) scanKernel(ts *tableState, aliases []*vecAlias, scan block.Comp
 		}
 	}
 	for _, a := range aliases {
-		mask := bitmap.NewDense(n)
-		predicate.FillMask(a.filter, tbl, mask)
-		mask.And(inBlocks)
-		a.set = mask
-		a.count = mask.Count()
+		a.setBuf = grabDense(n)
+		a.set = a.setBuf.dense()
+		predicate.FillMask(a.filter, tbl, a.set)
+		a.set.And(inBlocks)
+		a.count = a.set.Count()
 	}
 	ts.read = true
 	return nil

@@ -1,0 +1,41 @@
+package engine
+
+import (
+	"sync"
+
+	"mto/internal/bitmap"
+)
+
+// The scan kernel builds one dense row bitmap per (alias, table) plus a
+// block-membership bitmap on every query; for wide fact tables those are
+// the kernel path's dominant steady-state allocations. They are pooled
+// here and wiped on reuse, so a replayed workload allocates each mask
+// shape once per worker instead of once per query.
+
+// denseBuf is one pooled dense bitmap's backing storage.
+type denseBuf struct{ w []uint64 }
+
+var densePool = sync.Pool{New: func() any { return new(denseBuf) }}
+
+// grabDense returns a zeroed n-bit dense bitmap backed by pooled storage.
+// Release it with putDense once nothing aliases the bitmap.
+func grabDense(n int) *denseBuf {
+	db := densePool.Get().(*denseBuf)
+	nw := (n + 63) >> 6
+	if cap(db.w) < nw {
+		db.w = make([]uint64, nw)
+		return db
+	}
+	db.w = db.w[:nw]
+	for i := range db.w {
+		db.w[i] = 0
+	}
+	return db
+}
+
+// dense views the buffer as a bitmap.Dense. The view is invalid after
+// putDense.
+func (db *denseBuf) dense() bitmap.Dense { return bitmap.Dense(db.w) }
+
+// putDense recycles the buffer.
+func putDense(db *denseBuf) { densePool.Put(db) }

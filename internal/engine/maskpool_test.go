@@ -1,0 +1,41 @@
+package engine
+
+import "testing"
+
+// TestDensePoolWipesAndReuses pins the scan kernel's mask pool contract:
+// grabDense always returns an all-zero bitmap even when recycling dirty
+// storage, and the steady-state grab/release round trip allocates nothing
+// — the assertion behind the kernel path's allocs/op budget.
+func TestDensePoolWipesAndReuses(t *testing.T) {
+	db := grabDense(130)
+	d := db.dense()
+	d.Set(0)
+	d.Set(77)
+	d.Set(129)
+	putDense(db)
+	db2 := grabDense(130)
+	for i, w := range db2.w {
+		if w != 0 {
+			t.Fatalf("recycled mask not wiped: word %d = %#x", i, w)
+		}
+	}
+	// Growing past the recycled capacity reallocates, and the fresh words
+	// are zero too.
+	db3 := grabDense(130 * 64)
+	for i, w := range db3.w {
+		if w != 0 {
+			t.Fatalf("grown mask not zero: word %d = %#x", i, w)
+		}
+	}
+	putDense(db3)
+	putDense(db2)
+
+	allocs := testing.AllocsPerRun(100, func() {
+		db := grabDense(4096)
+		db.dense().Set(11)
+		putDense(db)
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state grab/put allocates %.1f per run, want 0", allocs)
+	}
+}

@@ -73,7 +73,13 @@ func (e *Engine) ExecuteReference(q *workload.Query) (*Result, error) {
 	for alias, as := range aliasStates {
 		surviving[alias] = len(as.rows)
 	}
-	return e.assemble(q, order, tables, surviving, joinProbes, reducers), nil
+	aggs, err := e.foldAggregatesReference(q, aliasStates)
+	if err != nil {
+		return nil, err
+	}
+	res := e.assemble(q, order, tables, surviving, joinProbes, reducers)
+	res.Aggregates = aggs
+	return res, nil
 }
 
 // readAndFilter meters the reads of the table's candidate blocks and

@@ -75,6 +75,11 @@ type Scale struct {
 	// Compressed/NoReadahead select the scan path; see Bench.
 	Compressed  string
 	NoReadahead bool
+	// NoAggregates strips every query's aggregate list before replay
+	// (mtobench -agg=off), isolating pure scan/filter cost from the
+	// aggregation-pushdown work. Block and fraction metrics are identical
+	// either way; only per-query Aggregates and fold time change.
+	NoAggregates bool
 }
 
 // DefaultScale is used by the CLI and benchmarks unless overridden.
@@ -94,7 +99,7 @@ func SSBBench(s Scale) *Bench {
 	return &Bench{
 		Name:        "SSB",
 		Dataset:     datagen.SSB(datagen.SSBConfig{ScaleFactor: s.SF, Seed: s.Seed}),
-		Workload:    datagen.SSBWorkload(s.Seed + 1),
+		Workload:    maybeStripAggregates(datagen.SSBWorkload(s.Seed+1), s),
 		SortKeys:    datagen.SSBSortKeys(),
 		BlockSize:   s.BlockSizeSSB,
 		SampleRate:  0.25,
@@ -113,7 +118,7 @@ func TPCHBench(s Scale) *Bench {
 	return &Bench{
 		Name:        "TPC-H",
 		Dataset:     datagen.TPCH(datagen.TPCHConfig{ScaleFactor: s.SF, Seed: s.Seed}),
-		Workload:    datagen.TPCHWorkload(s.PerTemplate, s.Seed+1),
+		Workload:    maybeStripAggregates(datagen.TPCHWorkload(s.PerTemplate, s.Seed+1), s),
 		SortKeys:    datagen.TPCHSortKeys(),
 		BlockSize:   s.BlockSizeH,
 		SampleRate:  0.25,
@@ -132,7 +137,7 @@ func TPCDSBench(s Scale) *Bench {
 	return &Bench{
 		Name:        "TPC-DS",
 		Dataset:     datagen.TPCDS(datagen.TPCDSConfig{ScaleFactor: s.SF, Seed: s.Seed}),
-		Workload:    datagen.TPCDSWorkload(s.Seed + 1),
+		Workload:    maybeStripAggregates(datagen.TPCDSWorkload(s.Seed+1), s),
 		SortKeys:    datagen.TPCDSSortKeys(),
 		BlockSize:   s.BlockSizeDS,
 		SampleRate:  0.25,
@@ -144,6 +149,17 @@ func TPCDSBench(s Scale) *Bench {
 		Compressed:  s.Compressed,
 		NoReadahead: s.NoReadahead,
 	}
+}
+
+// maybeStripAggregates clears every query's aggregate list when the scale
+// asks for aggregate-free replay (mtobench -agg=off).
+func maybeStripAggregates(w *workload.Workload, s Scale) *workload.Workload {
+	if s.NoAggregates {
+		for _, q := range w.Queries {
+			q.Aggregates = nil
+		}
+	}
+	return w
 }
 
 // AllBenches returns the three evaluation bundles.

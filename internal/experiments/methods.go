@@ -245,6 +245,12 @@ type QueryMetric struct {
 	Blocks   int
 	Fraction float64
 	Seconds  float64
+	// Aggregates holds the query's computed aggregates rendered as
+	// "sum(lo.lo_revenue)=4099853" strings, in declaration order (nil when
+	// the query requests none). Like surviving rows they are a function of
+	// data and query only, so the disk-backend identity tests pin them
+	// byte-identical across backends, scan modes, caches, and parallelism.
+	Aggregates []string
 }
 
 // run replays the bench workload against a deployment via the parallel
@@ -266,12 +272,16 @@ func run(b *Bench, d *Deployment, opts engine.Options) (*RunResult, error) {
 		PerQuery:        make([]QueryMetric, 0, len(wr.Results)),
 	}
 	for _, res := range wr.Results {
-		out.PerQuery = append(out.PerQuery, QueryMetric{
+		qm := QueryMetric{
 			ID:       res.Query,
 			Blocks:   res.BlocksRead,
 			Fraction: res.FractionOfBlocks(),
 			Seconds:  res.Seconds,
-		})
+		}
+		for _, av := range res.Aggregates {
+			qm.Aggregates = append(qm.Aggregates, av.String())
+		}
+		out.PerQuery = append(out.PerQuery, qm)
 	}
 	return out, nil
 }

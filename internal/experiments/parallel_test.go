@@ -1,6 +1,9 @@
 package experiments
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 // TestParallelReplayMatchesSequential deploys Baseline and MTO on SSB and
 // TPC-H, then replays each workload sequentially and at parallelism 4
@@ -43,7 +46,7 @@ func TestParallelReplayMatchesSequential(t *testing.T) {
 					name, method, len(seq.PerQuery), len(par.PerQuery))
 			}
 			for i := range seq.PerQuery {
-				if seq.PerQuery[i] != par.PerQuery[i] {
+				if !reflect.DeepEqual(seq.PerQuery[i], par.PerQuery[i]) {
 					t.Errorf("%s/%s: query %d differs: seq=%+v par=%+v",
 						name, method, i, seq.PerQuery[i], par.PerQuery[i])
 				}

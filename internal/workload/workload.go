@@ -113,6 +113,56 @@ func (j Join) String() string {
 	return s
 }
 
+// AggOp enumerates the aggregate functions a query can request over the
+// rows surviving for one alias.
+type AggOp uint8
+
+// The supported aggregate operators.
+const (
+	AggSum AggOp = iota
+	AggCount
+	AggMin
+	AggMax
+	AggAvg
+)
+
+// String returns the lower-case SQL name of the operator.
+func (o AggOp) String() string {
+	switch o {
+	case AggSum:
+		return "sum"
+	case AggCount:
+		return "count"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggAvg:
+		return "avg"
+	default:
+		return fmt.Sprintf("agg(%d)", uint8(o))
+	}
+}
+
+// Aggregate is one requested aggregate: Op folded over Column of the rows
+// that survive for Alias after all filters and join semantics. Column may
+// be empty only for AggCount (COUNT(*), which counts surviving rows
+// regardless of nulls); COUNT over a named column counts its non-null
+// survivors.
+type Aggregate struct {
+	Op     AggOp
+	Alias  string
+	Column string
+}
+
+// String renders the aggregate, e.g. "sum(lo.lo_revenue)".
+func (a Aggregate) String() string {
+	if a.Column == "" {
+		return fmt.Sprintf("%s(%s.*)", a.Op, a.Alias)
+	}
+	return fmt.Sprintf("%s(%s.%s)", a.Op, a.Alias, a.Column)
+}
+
 // Query is the structured form of one workload query.
 type Query struct {
 	// ID identifies the query (e.g. "tpch-q5#3") in reports.
@@ -124,6 +174,11 @@ type Query struct {
 	// Filters maps a table alias to the conjunction of simple predicates
 	// the query applies to it. Absent aliases are unfiltered.
 	Filters map[string]predicate.Predicate
+	// Aggregates lists the aggregates the query computes over its
+	// surviving rows, in declaration order. Optional: most of the layout
+	// machinery only consumes the filter/join shape, but the engine
+	// evaluates these (compressed-domain when the backend supports it).
+	Aggregates []Aggregate
 	// Weight is the query's relative frequency in the workload (≥ 0);
 	// zero means 1.
 	Weight float64
@@ -160,6 +215,13 @@ func (q *Query) Filter(alias string, p predicate.Predicate) *Query {
 	} else {
 		q.Filters[alias] = p
 	}
+	return q
+}
+
+// Aggregate appends an aggregate over alias.col and returns the query.
+// Pass col == "" with AggCount for COUNT(*).
+func (q *Query) Aggregate(op AggOp, alias, col string) *Query {
+	q.Aggregates = append(q.Aggregates, Aggregate{Op: op, Alias: alias, Column: col})
 	return q
 }
 
@@ -247,6 +309,17 @@ func (q *Query) Validate() error {
 			return fmt.Errorf("workload: %s: filter on unknown alias %q", q.ID, a)
 		}
 	}
+	for _, agg := range q.Aggregates {
+		if !seen[agg.Alias] {
+			return fmt.Errorf("workload: %s: aggregate %s on unknown alias %q", q.ID, agg, agg.Alias)
+		}
+		if agg.Column == "" && agg.Op != AggCount {
+			return fmt.Errorf("workload: %s: aggregate %s requires a column", q.ID, agg)
+		}
+		if agg.Op > AggAvg {
+			return fmt.Errorf("workload: %s: aggregate %s has unknown operator", q.ID, agg)
+		}
+	}
 	if q.Weight < 0 {
 		return fmt.Errorf("workload: %s: negative weight", q.ID)
 	}
@@ -274,6 +347,9 @@ func (q *Query) String() string {
 	sort.Strings(aliases)
 	for _, a := range aliases {
 		fmt.Fprintf(&sb, " σ[%s: %s]", a, q.Filters[a])
+	}
+	for _, agg := range q.Aggregates {
+		fmt.Fprintf(&sb, " γ[%s]", agg)
 	}
 	return sb.String()
 }

@@ -111,6 +111,20 @@ const (
 	RightAntiSemiJoin = workload.RightAntiSemiJoin
 )
 
+// Aggregate operators (Query.Aggregate). Aggregates ride along with a
+// query's filters: the engine computes them over the rows that survive,
+// and capable backends fold supported ones directly on encoded pages.
+const (
+	AggSum   = workload.AggSum
+	AggCount = workload.AggCount
+	AggMin   = workload.AggMin
+	AggMax   = workload.AggMax
+	AggAvg   = workload.AggAvg
+)
+
+// AggValue is one computed aggregate in Result.Aggregates.
+type AggValue = engine.AggValue
+
 // Dataset / schema / workload constructors.
 var (
 	NewDataset  = relation.NewDataset
