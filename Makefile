@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench bench-build bench-replay bench-induce bench-store bench-scan bench-agg bench-reorg
+.PHONY: build test vet race check bench bench-build bench-replay bench-induce bench-store bench-scan bench-agg bench-groupagg bench-reorg
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ race:
 check: build vet test race
 
 # Replay-speedup and paper-figure benchmarks.
-bench: bench-build bench-replay bench-induce bench-store bench-agg bench-reorg
+bench: bench-build bench-replay bench-induce bench-store bench-agg bench-groupagg bench-reorg
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
 # Construction/routing benchmarks with a JSON perf snapshot. Compares the
@@ -59,6 +59,16 @@ bench-store: bench-scan
 # >=10x fewer allocs/op for the compressed fold.
 bench-agg:
 	$(GO) test -run='^$$' -bench='CompressedAggregate' -benchmem -count=1 		./internal/colstore | $(GO) run ./cmd/benchjson -out BENCH_agg.json
+
+# Grouped-aggregation (GROUP BY) pushdown benchmark with a JSON perf
+# snapshot. Compares the compressed grouped fold (dictionary-slot scatter
+# over encoded pages) against the materialize-then-hash-fold fallback on a
+# selective dict-grouped SUM, and records the results in
+# BENCH_groupagg.json. The acceptance bar is >=2x fewer ns/op and fewer
+# allocs/op for the compressed grouped fold.
+bench-groupagg:
+	$(GO) test -run='^$$' -bench='CompressedGroupedAggregate' -benchmem -count=1 \
+		./internal/colstore | $(GO) run ./cmd/benchjson -out BENCH_groupagg.json
 
 # Incremental-reorganization daemon benchmark with a JSON result snapshot.
 # Drives the reorgd daemon over the TPC-H 1-11 → 12-22 drift stream and

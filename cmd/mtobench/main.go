@@ -71,6 +71,7 @@ func main() {
 		cacheMB     = flag.Int("cache-mb", 64, "disk backend buffer-pool capacity in MiB of decoded block data (0 = no cache)")
 		compressed  = flag.String("compressed", "auto", `compressed-domain scan execution: "on", "auto" (fall back per table when a scan cannot compile), or "off" (always decode pages); results are identical either way`)
 		agg         = flag.String("agg", "on", `aggregate computation during replay: "on" (compute each query's aggregates, pushed into encoded pages where supported) or "off" (strip aggregates; block/fraction metrics are identical)`)
+		groupby     = flag.String("groupby", "on", `GROUP BY computation during replay: "on" (rollup templates fold per group, pushed into encoded pages where supported) or "off" (strip grouping, keep flat aggregates)`)
 		readahead   = flag.Bool("readahead", true, "async segment readahead into the buffer pool (disk backend with cache only)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprofile  = flag.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
@@ -106,6 +107,14 @@ func main() {
 		scale.NoAggregates = true
 	default:
 		fmt.Fprintf(os.Stderr, "mtobench: -agg=%q (want on or off)\n", *agg)
+		os.Exit(1)
+	}
+	switch *groupby {
+	case "on":
+	case "off":
+		scale.NoGroupBy = true
+	default:
+		fmt.Fprintf(os.Stderr, "mtobench: -groupby=%q (want on or off)\n", *groupby)
 		os.Exit(1)
 	}
 	if *store == "disk" {

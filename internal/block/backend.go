@@ -134,6 +134,79 @@ type CompressedAggregate interface {
 	FoldBlock(id int, survivors []uint64, states []*AggState) error
 }
 
+// MaxGroupSlots bounds the dense per-slot accumulator arrays a grouped
+// compressed fold may allocate: slot 0 is the NULL group and slot c+1 is
+// dictionary code c, so a group column may have at most MaxGroupSlots-1
+// distinct values. Compilations over wider dictionaries are declined —
+// counted in Stats.GroupedFoldsDeclined — and the engine falls back to
+// sparse map accumulation over the materialized group column, which costs
+// memory proportional to the groups actually present instead of the
+// dictionary size.
+const MaxGroupSlots = 1 << 14
+
+// CompressedGroupedAggregator is the optional backend capability behind
+// GROUP BY pushdown: a backend that can fold per-group aggregates keyed
+// on a group column's dictionary codes directly over its encoded pages.
+// The group key space is the engine's sorted-rank relation.ColumnDict
+// over the base table; the backend bridges its block-local dictionaries
+// into that space (the PR 7 sorted-rank contract), so per-block partial
+// group states from any backend merge into the same slot indexing.
+type CompressedGroupedAggregator interface {
+	CompressedAggregator
+	// CompileGroupedAggregate compiles the aggregates for a grouped
+	// compressed fold over the named table, keyed on groupCol's global
+	// dictionary dict. It returns nil when the table has no stored
+	// layout, when groupCol cannot key dense group slots (missing from
+	// the segment, float, or kind-mismatched against dict), or when
+	// dict.NumCodes()+1 exceeds MaxGroupSlots (counted in
+	// Stats.GroupedFoldsDeclined); the caller then computes every
+	// aggregate via materialized hash-fold. Otherwise Supported reports
+	// per-aggregate coverage under the same rules as CompileAggregate.
+	CompileGroupedAggregate(table, groupCol string, dict *relation.ColumnDict, aggs []workload.Aggregate) CompressedGroupedAggregate
+}
+
+// CompressedGroupedAggregate is one query's compiled grouped fold over
+// one table. It is safe for concurrent use; the GroupedStates passed to
+// FoldBlockGrouped are the caller's to serialize.
+type CompressedGroupedAggregate interface {
+	// Supported reports, per aggregate (parallel to the compile input),
+	// whether FoldBlockGrouped folds it. Unsupported aggregates must be
+	// computed by the caller via the materialized grouped fold.
+	Supported() []bool
+	// FoldBlockGrouped folds block id's rows that are set in survivors
+	// (same global-row bitmap indexing as FoldBlock) into gs: every
+	// survivor increments gs.Rows at its group slot — group presence and
+	// COUNT(*) — and each supported aggregate with a non-nil gs.Aggs
+	// entry accumulates into its per-slot states. Not metered: the scan
+	// that built survivors already charged the block read.
+	FoldBlockGrouped(id int, survivors []uint64, gs *GroupedStates) error
+}
+
+// GroupedStates is the accumulator of a grouped fold. Slot indexing is
+// fixed by the group column's global dictionary: slot 0 is the NULL
+// group, slot c+1 is dictionary code c (ascending value order, so
+// iterating slots yields the deterministic output order). Rows counts
+// survivors per slot regardless of any aggregate column's nulls; a group
+// exists in the output iff its Rows entry is non-zero. Aggs is parallel
+// to the compiled aggregate list; nil entries are skipped by the fold
+// (COUNT(*) reads Rows and needs no per-slot states).
+type GroupedStates struct {
+	Rows []int64
+	Aggs [][]AggState
+}
+
+// NewGroupedStates returns zeroed grouped states with the given slot
+// count; aggregate k gets per-slot AggStates only when want[k].
+func NewGroupedStates(slots int, want []bool) *GroupedStates {
+	gs := &GroupedStates{Rows: make([]int64, slots), Aggs: make([][]AggState, len(want))}
+	for k, w := range want {
+		if w {
+			gs.Aggs[k] = make([]AggState, slots)
+		}
+	}
+	return gs
+}
+
 // AggState is one aggregate's running fold, shared by the compressed and
 // materialized paths so a per-block compressed fold and a row-at-a-time
 // fold accumulate into the same representation. Count is the number of

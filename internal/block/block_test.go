@@ -2,6 +2,7 @@ package block
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"mto/internal/predicate"
@@ -177,20 +178,29 @@ func TestStatsSubRoundTrip(t *testing.T) {
 	a := Stats{
 		BlocksRead: 10, BlocksWritten: 20, RowsRead: 30, RowsWritten: 40,
 		CacheHits: 50, CacheMisses: 60, CacheEvictions: 70, BytesRead: 80,
-		Prefetched: 90, ReadaheadHits: 100,
+		Prefetched: 90, ReadaheadHits: 100, GroupedFoldsDeclined: 110,
 	}
 	b := Stats{
 		BlocksRead: 1, BlocksWritten: 2, RowsRead: 3, RowsWritten: 4,
 		CacheHits: 5, CacheMisses: 6, CacheEvictions: 7, BytesRead: 8,
-		Prefetched: 9, ReadaheadHits: 10,
+		Prefetched: 9, ReadaheadHits: 10, GroupedFoldsDeclined: 11,
 	}
 	want := Stats{
 		BlocksRead: 9, BlocksWritten: 18, RowsRead: 27, RowsWritten: 36,
 		CacheHits: 45, CacheMisses: 54, CacheEvictions: 63, BytesRead: 72,
-		Prefetched: 81, ReadaheadHits: 90,
+		Prefetched: 81, ReadaheadHits: 90, GroupedFoldsDeclined: 99,
 	}
 	if got := a.Sub(b); got != want {
 		t.Errorf("Sub = %+v, want %+v", got, want)
+	}
+	// Every counter must be exercised above: a field left at zero in `a`
+	// means the literal (and likely Sub) was not extended with it.
+	av := reflect.ValueOf(a)
+	for i := 0; i < av.NumField(); i++ {
+		if av.Field(i).Int() == 0 {
+			t.Errorf("Stats field %s not covered by the round-trip literals",
+				av.Type().Field(i).Name)
+		}
 	}
 	if got := a.Sub(Stats{}); got != a {
 		t.Errorf("Sub(zero) = %+v, want %+v", got, a)

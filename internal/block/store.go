@@ -70,6 +70,13 @@ type Stats struct {
 	// accounting — readahead only overlaps real I/O with compute.
 	Prefetched    int64
 	ReadaheadHits int64
+
+	// GroupedFoldsDeclined counts grouped-aggregate compilations the
+	// disk backend declined because the group column's dictionary
+	// exceeded MaxGroupSlots — dense per-slot accumulators would blow
+	// memory, so the engine fell back to sparse map accumulation over
+	// materialized rows.
+	GroupedFoldsDeclined int64
 }
 
 // Sub returns s - o, for measuring deltas between snapshots.
@@ -85,6 +92,8 @@ func (s Stats) Sub(o Stats) Stats {
 		BytesRead:      s.BytesRead - o.BytesRead,
 		Prefetched:     s.Prefetched - o.Prefetched,
 		ReadaheadHits:  s.ReadaheadHits - o.ReadaheadHits,
+
+		GroupedFoldsDeclined: s.GroupedFoldsDeclined - o.GroupedFoldsDeclined,
 	}
 }
 

@@ -171,11 +171,34 @@ func (t *TableAggregate) FoldBlock(id int, survivors []uint64, states []*block.A
 	defer putScratch(sc)
 	local := sc.grabMaskDirty((nrows + 63) / 64)
 	defer sc.releaseMask(local)
-	// A block whose rows are a word-aligned identity run [start, start+n)
-	// — every sequentially-installed layout — localizes by copying whole
-	// survivor words; arbitrary row permutations fall back to per-row bits.
-	// The per-block shape is immutable (the state is pinned to a segment
-	// generation), so the O(rows) detection runs once and is memoized.
+	pop := t.localizeSurvivors(id, eb, survivors, local)
+	if pop == 0 {
+		return nil
+	}
+	for k := range t.aggs {
+		if states[k] == nil || !t.supported[k] {
+			continue
+		}
+		if t.cols[k] < 0 { // COUNT(*): survivors, nulls included
+			states[k].Rows += int64(pop)
+			continue
+		}
+		if err := t.foldColumn(k, eb, nrows, local, pop, states[k], sc); err != nil {
+			return fmt.Errorf("colstore: aggregate %s.%s: %w", t.table, t.aggs[k].Column, err)
+		}
+	}
+	return nil
+}
+
+// localizeSurvivors projects the global survivor bitmap onto the block's
+// local row positions, writing every word of local and returning its
+// popcount. A block whose rows are a word-aligned identity run
+// [start, start+n) — every sequentially-installed layout — localizes by
+// copying whole survivor words; arbitrary row permutations fall back to
+// per-row bits. The per-block shape is immutable (the state is pinned to a
+// segment generation), so the O(rows) detection runs once and is memoized.
+func (t *TableAggregate) localizeSurvivors(id int, eb *EncodedBlock, survivors []uint64, local []uint64) int {
+	nrows := len(eb.Block.Rows)
 	start := int(eb.Block.Rows[0])
 	run := atomic.LoadInt32(&t.rowRuns[id])
 	if run == 0 {
@@ -217,22 +240,7 @@ func (t *TableAggregate) FoldBlock(id int, survivors []uint64, states []*block.A
 		}
 		pop = popcountMask(local)
 	}
-	if pop == 0 {
-		return nil
-	}
-	for k := range t.aggs {
-		if states[k] == nil || !t.supported[k] {
-			continue
-		}
-		if t.cols[k] < 0 { // COUNT(*): survivors, nulls included
-			states[k].Rows += int64(pop)
-			continue
-		}
-		if err := t.foldColumn(k, eb, nrows, local, pop, states[k], sc); err != nil {
-			return fmt.Errorf("colstore: aggregate %s.%s: %w", t.table, t.aggs[k].Column, err)
-		}
-	}
-	return nil
+	return pop
 }
 
 // foldColumn folds one column-bearing aggregate over the block.

@@ -55,6 +55,8 @@ type scratch struct {
 	offs   []int32    // dictionary entry byte offsets (into the page body)
 	lens   []int32    // dictionary entry byte lengths
 	member []uint64   // dictionary-code membership bits (IN / LIKE)
+	slots  []int32    // per-row group slots (grouped folds)
+	lg     []int32    // block-local → global dictionary code translation
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
@@ -126,6 +128,25 @@ func (s *scratch) grabOffs(n int) ([]int32, []int32) {
 	}
 	s.offs, s.lens = s.offs[:n], s.lens[:n]
 	return s.offs, s.lens
+}
+
+// grabSlots returns an n-entry group-slot buffer (contents undefined).
+func (s *scratch) grabSlots(n int) []int32 {
+	if cap(s.slots) < n {
+		s.slots = make([]int32, n)
+	}
+	s.slots = s.slots[:n]
+	return s.slots
+}
+
+// grabLG returns an n-entry local→global code translation buffer
+// (contents undefined).
+func (s *scratch) grabLG(n int) []int32 {
+	if cap(s.lg) < n {
+		s.lg = make([]int32, n)
+	}
+	s.lg = s.lg[:n]
+	return s.lg
 }
 
 // grabMember returns a zeroed n-bit set.

@@ -44,11 +44,12 @@ type Store struct {
 	retired []*Segment
 	gen     uint64
 
-	blocksRead    atomic.Int64
-	blocksWritten atomic.Int64
-	rowsRead      atomic.Int64
-	rowsWritten   atomic.Int64
-	bytesRead     atomic.Int64
+	blocksRead      atomic.Int64
+	blocksWritten   atomic.Int64
+	rowsRead        atomic.Int64
+	rowsWritten     atomic.Int64
+	bytesRead       atomic.Int64
+	groupedDeclined atomic.Int64
 }
 
 var (
@@ -488,5 +489,7 @@ func (s *Store) Stats() block.Stats {
 		BytesRead:      s.bytesRead.Load(),
 		Prefetched:     prefetched,
 		ReadaheadHits:  raHits,
+
+		GroupedFoldsDeclined: s.groupedDeclined.Load(),
 	}
 }

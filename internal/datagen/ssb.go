@@ -213,9 +213,12 @@ func SSBQuery(flight, qn int, rng *rand.Rand) *workload.Query {
 			q.Filter("lineorder", between("lo_quantity", value.Int(26), value.Int(35)))
 		}
 		// SSB flight 1 measures sum(lo_extendedprice*lo_discount); without
-		// expression support the revenue column is the natural stand-in.
+		// expression support the revenue column is the natural stand-in,
+		// rolled up per discount band (a small int dictionary, so the
+		// grouped fold stays in the compressed domain).
 		q.Aggregate(workload.AggSum, "lineorder", "lo_revenue")
 		q.Aggregate(workload.AggCount, "lineorder", "")
+		q.GroupByCol("lineorder", "lo_discount")
 		return q
 	case 2:
 		q := newQ("date", "part", "supplier")

@@ -279,6 +279,9 @@ func TPCDSQuery(template int, rng *rand.Rand) *workload.Query {
 		q.Filter("date_dim", cmp("d_year", predicate.Eq, year))
 		q.Filter("store", predicate.NewIn("s_state",
 			value.String(pick(rng, states)), value.String(pick(rng, states))))
+		q.Aggregate(workload.AggSum, "store_sales", "ss_quantity")
+		q.Aggregate(workload.AggCount, "store_sales", "")
+		q.GroupByCol("store_sales", "ss_store_sk")
 		return q
 	case 3: // depth-2 snowflake: address → customer → store_sales
 		q := workload.NewQuery("",
@@ -376,6 +379,9 @@ func TPCDSQuery(template int, rng *rand.Rand) *workload.Query {
 		q.Filter("date_dim", cmp("d_dow", predicate.Eq, value.Int(int64(rng.Intn(7)))))
 		q.Filter("date_dim", cmp("d_year", predicate.Eq, year))
 		q.Filter("store_sales", cmp("ss_quantity", predicate.Ge, value.Int(int64(rng.Intn(50)+25))))
+		q.Aggregate(workload.AggSum, "store_sales", "ss_quantity")
+		q.Aggregate(workload.AggCount, "store_sales", "")
+		q.GroupByCol("store_sales", "ss_store_sk")
 		return q
 	default: // 11: customer birth cohort
 		q := workload.NewQuery("",

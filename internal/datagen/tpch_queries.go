@@ -65,6 +65,7 @@ var tpchTemplates = [NumTPCHTemplates]func(*rand.Rand) *workload.Query{
 		q.Aggregate(workload.AggSum, "lineitem", "l_extendedprice")
 		q.Aggregate(workload.AggAvg, "lineitem", "l_discount")
 		q.Aggregate(workload.AggCount, "lineitem", "")
+		q.GroupByCol("lineitem", "l_returnflag")
 		return q
 	},
 	// Q2: minimum-cost supplier over the part/supplier snowflake.
@@ -235,6 +236,7 @@ var tpchTemplates = [NumTPCHTemplates]func(*rand.Rand) *workload.Query{
 		q.Filter("lineitem", cmp("l_returnflag", predicate.Eq, value.String("R")))
 		q.Aggregate(workload.AggSum, "lineitem", "l_extendedprice")
 		q.Aggregate(workload.AggMax, "lineitem", "l_shipmode")
+		q.GroupByCol("lineitem", "l_shipmode")
 		return q
 	},
 	// Q11: important stock identification.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"strings"
 
 	"mto/internal/bitmap"
 	"mto/internal/block"
@@ -35,15 +36,38 @@ import (
 
 // AggValue is one computed aggregate in a Result: the requested spec and
 // its SQL-semantics value — Null for SUM/MIN/MAX/AVG over an empty (or
-// all-null) survivor set, a count of 0 for COUNT.
+// all-null) survivor set, a count of 0 for COUNT. For grouped queries
+// (Query.GroupBy set) Value is Null and Groups carries the per-group
+// values instead, sorted by group key: the NULL group first, then
+// ascending values — a deterministic order shared by every fold path.
 type AggValue struct {
-	Spec  workload.Aggregate
-	Value value.Value
+	Spec    workload.Aggregate
+	Value   value.Value
+	GroupBy workload.GroupBy // zero for flat aggregates
+	Groups  []GroupValue     // per-group values, NULL group first then ascending keys
 }
 
-// String renders "sum(lo.lo_revenue)=4099853".
+// String renders "sum(lo.lo_revenue)=4099853" for flat aggregates and
+// "sum(l.l_quantity) by l.l_returnflag={"A":37734107, "N":74476040}" for
+// grouped ones. Group keys and values render via value.Value.String —
+// NULL unadorned, strings quoted — so the serialization is unambiguous
+// and deterministic (groups are already sorted by key).
 func (av AggValue) String() string {
-	return fmt.Sprintf("%s=%s", av.Spec, av.Value)
+	if av.GroupBy.IsZero() {
+		return fmt.Sprintf("%s=%s", av.Spec, av.Value)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s by %s={", av.Spec, av.GroupBy)
+	for i, g := range av.Groups {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(g.Key.String())
+		sb.WriteByte(':')
+		sb.WriteString(g.Value.String())
+	}
+	sb.WriteByte('}')
+	return sb.String()
 }
 
 // aggColumnKind resolves spec's column in the alias's base table and
@@ -128,30 +152,7 @@ func foldAggregate(tbl *relation.Table, set bitmap.Dense, spec workload.Aggregat
 				st.Count++
 			}
 		}
-		switch spec.Op {
-		case workload.AggCount:
-			return value.Int(st.Count), nil
-		case workload.AggMin:
-			if !st.Seen {
-				return value.Null, nil
-			}
-			return value.Float(fmin), nil
-		case workload.AggMax:
-			if !st.Seen {
-				return value.Null, nil
-			}
-			return value.Float(fmax), nil
-		case workload.AggAvg:
-			if st.Count == 0 {
-				return value.Null, nil
-			}
-			return value.Float(fsum / float64(st.Count)), nil
-		default: // AggSum
-			if st.Count == 0 {
-				return value.Null, nil
-			}
-			return value.Float(fsum), nil
-		}
+		return finalizeFloatAgg(spec, &st, fsum, fmin, fmax), nil
 	default: // strings
 		strs := tbl.Strings(ci)
 		for w := range set {
@@ -166,6 +167,36 @@ func foldAggregate(tbl *relation.Table, set bitmap.Dense, spec workload.Aggregat
 			}
 		}
 		return finalizeAgg(spec, kind, &st), nil
+	}
+}
+
+// finalizeFloatAgg turns a float fold's state and scratch into the
+// aggregate's SQL value. The flat and grouped materialized folds both
+// land here, so float empty-set and AVG-division rules cannot diverge.
+func finalizeFloatAgg(spec workload.Aggregate, st *block.AggState, fsum, fmin, fmax float64) value.Value {
+	switch spec.Op {
+	case workload.AggCount:
+		return value.Int(st.Count)
+	case workload.AggMin:
+		if !st.Seen {
+			return value.Null
+		}
+		return value.Float(fmin)
+	case workload.AggMax:
+		if !st.Seen {
+			return value.Null
+		}
+		return value.Float(fmax)
+	case workload.AggAvg:
+		if st.Count == 0 {
+			return value.Null
+		}
+		return value.Float(fsum / float64(st.Count))
+	default: // AggSum
+		if st.Count == 0 {
+			return value.Null
+		}
+		return value.Float(fsum)
 	}
 }
 
@@ -225,6 +256,9 @@ func (e *Engine) foldAggregatesKernel(q *workload.Query, vecAliases map[string]*
 		if _, _, err := aggColumnKind(tbl, spec); err != nil {
 			return nil, err
 		}
+	}
+	if !q.GroupBy.IsZero() {
+		return e.foldGroupedKernel(q, vecAliases, tables)
 	}
 	out := make([]AggValue, len(q.Aggregates))
 	done := make([]bool, len(q.Aggregates))
@@ -315,6 +349,17 @@ func (e *Engine) foldCompressed(q *workload.Query, vecAliases map[string]*vecAli
 func (e *Engine) foldAggregatesReference(q *workload.Query, aliasStates map[string]*aliasState) ([]AggValue, error) {
 	if len(q.Aggregates) == 0 {
 		return nil, nil
+	}
+	if !q.GroupBy.IsZero() {
+		// Validate() pins every aggregate to the grouping alias, so one
+		// survivor set covers the whole query.
+		as := aliasStates[q.GroupBy.Alias]
+		tbl := e.ds.Table(as.table)
+		set := bitmap.NewDense(tbl.NumRows())
+		for _, r := range as.rows {
+			set.Set(int(r))
+		}
+		return e.foldGroupedMaterialized(as.table, tbl, set, q.GroupBy, q.Aggregates)
 	}
 	out := make([]AggValue, len(q.Aggregates))
 	sets := map[string]bitmap.Dense{}

@@ -1,0 +1,375 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"mto/internal/bitmap"
+	"mto/internal/block"
+	"mto/internal/relation"
+	"mto/internal/value"
+	"mto/internal/workload"
+)
+
+// This file computes grouped aggregates (workload.Query.GroupBy): every
+// aggregate in the query folds per group of the grouping column instead of
+// once over the whole survivor set. As with flat aggregates, two folds
+// exist and must agree byte for byte:
+//
+//   - the compressed grouped fold: when the backend is a
+//     block.CompressedGroupedAggregator and the grouping column has a
+//     global dictionary, supported aggregates accumulate per block into
+//     dense per-slot state arrays keyed on dictionary codes (slot 0 =
+//     NULL group, slot c+1 = code c), reading only encoded pages;
+//   - the materialized grouped fold: everything else — the in-memory
+//     backend, the reference path, float group columns, aggregates the
+//     compressed compiler declined, and group dictionaries wider than
+//     block.MaxGroupSlots — hashes survivors into sparse per-group
+//     accumulators over the base table's decoded vectors.
+//
+// Group output order is deterministic everywhere: the NULL group first,
+// then groups ascending by value — which for dictionary slots is simply
+// ascending slot order, so the dense and sparse folds enumerate groups
+// identically and Results stay byte-identical across backends, scan
+// modes, and replay parallelism.
+
+// GroupValue is one group's slice of a grouped aggregate: the group key
+// (Null for rows whose grouping value is null) and the aggregate folded
+// over that group's survivors.
+type GroupValue struct {
+	Key   value.Value
+	Value value.Value
+}
+
+// groupAccum is one group's materialized fold state: the survivor count
+// (COUNT(*)), per-spec int/string states, and per-spec float scratch
+// (allocated only when the query aggregates a float column).
+type groupAccum struct {
+	rows int64
+	sts  []block.AggState
+	fsum []float64
+	fmin []float64
+	fmax []float64
+}
+
+func newGroupAccum(nspecs int, hasFloat bool) *groupAccum {
+	acc := &groupAccum{sts: make([]block.AggState, nspecs)}
+	if hasFloat {
+		acc.fsum = make([]float64, nspecs)
+		acc.fmin = make([]float64, nspecs)
+		acc.fmax = make([]float64, nspecs)
+	}
+	return acc
+}
+
+// foldGroupedKernel computes q's grouped aggregates for the vectorized
+// path: the compressed per-block grouped fold when the backend and the
+// grouping column support it, the materialized hash fold otherwise.
+func (e *Engine) foldGroupedKernel(q *workload.Query, vecAliases map[string]*vecAlias,
+	tables map[string]*tableState) ([]AggValue, error) {
+
+	gb := q.GroupBy
+	a := vecAliases[gb.Alias]
+	if !e.opts.DecodeScan {
+		if cga, ok := e.store.(block.CompressedGroupedAggregator); ok {
+			if dict := e.dictFor(a.table, gb.Column); dict != nil {
+				out, err := e.foldGroupedCompressed(q, a, tables[a.table], dict, cga)
+				if err != nil {
+					return nil, err
+				}
+				if out != nil {
+					return out, nil
+				}
+			}
+		}
+	}
+	return e.foldGroupedMaterialized(a.table, e.ds.Table(a.table), a.set, gb, q.Aggregates)
+}
+
+// foldGroupedCompressed runs the dense dictionary-slot grouped fold over
+// the alias table's candidate blocks. It returns (nil, nil) when the
+// backend declines the whole compilation (missing/mismatched group
+// column, dictionary wider than block.MaxGroupSlots) or supports none of
+// the aggregates — the caller falls back to the materialized fold.
+// Individually declined aggregates (floats, overflow-risk sums) fold
+// materialized over the same survivor set and merge back by position.
+func (e *Engine) foldGroupedCompressed(q *workload.Query, a *vecAlias, ts *tableState,
+	dict *relation.ColumnDict, cga block.CompressedGroupedAggregator) ([]AggValue, error) {
+
+	specs := q.Aggregates
+	ga := cga.CompileGroupedAggregate(a.table, q.GroupBy.Column, dict, specs)
+	if ga == nil {
+		return nil, nil
+	}
+	supported := ga.Supported()
+	want := make([]bool, len(specs))
+	any := false
+	for k, spec := range specs {
+		if supported[k] {
+			any = true
+			if spec.Column != "" { // COUNT(*) reads GroupedStates.Rows
+				want[k] = true
+			}
+		}
+	}
+	if !any {
+		return nil, nil
+	}
+	gs := block.NewGroupedStates(dict.NumCodes()+1, want)
+	for _, id := range ts.candidates {
+		if err := ga.FoldBlockGrouped(id, a.set, gs); err != nil {
+			return nil, err
+		}
+	}
+	// A group exists iff it has survivors; ascending slot order is the
+	// deterministic output order (NULL first, then ascending values).
+	slots := make([]int, 0, 16)
+	for slot, rows := range gs.Rows {
+		if rows > 0 {
+			slots = append(slots, slot)
+		}
+	}
+	tbl := e.ds.Table(a.table)
+	out := make([]AggValue, len(specs))
+	var resid []int
+	for k, spec := range specs {
+		if !supported[k] {
+			resid = append(resid, k)
+			continue
+		}
+		_, kind, err := aggColumnKind(tbl, spec)
+		if err != nil {
+			return nil, err
+		}
+		av := AggValue{Spec: spec, Value: value.Null, GroupBy: q.GroupBy,
+			Groups: make([]GroupValue, 0, len(slots))}
+		for _, slot := range slots {
+			key := value.Null
+			if slot > 0 {
+				key = dict.Value(int32(slot - 1))
+			}
+			var v value.Value
+			if spec.Column == "" {
+				v = value.Int(gs.Rows[slot])
+			} else {
+				v = finalizeAgg(spec, kind, &gs.Aggs[k][slot])
+			}
+			av.Groups = append(av.Groups, GroupValue{Key: key, Value: v})
+		}
+		out[k] = av
+	}
+	if len(resid) > 0 {
+		residSpecs := make([]workload.Aggregate, len(resid))
+		for i, k := range resid {
+			residSpecs[i] = specs[k]
+		}
+		rout, err := e.foldGroupedMaterialized(a.table, tbl, a.set, q.GroupBy, residSpecs)
+		if err != nil {
+			return nil, err
+		}
+		for i, k := range resid {
+			out[k] = rout[i]
+		}
+	}
+	return out, nil
+}
+
+// foldGroupedMaterialized is the sparse hash grouped fold: survivors
+// accumulate into per-group states keyed on the grouping column's
+// dictionary code when one exists (so group enumeration order matches the
+// dense fold exactly), or on the boxed group value otherwise (float group
+// columns). Per-spec fold semantics — null skipping, checked int
+// overflow, ascending-row float accumulation order — are identical to the
+// flat materialized fold.
+func (e *Engine) foldGroupedMaterialized(table string, tbl *relation.Table, set bitmap.Dense,
+	gb workload.GroupBy, specs []workload.Aggregate) ([]AggValue, error) {
+
+	cis := make([]int, len(specs))
+	kinds := make([]value.Kind, len(specs))
+	hasFloat := false
+	for k, spec := range specs {
+		ci, kind, err := aggColumnKind(tbl, spec)
+		if err != nil {
+			return nil, err
+		}
+		cis[k], kinds[k] = ci, kind
+		if ci >= 0 && kind == value.KindFloat {
+			hasFloat = true
+		}
+	}
+	gci, ok := tbl.Schema().ColumnIndex(gb.Column)
+	if !ok {
+		return nil, fmt.Errorf("engine: group by %s: table %q has no column %q",
+			gb, tbl.Schema().Table(), gb.Column)
+	}
+	gkind := tbl.Schema().Column(gci).Type
+	gnulls := tbl.Nulls(gci)
+	dict := e.dictFor(table, gb.Column)
+
+	// Per-spec column accessors, resolved once.
+	type colAccess struct {
+		nulls  []bool
+		ints   []int64
+		floats []float64
+		strs   []string
+	}
+	cols := make([]colAccess, len(specs))
+	for k, ci := range cis {
+		if ci < 0 {
+			continue
+		}
+		cols[k].nulls = tbl.Nulls(ci)
+		switch kinds[k] {
+		case value.KindInt:
+			cols[k].ints = tbl.Ints(ci)
+		case value.KindFloat:
+			cols[k].floats = tbl.Floats(ci)
+		default:
+			cols[k].strs = tbl.Strings(ci)
+		}
+	}
+	foldRow := func(acc *groupAccum, r int) error {
+		acc.rows++
+		for k, spec := range specs {
+			if cis[k] < 0 {
+				continue // COUNT(*) reads acc.rows
+			}
+			c := &cols[k]
+			if c.nulls != nil && c.nulls[r] {
+				continue
+			}
+			st := &acc.sts[k]
+			switch kinds[k] {
+			case value.KindInt:
+				v := c.ints[r]
+				if spec.Op == workload.AggSum || spec.Op == workload.AggAvg {
+					if (v > 0 && st.Sum > math.MaxInt64-v) || (v < 0 && st.Sum < math.MinInt64-v) {
+						return fmt.Errorf("engine: aggregate %s: int64 sum overflow", spec)
+					}
+				}
+				st.FoldInt(v)
+			case value.KindFloat:
+				v := c.floats[r]
+				acc.fsum[k] += v
+				if !st.Seen || v < acc.fmin[k] {
+					acc.fmin[k] = v
+				}
+				if !st.Seen || v > acc.fmax[k] {
+					acc.fmax[k] = v
+				}
+				st.Seen = true
+				st.Count++
+			default:
+				st.FoldStr(c.strs[r])
+			}
+		}
+		return nil
+	}
+
+	// Accumulate, then order groups: dictionary codes are ranks, so slot
+	// order is value order and matches the dense compressed fold; boxed
+	// keys sort by value.Compare (Null first).
+	type orderedGroup struct {
+		key value.Value
+		acc *groupAccum
+	}
+	var ordered []orderedGroup
+	if dict != nil {
+		accums := map[int32]*groupAccum{}
+		for w := range set {
+			word := set[w]
+			for word != 0 {
+				r := w<<6 | bits.TrailingZeros64(word)
+				word &= word - 1
+				slot := dict.Codes[r] + 1 // -1 (null) → slot 0
+				acc := accums[slot]
+				if acc == nil {
+					acc = newGroupAccum(len(specs), hasFloat)
+					accums[slot] = acc
+				}
+				if err := foldRow(acc, r); err != nil {
+					return nil, err
+				}
+			}
+		}
+		slots := make([]int32, 0, len(accums))
+		for slot := range accums {
+			slots = append(slots, slot)
+		}
+		sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+		ordered = make([]orderedGroup, 0, len(slots))
+		for _, slot := range slots {
+			key := value.Null
+			if slot > 0 {
+				key = dict.Value(slot - 1)
+			}
+			ordered = append(ordered, orderedGroup{key: key, acc: accums[slot]})
+		}
+	} else {
+		var gi []int64
+		var gf []float64
+		var gstr []string
+		switch gkind {
+		case value.KindInt:
+			gi = tbl.Ints(gci)
+		case value.KindFloat:
+			gf = tbl.Floats(gci)
+		default:
+			gstr = tbl.Strings(gci)
+		}
+		accums := map[value.Value]*groupAccum{}
+		for w := range set {
+			word := set[w]
+			for word != 0 {
+				r := w<<6 | bits.TrailingZeros64(word)
+				word &= word - 1
+				key := value.Null
+				if gnulls == nil || !gnulls[r] {
+					switch gkind {
+					case value.KindInt:
+						key = value.Int(gi[r])
+					case value.KindFloat:
+						key = value.Float(gf[r])
+					default:
+						key = value.String(gstr[r])
+					}
+				}
+				acc := accums[key]
+				if acc == nil {
+					acc = newGroupAccum(len(specs), hasFloat)
+					accums[key] = acc
+				}
+				if err := foldRow(acc, r); err != nil {
+					return nil, err
+				}
+			}
+		}
+		ordered = make([]orderedGroup, 0, len(accums))
+		for key, acc := range accums {
+			ordered = append(ordered, orderedGroup{key: key, acc: acc})
+		}
+		sort.Slice(ordered, func(i, j int) bool { return ordered[i].key.Less(ordered[j].key) })
+	}
+
+	out := make([]AggValue, len(specs))
+	for k, spec := range specs {
+		av := AggValue{Spec: spec, Value: value.Null, GroupBy: gb,
+			Groups: make([]GroupValue, 0, len(ordered))}
+		for _, g := range ordered {
+			var v value.Value
+			switch {
+			case cis[k] < 0:
+				v = value.Int(g.acc.rows)
+			case kinds[k] == value.KindFloat:
+				v = finalizeFloatAgg(spec, &g.acc.sts[k], g.acc.fsum[k], g.acc.fmin[k], g.acc.fmax[k])
+			default:
+				v = finalizeAgg(spec, kinds[k], &g.acc.sts[k])
+			}
+			av.Groups = append(av.Groups, GroupValue{Key: g.key, Value: v})
+		}
+		out[k] = av
+	}
+	return out, nil
+}

@@ -65,6 +65,58 @@ func TestKernelIdentityOnBenchmarks(t *testing.T) {
 	}
 }
 
+// TestGroupedIdentityOnBenchmarks pins the grouped-aggregate fold paths
+// to each other over every rollup template in the three benchmark
+// workloads: the kernel result (compressed dictionary-slot folds where
+// the backend supports them) must be byte-identical to the scalar
+// reference (sparse hash fold), and the group lists must come out in the
+// canonical order — NULL group first, then ascending keys.
+func TestGroupedIdentityOnBenchmarks(t *testing.T) {
+	s := identityScale()
+	for _, bench := range []*experiments.Bench{
+		experiments.SSBBench(s), experiments.TPCHBench(s), experiments.TPCDSBench(s),
+	} {
+		d, err := experiments.DeployMethod(bench, experiments.MethodBaseline, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := engine.New(d.Store, d.Design, bench.Dataset, engine.CloudDWOptions())
+		grouped := 0
+		for _, q := range bench.Workload.Queries {
+			if q.GroupBy.IsZero() {
+				continue
+			}
+			grouped++
+			got, err := e.Execute(q)
+			if err != nil {
+				t.Fatalf("%s/%s: kernel: %v", bench.Name, q.ID, err)
+			}
+			want, err := e.ExecuteReference(q)
+			if err != nil {
+				t.Fatalf("%s/%s: reference: %v", bench.Name, q.ID, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s/%s: grouped kernel diverges from reference:\n got %+v\nwant %+v",
+					bench.Name, q.ID, got, want)
+			}
+			for _, av := range got.Aggregates {
+				if av.GroupBy.IsZero() {
+					t.Errorf("%s/%s: %s lost its GroupBy", bench.Name, q.ID, av.Spec)
+				}
+				for i := 1; i < len(av.Groups); i++ {
+					if av.Groups[i-1].Key.Compare(av.Groups[i].Key) >= 0 {
+						t.Errorf("%s/%s: %s group keys out of order: %s before %s",
+							bench.Name, q.ID, av.Spec, av.Groups[i-1].Key, av.Groups[i].Key)
+					}
+				}
+			}
+		}
+		if grouped == 0 {
+			t.Errorf("%s: workload has no grouped queries", bench.Name)
+		}
+	}
+}
+
 // TestKernelIdentityUnderParallelReplay asserts whole-workload identity
 // through RunWorkload: kernel and reference replays, sequential and
 // parallel, all fold to the same WorkloadResult (including the

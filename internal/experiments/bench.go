@@ -80,6 +80,10 @@ type Scale struct {
 	// aggregation-pushdown work. Block and fraction metrics are identical
 	// either way; only per-query Aggregates and fold time change.
 	NoAggregates bool
+	// NoGroupBy strips every query's GROUP BY clause before replay
+	// (mtobench -groupby=off), demoting rollup templates to their flat
+	// aggregates — isolating the grouped-fold cost from flat pushdown.
+	NoGroupBy bool
 }
 
 // DefaultScale is used by the CLI and benchmarks unless overridden.
@@ -152,11 +156,19 @@ func TPCDSBench(s Scale) *Bench {
 }
 
 // maybeStripAggregates clears every query's aggregate list when the scale
-// asks for aggregate-free replay (mtobench -agg=off).
+// asks for aggregate-free replay (mtobench -agg=off), and the GROUP BY
+// clause when it asks for flat-only aggregation (mtobench -groupby=off).
+// Stripping aggregates strips grouping too: a GROUP BY without aggregates
+// fails Validate.
 func maybeStripAggregates(w *workload.Workload, s Scale) *workload.Workload {
 	if s.NoAggregates {
 		for _, q := range w.Queries {
 			q.Aggregates = nil
+		}
+	}
+	if s.NoAggregates || s.NoGroupBy {
+		for _, q := range w.Queries {
+			q.GroupBy = workload.GroupBy{}
 		}
 	}
 	return w

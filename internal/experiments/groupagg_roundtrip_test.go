@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"encoding/json"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mto/internal/engine"
+	"mto/internal/value"
+	"mto/internal/workload"
+)
+
+// parseGroupScalar consumes one rendered group scalar from the front of s:
+// NULL, a quoted string, or a decimal int/float — the exact grammar
+// AggValue.String emits via value.Value.String.
+func parseGroupScalar(t *testing.T, s string) (value.Value, string) {
+	t.Helper()
+	switch {
+	case strings.HasPrefix(s, "NULL"):
+		return value.Null, s[len("NULL"):]
+	case strings.HasPrefix(s, `"`):
+		q, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			t.Fatalf("bad quoted scalar at %q: %v", s, err)
+		}
+		u, err := strconv.Unquote(q)
+		if err != nil {
+			t.Fatalf("unquote %q: %v", q, err)
+		}
+		return value.String(u), s[len(q):]
+	default:
+		end := strings.IndexAny(s, ":,}")
+		if end < 0 {
+			end = len(s)
+		}
+		tok := s[:end]
+		if i, err := strconv.ParseInt(tok, 10, 64); err == nil {
+			return value.Int(i), s[end:]
+		}
+		f, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			t.Fatalf("bad numeric scalar %q: %v", tok, err)
+		}
+		return value.Float(f), s[end:]
+	}
+}
+
+// parseGroupedAgg parses "spec by alias.col={k:v, k:v}" back into the
+// group list, failing on any grammar violation.
+func parseGroupedAgg(t *testing.T, s string) (spec, groupBy string, groups []engine.GroupValue) {
+	t.Helper()
+	head, body, ok := strings.Cut(s, "={")
+	if !ok || !strings.HasSuffix(body, "}") {
+		t.Fatalf("not a grouped rendering: %q", s)
+	}
+	spec, groupBy, ok = strings.Cut(head, " by ")
+	if !ok {
+		t.Fatalf("missing group clause: %q", head)
+	}
+	body = strings.TrimSuffix(body, "}")
+	for body != "" {
+		var k, v value.Value
+		k, body = parseGroupScalar(t, body)
+		if !strings.HasPrefix(body, ":") {
+			t.Fatalf("missing ':' at %q", body)
+		}
+		v, body = parseGroupScalar(t, body[1:])
+		groups = append(groups, engine.GroupValue{Key: k, Value: v})
+		if strings.HasPrefix(body, ", ") {
+			body = body[2:]
+		} else if body != "" {
+			t.Fatalf("missing separator at %q", body)
+		}
+	}
+	return spec, groupBy, groups
+}
+
+// TestGroupedAggValueRoundTrip pins the grouped AggValue serialization the
+// experiment JSON records (QueryMetric.Aggregates via AggValue.String):
+// per-group values render sorted by group key in an unambiguous grammar —
+// NULL unadorned, strings strconv-quoted (so keys containing separators
+// survive), numbers bare — that parses back to the exact group list, and
+// the rendering survives a QueryMetric JSON round-trip byte-identically.
+func TestGroupedAggValueRoundTrip(t *testing.T) {
+	spec := workload.Aggregate{Op: workload.AggSum, Alias: "l", Column: "l_quantity"}
+	gb := workload.GroupBy{Alias: "l", Column: "l_returnflag"}
+	for name, av := range map[string]engine.AggValue{
+		"string-keys": {Spec: spec, Value: value.Null, GroupBy: gb, Groups: []engine.GroupValue{
+			{Key: value.Null, Value: value.Int(7)},
+			{Key: value.String(`A", :{}`), Value: value.Int(-3)},
+			{Key: value.String("N"), Value: value.Null},
+			{Key: value.String("R"), Value: value.Float(2.5)},
+		}},
+		"int-keys": {Spec: spec, Value: value.Null, GroupBy: gb, Groups: []engine.GroupValue{
+			{Key: value.Int(-4), Value: value.Int(0)},
+			{Key: value.Int(42), Value: value.String("max, value")},
+		}},
+		"empty-groups": {Spec: spec, Value: value.Null, GroupBy: gb,
+			Groups: []engine.GroupValue{}},
+	} {
+		s := av.String()
+		gotSpec, gotGB, gotGroups := parseGroupedAgg(t, s)
+		if gotSpec != spec.String() || gotGB != gb.String() {
+			t.Errorf("%s: parsed header %q by %q, want %q by %q",
+				name, gotSpec, gotGB, spec, gb)
+		}
+		if len(av.Groups) == 0 {
+			if len(gotGroups) != 0 {
+				t.Errorf("%s: parsed %d groups from empty rendering", name, len(gotGroups))
+			}
+		} else if !reflect.DeepEqual(gotGroups, av.Groups) {
+			t.Errorf("%s: round-trip mismatch:\n got %+v\nwant %+v", name, gotGroups, av.Groups)
+		}
+
+		qm := QueryMetric{ID: "q", Aggregates: []string{s}}
+		buf, err := json.Marshal(qm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back QueryMetric
+		if err := json.Unmarshal(buf, &back); err != nil {
+			t.Fatal(err)
+		}
+		if len(back.Aggregates) != 1 || back.Aggregates[0] != s {
+			t.Errorf("%s: JSON round-trip changed the rendering: %q", name, back.Aggregates)
+		}
+	}
+
+	// Flat aggregates keep the historical rendering untouched.
+	flat := engine.AggValue{Spec: spec, Value: value.Int(5)}
+	if got := flat.String(); got != "sum(l.l_quantity)=5" {
+		t.Errorf("flat rendering changed: %q", got)
+	}
+}

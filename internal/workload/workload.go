@@ -163,6 +163,24 @@ func (a Aggregate) String() string {
 	return fmt.Sprintf("%s(%s.%s)", a.Op, a.Alias, a.Column)
 }
 
+// GroupBy optionally groups a query's aggregates by one column of one
+// alias (SQL single-column GROUP BY). The zero value means no grouping.
+// Because the engine computes per-alias surviving row sets rather than
+// row-pairing join outputs, a grouped query must fold every aggregate
+// over the GroupBy alias — the TPC-H Q1 rollup shape, where the grouping
+// column lives on the aggregated fact table. NULL group-column values
+// form one group, as in SQL.
+type GroupBy struct {
+	Alias  string
+	Column string
+}
+
+// IsZero reports whether no grouping was requested.
+func (g GroupBy) IsZero() bool { return g.Alias == "" && g.Column == "" }
+
+// String renders "lineitem.l_returnflag".
+func (g GroupBy) String() string { return g.Alias + "." + g.Column }
+
 // Query is the structured form of one workload query.
 type Query struct {
 	// ID identifies the query (e.g. "tpch-q5#3") in reports.
@@ -179,6 +197,10 @@ type Query struct {
 	// machinery only consumes the filter/join shape, but the engine
 	// evaluates these (compressed-domain when the backend supports it).
 	Aggregates []Aggregate
+	// GroupBy optionally groups the aggregates by one column of the
+	// aggregated alias. Zero value = no grouping. When set, every entry
+	// of Aggregates must name the same alias (Validate enforces this).
+	GroupBy GroupBy
 	// Weight is the query's relative frequency in the workload (≥ 0);
 	// zero means 1.
 	Weight float64
@@ -222,6 +244,13 @@ func (q *Query) Filter(alias string, p predicate.Predicate) *Query {
 // Pass col == "" with AggCount for COUNT(*).
 func (q *Query) Aggregate(op AggOp, alias, col string) *Query {
 	q.Aggregates = append(q.Aggregates, Aggregate{Op: op, Alias: alias, Column: col})
+	return q
+}
+
+// GroupByCol sets the query's GROUP BY column and returns the query.
+// Aggregates of a grouped query must all fold over the same alias.
+func (q *Query) GroupByCol(alias, col string) *Query {
+	q.GroupBy = GroupBy{Alias: alias, Column: col}
 	return q
 }
 
@@ -320,6 +349,20 @@ func (q *Query) Validate() error {
 			return fmt.Errorf("workload: %s: aggregate %s has unknown operator", q.ID, agg)
 		}
 	}
+	if g := q.GroupBy; !g.IsZero() {
+		if g.Alias == "" || g.Column == "" {
+			return fmt.Errorf("workload: %s: group by %q needs both alias and column", q.ID, g)
+		}
+		if !seen[g.Alias] {
+			return fmt.Errorf("workload: %s: group by %s on unknown alias %q", q.ID, g, g.Alias)
+		}
+		for _, agg := range q.Aggregates {
+			if agg.Alias != g.Alias {
+				return fmt.Errorf("workload: %s: aggregate %s folds over alias %q but the query groups by %s — grouped queries must aggregate the grouping alias",
+					q.ID, agg, agg.Alias, g)
+			}
+		}
+	}
 	if q.Weight < 0 {
 		return fmt.Errorf("workload: %s: negative weight", q.ID)
 	}
@@ -350,6 +393,9 @@ func (q *Query) String() string {
 	}
 	for _, agg := range q.Aggregates {
 		fmt.Fprintf(&sb, " γ[%s]", agg)
+	}
+	if !q.GroupBy.IsZero() {
+		fmt.Fprintf(&sb, " by[%s]", q.GroupBy)
 	}
 	return sb.String()
 }

@@ -107,11 +107,57 @@ func TestQueryValidateErrors(t *testing.T) {
 			q.Weight = -1
 			return q
 		}(),
+		"groupby unknown alias": func() *Query {
+			q := NewQuery("q", TableRef{Table: "a"})
+			q.Aggregate(AggCount, "a", "")
+			return q.GroupByCol("zzz", "g")
+		}(),
+		"groupby empty column": func() *Query {
+			q := NewQuery("q", TableRef{Table: "a"})
+			q.Aggregate(AggCount, "a", "")
+			q.GroupBy = GroupBy{Alias: "a"}
+			return q
+		}(),
+		"groupby empty alias": func() *Query {
+			q := NewQuery("q", TableRef{Table: "a"})
+			q.Aggregate(AggCount, "a", "")
+			q.GroupBy = GroupBy{Column: "g"}
+			return q
+		}(),
+		"groupby across aliases": func() *Query {
+			q := NewQuery("q", TableRef{Table: "a"}, TableRef{Table: "b"})
+			q.AddJoin("a", "k", "b", "k")
+			q.Aggregate(AggCount, "a", "")
+			q.Aggregate(AggSum, "b", "x")
+			return q.GroupByCol("a", "g")
+		}(),
 	}
 	for name, q := range cases {
 		if err := q.Validate(); err == nil {
 			t.Errorf("%s: Validate accepted invalid query", name)
 		}
+	}
+}
+
+func TestGroupByBuilder(t *testing.T) {
+	q := NewQuery("q", TableRef{Table: "a"})
+	q.Aggregate(AggSum, "a", "x")
+	q.Aggregate(AggCount, "a", "")
+	q.GroupByCol("a", "g")
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if q.GroupBy.IsZero() {
+		t.Error("GroupByCol did not set GroupBy")
+	}
+	if got := q.GroupBy.String(); got != "a.g" {
+		t.Errorf("GroupBy.String() = %q", got)
+	}
+	if s := q.String(); !strings.Contains(s, "by[a.g]") {
+		t.Errorf("query String missing group clause: %q", s)
+	}
+	if (GroupBy{}).IsZero() != true {
+		t.Error("zero GroupBy not IsZero")
 	}
 }
 
