@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench bench-build bench-replay bench-induce bench-store bench-scan bench-agg bench-groupagg bench-reorg
+.PHONY: build test vet race check bench bench-build bench-replay bench-induce bench-store bench-scan bench-agg bench-groupagg bench-reorg bench-serve
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ race:
 check: build vet test race
 
 # Replay-speedup and paper-figure benchmarks.
-bench: bench-build bench-replay bench-induce bench-store bench-agg bench-groupagg bench-reorg
+bench: bench-build bench-replay bench-induce bench-store bench-agg bench-groupagg bench-reorg bench-serve
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
 # Construction/routing benchmarks with a JSON perf snapshot. Compares the
@@ -78,6 +78,20 @@ bench-groupagg:
 bench-reorg:
 	$(GO) run ./cmd/mtobench -exp reorg -daemon -sf 0.01 -per-template 2 \
 		-benchjson BENCH_reorg.json
+
+# Sustained-load multi-tenant serving benchmark with a JSON result
+# snapshot. Boots the three-tenant serving stack (SSB, drifting TPC-H with
+# a live reorg daemon, TPC-DS), drives 1M queries through admission
+# control, fair queueing, and the result cache, samples served-vs-direct
+# identity throughout, and records throughput, p50/p99/p99.9 latency,
+# cache and buffer-pool hit rates, and the daemon's cycle trace in
+# BENCH_serve.json. The acceptance bar is >=1 live generation swap
+# mid-load with every verified sample byte-identical.
+bench-serve:
+	mkdir -p /tmp/mto-serve-segments
+	$(GO) run ./cmd/mtobench -exp serve -store disk \
+		-datadir /tmp/mto-serve-segments -cache-mb 64 \
+		-serve-queries 1000000 -serve-benchjson BENCH_serve.json
 
 # Induced-predicate evaluation benchmarks with a JSON perf snapshot.
 # Compares the batched work-sharing evaluator against the retained scalar

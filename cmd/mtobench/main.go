@@ -7,10 +7,11 @@
 //
 //	mtobench -exp fig10a [-sf 0.02] [-per-template 8] [-seed 1] [-parallel N]
 //	mtobench -exp reorg -daemon [-reorg-budget 80] [-benchjson BENCH_reorg.json]
+//	mtobench -exp serve [-serve-queries 1000000] [-serve-benchjson BENCH_serve.json]
 //	mtobench -exp all
 //
 // Experiments: fig10a fig10bc fig11 fig12 fig13a fig13b fig14a fig14b
-// fig15a fig15b table2 table3 table4 table5 ablations reorg all
+// fig15a fig15b table2 table3 table4 table5 ablations reorg serve all
 package main
 
 import (
@@ -40,6 +41,19 @@ var reorgFlags struct {
 	epsilon   float64
 	interval  time.Duration
 	benchJSON string
+}
+
+// serveFlags holds the -exp serve knobs (see internal/serve).
+var serveFlags struct {
+	queries     int64
+	concurrency int
+	workers     int
+	rateQPS     float64
+	verifyEvery int64
+	interval    time.Duration
+	budget      int
+	cacheSize   int
+	benchJSON   string
 }
 
 // saveCSV writes rows for one experiment when -csv is set.
@@ -84,6 +98,15 @@ func main() {
 	flag.Float64Var(&reorgFlags.epsilon, "reorg-epsilon", 0, "bandit exploration rate (0 = UCB1, >0 = seeded epsilon-greedy)")
 	flag.DurationVar(&reorgFlags.interval, "reorg-interval", time.Second, "cycle interval for a live daemon Run (the bench drives cycles explicitly)")
 	flag.StringVar(&reorgFlags.benchJSON, "benchjson", "", "write the -exp reorg result as JSON to this file (e.g. BENCH_reorg.json)")
+	flag.Int64Var(&serveFlags.queries, "serve-queries", 1_000_000, "total submissions in -exp serve")
+	flag.IntVar(&serveFlags.concurrency, "serve-concurrency", 8, "load-generator client count in -exp serve")
+	flag.IntVar(&serveFlags.workers, "serve-workers", 8, "server worker-pool size in -exp serve")
+	flag.Float64Var(&serveFlags.rateQPS, "serve-rate", 0, "open-loop target QPS in -exp serve (0 = closed loop, full speed)")
+	flag.Int64Var(&serveFlags.verifyEvery, "serve-verify-every", 1000, "verify every Nth served query against direct execution in -exp serve (0 = off)")
+	flag.DurationVar(&serveFlags.interval, "serve-reorg-interval", 25*time.Millisecond, "TPC-H tenant's background daemon cycle period in -exp serve")
+	flag.IntVar(&serveFlags.budget, "serve-reorg-budget", 80, "per-cycle block-write budget for the live daemon in -exp serve")
+	flag.IntVar(&serveFlags.cacheSize, "serve-cache-entries", 4096, "result-cache capacity in -exp serve (negative disables)")
+	flag.StringVar(&serveFlags.benchJSON, "serve-benchjson", "", "write the -exp serve result as JSON to this file (e.g. BENCH_serve.json)")
 	flag.Parse()
 
 	scale := experiments.DefaultScale()
@@ -391,6 +414,31 @@ func runExperiment(exp, bench string, s experiments.Scale) error {
 				return err
 			}
 			if err := os.WriteFile(reorgFlags.benchJSON, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+		}
+	case "serve":
+		res, err := experiments.Serve(s, experiments.ServeScenario{
+			Queries:      serveFlags.queries,
+			Concurrency:  serveFlags.concurrency,
+			Workers:      serveFlags.workers,
+			OpenRateQPS:  serveFlags.rateQPS,
+			VerifyEveryN: serveFlags.verifyEvery,
+			Seed:         s.Seed,
+			CacheEntries: serveFlags.cacheSize,
+			Budget:       serveFlags.budget,
+			Interval:     serveFlags.interval,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, res.String())
+		if serveFlags.benchJSON != "" {
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(serveFlags.benchJSON, append(data, '\n'), 0o644); err != nil {
 				return err
 			}
 		}

@@ -1,0 +1,210 @@
+// Command mtoload drives HTTP load at a running mtoserve instance: it
+// discovers each tenant's templates via GET /templates, issues POST /query
+// submissions from concurrent workers, and optionally verifies served
+// responses against direct (cache-bypassing) execution.
+//
+// Usage:
+//
+//	mtoload [-addr http://localhost:8080] [-total 10000] [-concurrency 8] [-verify-every 100]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"reflect"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mto/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "http://localhost:8080", "mtoserve base URL")
+		total       = flag.Int64("total", 10000, "total submissions across all tenants")
+		concurrency = flag.Int("concurrency", 8, "concurrent client workers")
+		rateQPS     = flag.Float64("rate", 0, "open-loop target QPS (0 = closed loop)")
+		verifyEvery = flag.Int64("verify-every", 0, "verify every Nth response against a direct execution (0 = off)")
+		seed        = flag.Int64("seed", 1, "random seed for query selection")
+		tenantOnly  = flag.String("tenant", "", "restrict traffic to one tenant")
+	)
+	flag.Parse()
+
+	client := &http.Client{Timeout: 60 * time.Second}
+	templates, err := fetchTemplates(client, *addr, *tenantOnly)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mtoload:", err)
+		os.Exit(1)
+	}
+	var tenants []string
+	for t := range templates {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	if len(tenants) == 0 {
+		fmt.Fprintln(os.Stderr, "mtoload: server lists no templates")
+		os.Exit(1)
+	}
+	for _, t := range tenants {
+		fmt.Fprintf(os.Stderr, "mtoload: tenant %-6s %d templates\n", t, len(templates[t]))
+	}
+
+	var (
+		issued, served, cached, rejected, errs atomic.Int64
+		verified, identical                    atomic.Int64
+		genSkew                                atomic.Int64
+		mismatchMu                             sync.Mutex
+		mismatches                             []string
+		hist                                   = serve.NewHistogram()
+	)
+	var interval time.Duration
+	if *rateQPS > 0 {
+		interval = time.Duration(float64(*concurrency) / *rateQPS * float64(time.Second))
+	}
+
+	begin := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)*7919))
+			next := time.Now()
+			for {
+				n := issued.Add(1)
+				if n > *total {
+					return
+				}
+				if interval > 0 {
+					if d := time.Until(next); d > 0 {
+						time.Sleep(d)
+					}
+					next = next.Add(interval)
+				}
+				tenant := tenants[rng.Intn(len(tenants))]
+				ids := templates[tenant]
+				id := ids[rng.Intn(len(ids))]
+
+				t0 := time.Now()
+				code, resp, err := postQuery(client, *addr, serve.QueryRequest{Tenant: tenant, ID: id})
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				switch {
+				case code == http.StatusOK:
+					hist.RecordDuration(time.Since(t0))
+					served.Add(1)
+					if resp.Cached {
+						cached.Add(1)
+					}
+				case code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable:
+					rejected.Add(1)
+					continue
+				default:
+					errs.Add(1)
+					continue
+				}
+
+				if *verifyEvery > 0 && n%*verifyEvery == 0 {
+					dcode, direct, derr := postQuery(client, *addr,
+						serve.QueryRequest{Tenant: tenant, ID: id, Direct: true})
+					if derr != nil || dcode != http.StatusOK {
+						errs.Add(1)
+						continue
+					}
+					if direct.Gen != resp.Gen {
+						genSkew.Add(1) // a swap landed between the pair
+						continue
+					}
+					verified.Add(1)
+					resp.Cached = false // the one legitimate difference
+					if reflect.DeepEqual(resp, direct) {
+						identical.Add(1)
+					} else {
+						mismatchMu.Lock()
+						if len(mismatches) < 5 {
+							mismatches = append(mismatches,
+								fmt.Sprintf("%s/%s gen %d: served %+v != direct %+v", tenant, id, resp.Gen, resp, direct))
+						}
+						mismatchMu.Unlock()
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	secs := time.Since(begin).Seconds()
+
+	lat := hist.Summary()
+	fmt.Printf("mtoload: %d served in %.1fs (%.0f qps), %d cached (%.1f%%), %d rejected, %d errors\n",
+		served.Load(), secs, float64(served.Load())/secs,
+		cached.Load(), 100*float64(cached.Load())/float64(max(served.Load(), 1)),
+		rejected.Load(), errs.Load())
+	fmt.Printf("mtoload: latency p50 %dµs  p90 %dµs  p99 %dµs  p99.9 %dµs  max %dµs\n",
+		lat.P50, lat.P90, lat.P99, lat.P999, lat.Max)
+	if *verifyEvery > 0 {
+		fmt.Printf("mtoload: identity %d/%d verified pairs identical (%d gen-skew skipped)\n",
+			identical.Load(), verified.Load(), genSkew.Load())
+		for _, m := range mismatches {
+			fmt.Printf("mtoload: MISMATCH %s\n", m)
+		}
+		if identical.Load() != verified.Load() {
+			os.Exit(1)
+		}
+	}
+	if errs.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+// fetchTemplates lists each tenant's registered query IDs.
+func fetchTemplates(client *http.Client, addr, tenant string) (map[string][]string, error) {
+	url := addr + "/templates"
+	if tenant != "" {
+		url += "?tenant=" + tenant
+	}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /templates: status %d", resp.StatusCode)
+	}
+	var out map[string][]string
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// postQuery issues one POST /query and decodes the payload on 200.
+func postQuery(client *http.Client, addr string, req serve.QueryRequest) (int, serve.QueryResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, serve.QueryResponse{}, err
+	}
+	resp, err := client.Post(addr+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, serve.QueryResponse{}, err
+	}
+	defer resp.Body.Close()
+	var qr serve.QueryResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			return resp.StatusCode, qr, err
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return resp.StatusCode, qr, nil
+}

@@ -283,3 +283,9 @@ func (s *Store) Stats() Stats {
 		RowsWritten:   s.rowsWritten.Load(),
 	}
 }
+
+// StatsSnapshot is Stats under the uniform copy-on-read name shared with
+// engine.Engine and colstore.Store, so the serving layer snapshots every
+// meter through one method name. Each counter is loaded atomically; the
+// returned value is a plain copy the caller owns.
+func (s *Store) StatsSnapshot() Stats { return s.Stats() }

@@ -493,3 +493,10 @@ func (s *Store) Stats() block.Stats {
 		GroupedFoldsDeclined: s.groupedDeclined.Load(),
 	}
 }
+
+// StatsSnapshot is Stats under the uniform copy-on-read name shared with
+// engine.Engine and block.Store, so the serving layer snapshots every
+// meter through one method name. Each counter is loaded atomically (the
+// pool counters under the pool's own mutex); the returned value is a
+// plain copy the caller owns.
+func (s *Store) StatsSnapshot() block.Stats { return s.Stats() }

@@ -141,6 +141,9 @@ type Engine struct {
 	blockOf map[string][]int32 // table → row → block ID
 	dicts   map[string]*relation.ColumnDict
 	xlate   map[string][]int32 // "tgt.col|src.col" → target code → source code
+
+	// counters accumulates per-engine execution stats; see StatsSnapshot.
+	counters engineCounters
 }
 
 // New returns an engine over the store/design pair.
@@ -186,7 +189,9 @@ type tableState struct {
 // ExecuteReference is the retained scalar path; the two produce identical
 // Results (pinned by the kernel identity tests).
 func (e *Engine) Execute(q *workload.Query) (*Result, error) {
-	return e.executeKernel(q)
+	res, err := e.executeKernel(q)
+	e.counters.note(res, err)
+	return res, err
 }
 
 // plan validates q, groups its base tables in first-reference order, and

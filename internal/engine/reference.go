@@ -15,6 +15,12 @@ import (
 // return byte-identical Results over whole workloads — and as the baseline
 // for the replay benchmark's speedup measurement.
 func (e *Engine) ExecuteReference(q *workload.Query) (*Result, error) {
+	res, err := e.executeReference(q)
+	e.counters.note(res, err)
+	return res, err
+}
+
+func (e *Engine) executeReference(q *workload.Query) (*Result, error) {
 	tables, order, err := e.plan(q)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestServeExperiment: a scaled-down run of the multi-tenant serving
+// experiment must complete its requested load across all three tenants with
+// a warm result cache, every verified sample byte-identical to direct
+// execution, and at least one live generation swap installed mid-load.
+func TestServeExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sustained-load experiment")
+	}
+	s := testScale()
+	// The open-loop rate paces the drift across many daemon cycles even
+	// when execution is slow (under -race a planning cycle can take
+	// seconds); a faster rate can collapse the whole shift into a single
+	// planning window, leaving the daemon no mid-drift cycle to act in.
+	res, err := Serve(s, ServeScenario{
+		Queries:      6000,
+		Concurrency:  4,
+		Workers:      4,
+		OpenRateQPS:  700,
+		VerifyEveryN: 200,
+		Seed:         7,
+		Budget:       80,
+		Interval:     10 * time.Millisecond,
+		StreamLen:    2048,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res)
+	if len(res.Tenants) != 3 {
+		t.Fatalf("tenants = %v", res.Tenants)
+	}
+	if got := res.Load.Queries + res.Load.Rejected + res.Load.Errors; got != res.Requested {
+		t.Errorf("accounting: served %d + rejected %d + errors %d != requested %d",
+			res.Load.Queries, res.Load.Rejected, res.Load.Errors, res.Requested)
+	}
+	if res.Load.Errors != 0 {
+		t.Errorf("%d execution errors", res.Load.Errors)
+	}
+	if res.CacheHitRate <= 0 {
+		t.Error("result cache never hit")
+	}
+	if !res.IdentityOK {
+		t.Errorf("identity check failed: verified %d identical %d mismatches %v",
+			res.Load.Verified, res.Load.Identical, res.Load.Mismatches)
+	}
+	if res.GenerationSwaps < 1 {
+		t.Errorf("no live generation swap during load (trace: %+v)", res.Trace)
+	}
+	for _, ts := range res.Server.Tenants {
+		if ts.Submitted == 0 {
+			t.Errorf("tenant %s received no traffic", ts.Name)
+		}
+		if ts.DaemonErr != "" {
+			t.Errorf("tenant %s daemon error: %s", ts.Name, ts.DaemonErr)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package predicate
+
+import (
+	"sort"
+	"strings"
+)
+
+// Canonical returns a canonical rendering of p that is insensitive to the
+// syntactic orders that cannot affect evaluation: And/Or children are
+// sorted by their canonical renderings and IN-list literals are sorted
+// (and deduplicated) by kind and value. Two predicates with equal
+// Canonical strings accept exactly the same rows, whereas String preserves
+// declaration order — "(a > 1) AND (b > 2)" and "(b > 2) AND (a > 1)"
+// render differently under String but identically under Canonical.
+//
+// Workload-level deduplication (SimplePredicates) and the serving layer's
+// query cache keys (workload.Query.Normalize) both key on Canonical, so a
+// predicate built in a different conjunct order by a different call site
+// no longer counts as a distinct candidate or a distinct cached query.
+func Canonical(p Predicate) string {
+	switch t := p.(type) {
+	case *And:
+		return joinCanonical(t.Children, " AND ")
+	case *Or:
+		return joinCanonical(t.Children, " OR ")
+	case *InList:
+		vals := make([]string, len(t.Values))
+		for i, v := range t.Values {
+			vals[i] = v.String()
+		}
+		sort.Strings(vals)
+		// x IN (1, 1) ≡ x IN (1); NOT IN keeps its NULL poison through the
+		// surviving copy, so dropping duplicates never changes semantics.
+		uniq := vals[:0]
+		for i, v := range vals {
+			if i == 0 || v != vals[i-1] {
+				uniq = append(uniq, v)
+			}
+		}
+		op := "IN"
+		if t.Negate_ {
+			op = "NOT IN"
+		}
+		return t.Column + " " + op + " (" + strings.Join(uniq, ", ") + ")"
+	default:
+		// Leaf renderings are already canonical: literals go through
+		// strconv (value.Value.String, %q patterns), operators through the
+		// fixed Op table.
+		return p.String()
+	}
+}
+
+func joinCanonical(cs []Predicate, sep string) string {
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = "(" + Canonical(c) + ")"
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, sep)
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"mto/internal/block"
@@ -67,6 +68,17 @@ type Config struct {
 	// Parallelism bounds record routing concurrency (0 = optimizer
 	// default).
 	Parallelism int
+	// InstallWrap, when set, wraps the ApplyReorgPartial call of a "reorg"
+	// cycle: Step invokes InstallWrap(install) and the wrapper decides when
+	// to call install(). A serving layer uses this to take its tenant
+	// write lock around the physical swap — and, inside the same critical
+	// section, bump its layout generation, rebuild engines caching the old
+	// layout, and invalidate generation-keyed caches — so queries never
+	// observe a half-installed layout. The wrapper must call install at
+	// most once and must return install's error (or its own); returning a
+	// non-nil error marks the cycle failed exactly as a direct install
+	// error would.
+	InstallWrap func(install func() error) error
 }
 
 func (c Config) withDefaults() Config {
@@ -135,23 +147,40 @@ type pendingEval struct {
 	installSeq uint64
 }
 
-// Daemon is the incremental reorganizer. It is not internally
-// synchronized: Observe and Step must be called from one goroutine (or
-// externally serialized); Run does so itself.
+// Daemon is the incremental reorganizer. Observe is safe to call from any
+// number of goroutines concurrently with Run or Step: observations land in
+// a small inbox under their own mutex (so an executing query never blocks
+// behind a planning cycle) and are drained into the rolling log when the
+// next cycle starts. Step/Run serialize against each other and against
+// Trace through the daemon mutex; Log and Bandit expose internals and
+// remain single-goroutine (call them only while no Step can run).
 type Daemon struct {
 	cfg    Config
 	mto    *core.Optimizer
 	design *layout.Design
 	store  block.Backend
 
-	log     *workload.RollingLog
-	bandit  *Bandit
-	longAvg map[string]float64
-	pending *pendingEval
+	// obsMu guards inbox only. Observe's critical section is one append,
+	// so it stays cheap even while a Step holds mu through a multi-second
+	// plan+install. Never acquire mu while holding obsMu.
+	obsMu sync.Mutex
+	inbox []observation
 
+	// mu guards everything below.
+	mu         sync.Mutex
+	log        *workload.RollingLog
+	bandit     *Bandit
+	longAvg    map[string]float64
+	pending    *pendingEval
 	lastActSeq uint64
 	cycle      int
 	trace      []CycleStats
+}
+
+// observation is one Observe call buffered in the inbox.
+type observation struct {
+	q           *workload.Query
+	tableBlocks map[string]int
 }
 
 // New returns a daemon driving the given optimizer/design/store triple.
@@ -170,18 +199,50 @@ func New(mto *core.Optimizer, design *layout.Design, store block.Backend, cfg Co
 }
 
 // Observe records one query execution: the query and the blocks each
-// table's scan read (e.g. engine Result.PerTable[t].BlocksRead).
+// table's scan read (e.g. engine Result.PerTable[t].BlocksRead). It is
+// safe from any goroutine and never blocks behind a running cycle; the
+// observation becomes visible to staleness scoring at the next Step.
+// tableBlocks is retained — callers must not mutate it afterwards.
 func (d *Daemon) Observe(q *workload.Query, tableBlocks map[string]int) {
-	d.log.Append(q, tableBlocks)
+	d.obsMu.Lock()
+	d.inbox = append(d.inbox, observation{q: q, tableBlocks: tableBlocks})
+	d.obsMu.Unlock()
 }
 
-// Log exposes the rolling query log (read-only use).
-func (d *Daemon) Log() *workload.RollingLog { return d.log }
+// drainInbox moves buffered observations into the rolling log in arrival
+// order. Caller holds d.mu.
+func (d *Daemon) drainInbox() {
+	d.obsMu.Lock()
+	batch := d.inbox
+	d.inbox = nil
+	d.obsMu.Unlock()
+	for _, o := range batch {
+		d.log.Append(o.q, o.tableBlocks)
+	}
+}
 
-// Trace returns the per-cycle stats so far (shared slice; do not mutate).
-func (d *Daemon) Trace() []CycleStats { return d.trace }
+// Log drains pending observations and exposes the rolling query log.
+// Read-only, and only while no Step/Run cycle can be executing — the log
+// itself is not synchronized.
+func (d *Daemon) Log() *workload.RollingLog {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.drainInbox()
+	return d.log
+}
 
-// Bandit exposes the layout-strategy bandit (read-only use).
+// Trace returns a copy of the per-cycle stats so far. Safe to call
+// concurrently with Run/Step.
+func (d *Daemon) Trace() []CycleStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]CycleStats, len(d.trace))
+	copy(out, d.trace)
+	return out
+}
+
+// Bandit exposes the layout-strategy bandit (read-only use, only while no
+// Step/Run cycle can be executing).
 func (d *Daemon) Bandit() *Bandit { return d.bandit }
 
 // staleness returns each observed table's staleness score: the relative
@@ -301,6 +362,10 @@ func (d *Daemon) treeCuts(tables []string) map[string][]qdtree.Cut {
 // also appended to Trace. After a cycle whose Action is "reorg", engines
 // caching the old layout must be recreated.
 func (d *Daemon) Step() (CycleStats, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.drainInbox()
+
 	cs := CycleStats{Cycle: d.cycle, Seq: d.log.Seq(), Action: "idle"}
 	d.cycle++
 	defer func() { d.trace = append(d.trace, cs) }()
@@ -402,7 +467,17 @@ func (d *Daemon) Step() (CycleStats, error) {
 	}
 	preAvg, _ := d.avgBlocks(sel, 0)
 
-	stats, err := d.mto.ApplyReorgPartial(plans, d.design, d.store)
+	var stats core.ReorgStats
+	install := func() error {
+		var ierr error
+		stats, ierr = d.mto.ApplyReorgPartial(plans, d.design, d.store)
+		return ierr
+	}
+	if d.cfg.InstallWrap != nil {
+		err = d.cfg.InstallWrap(install)
+	} else {
+		err = install()
+	}
 	if err != nil {
 		return cs, fmt.Errorf("reorgd: install: %w", err)
 	}

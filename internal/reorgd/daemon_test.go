@@ -1,8 +1,10 @@
 package reorgd
 
 import (
+	"errors"
 	"math/rand"
 	"reflect"
+	"sync"
 	"testing"
 
 	"mto/internal/block"
@@ -220,3 +222,126 @@ func TestDaemonIdle(t *testing.T) {
 		t.Errorf("idle cycle touched the store: %+v", delta)
 	}
 }
+
+// TestDaemonConcurrentObserve races Observe from many goroutines against
+// Step and Trace (the serving layer's access pattern; -race is the real
+// assertion) and checks no observation is lost.
+func TestDaemonConcurrentObserve(t *testing.T) {
+	mto, design, store, _, shift := daemonScenario(t, 4)
+	d := New(mto, design, store, Config{Budget: 15, Window: 64, MinCycleQueries: 16, TopK: 1, Q: 300, W: 100})
+
+	const workers, perWorker = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				d.Observe(shift[(w+i)%len(shift)], map[string]int{"fact": 5 + i%3})
+			}
+		}(w)
+	}
+	stepDone := make(chan error, 1)
+	go func() {
+		for i := 0; i < 10; i++ {
+			if _, err := d.Step(); err != nil {
+				stepDone <- err
+				return
+			}
+			_ = d.Trace()
+		}
+		stepDone <- nil
+	}()
+	wg.Wait()
+	if err := <-stepDone; err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Log().Seq(); got != workers*perWorker {
+		t.Fatalf("log saw %d observations, want %d", got, workers*perWorker)
+	}
+}
+
+// TestDaemonInstallWrap: a configured InstallWrap must gate every physical
+// install — called exactly once per "reorg" cycle, with the install
+// happening inside the wrapper's critical section.
+func TestDaemonInstallWrap(t *testing.T) {
+	mto, design, store, ds, shift := daemonScenario(t, 4)
+	var mu sync.Mutex // stands in for a tenant write lock
+	wraps, installsInside := 0, 0
+	cfg := Config{Budget: 30, Window: 64, MinCycleQueries: 16, TopK: 1, Q: 300, W: 100,
+		InstallWrap: func(install func() error) error {
+			mu.Lock()
+			defer mu.Unlock()
+			wraps++
+			before := store.Stats().BlocksWritten
+			err := install()
+			if store.Stats().BlocksWritten > before {
+				installsInside++
+			}
+			return err
+		}}
+	d := New(mto, design, store, cfg)
+	eng := engine.New(store, design, ds, engine.DefaultOptions())
+	reorgs := 0
+	for c := 0; c < 6; c++ {
+		for i := 0; i < 20; i++ {
+			q := shift[(c*20+i)%len(shift)]
+			res, err := eng.Execute(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tb := map[string]int{}
+			for name, ta := range res.PerTable {
+				tb[name] = ta.BlocksRead
+			}
+			d.Observe(q, tb)
+		}
+		cs, err := d.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cs.Action == "reorg" {
+			reorgs++
+			eng = engine.New(store, design, ds, engine.DefaultOptions())
+		}
+	}
+	if reorgs == 0 {
+		t.Fatal("daemon never reorganized")
+	}
+	if wraps != reorgs {
+		t.Errorf("InstallWrap called %d times for %d reorgs", wraps, reorgs)
+	}
+	if installsInside != reorgs {
+		t.Errorf("%d of %d installs wrote blocks inside the wrapper", installsInside, reorgs)
+	}
+
+	// A wrapper error must fail the cycle that tries to install.
+	mto2, design2, store2, ds2, shift2 := daemonScenario(t, 4)
+	d2 := New(mto2, design2, store2, Config{Budget: 30, Window: 64, MinCycleQueries: 16, TopK: 1, Q: 300, W: 100,
+		InstallWrap: func(func() error) error { return errWrap }})
+	eng2 := engine.New(store2, design2, ds2, engine.DefaultOptions())
+	var stepErr error
+	for c := 0; c < 6 && stepErr == nil; c++ {
+		for i := 0; i < 20; i++ {
+			q := shift2[(c*20+i)%len(shift2)]
+			res, err := eng2.Execute(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tb := map[string]int{}
+			for name, ta := range res.PerTable {
+				tb[name] = ta.BlocksRead
+			}
+			d2.Observe(q, tb)
+		}
+		_, stepErr = d2.Step()
+	}
+	if !errors.Is(stepErr, errWrap) {
+		t.Errorf("wrapper error not propagated: %v", stepErr)
+	}
+}
+
+var errWrap = errors.New("wrap failed")

@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is an HDR-style latency histogram: power-of-two buckets with 32
+// linear sub-buckets each, so any recorded value lands in a bucket within
+// ~3.1% of its true value — constant memory (1920 counters) regardless of
+// range, exact counts, approximate quantiles. Record and Quantile are
+// lock-free (atomic adds / loads), so the serving hot path never queues
+// behind a stats reader.
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	total  atomic.Int64
+}
+
+const (
+	histSubBits = 5 // 32 sub-buckets per power of two
+	histSub     = 1 << histSubBits
+	// Largest index: shift = 63 - histSubBits, value>>shift ∈ [32, 64).
+	histBuckets = (63-histSubBits)*histSub + 2*histSub
+)
+
+// NewHistogram returns an empty histogram over non-negative int64 values
+// (the server records microseconds).
+func NewHistogram() *Histogram { return &Histogram{} }
+
+func histIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < histSub {
+		return int(v)
+	}
+	shift := bits.Len64(uint64(v)) - 1 - histSubBits
+	return shift*histSub + int(v>>shift)
+}
+
+// histValue returns the midpoint of the index's bucket — the inverse of
+// histIndex up to the sub-bucket width.
+func histValue(idx int) int64 {
+	if idx < histSub {
+		return int64(idx)
+	}
+	shift := idx/histSub - 1
+	sub := int64(idx - shift*histSub)
+	return sub<<shift + (1<<shift)/2
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(v int64) {
+	h.counts[histIndex(v)].Add(1)
+	h.total.Add(1)
+}
+
+// RecordDuration records d in microseconds.
+func (h *Histogram) RecordDuration(d time.Duration) { h.Record(d.Microseconds()) }
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.total.Load() }
+
+// Quantile returns the approximate q-quantile (0 < q ≤ 1) of the recorded
+// values, or 0 when empty. Concurrent Records may or may not be included —
+// the result is exact for some recent state of the histogram.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	target := int64(q*float64(total) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= target {
+			return histValue(i)
+		}
+	}
+	// Records that landed after total was read; return the top non-empty
+	// bucket's value.
+	for i := histBuckets - 1; i >= 0; i-- {
+		if h.counts[i].Load() > 0 {
+			return histValue(i)
+		}
+	}
+	return 0
+}
+
+// LatencySummary is the JSON rendering of a histogram snapshot, in
+// microseconds.
+type LatencySummary struct {
+	Count int64 `json:"count"`
+	P50   int64 `json:"p50_us"`
+	P90   int64 `json:"p90_us"`
+	P99   int64 `json:"p99_us"`
+	P999  int64 `json:"p999_us"`
+	Max   int64 `json:"max_us"`
+}
+
+// Summary snapshots the standard serving quantiles.
+func (h *Histogram) Summary() LatencySummary {
+	return LatencySummary{
+		Count: h.Count(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+		Max:   h.Quantile(1),
+	}
+}

@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestHistogramExactSmall: values under one sub-bucket width are recorded
+// exactly.
+func TestHistogramExactSmall(t *testing.T) {
+	h := NewHistogram()
+	for v := int64(0); v < 32; v++ {
+		h.Record(v)
+	}
+	if got := h.Quantile(0.5); got != 15 && got != 16 {
+		t.Errorf("p50 of 0..31 = %d", got)
+	}
+	if got := h.Quantile(1); got != 31 {
+		t.Errorf("max of 0..31 = %d, want 31", got)
+	}
+	if h.Count() != 32 {
+		t.Errorf("count = %d", h.Count())
+	}
+}
+
+// TestHistogramRelativeError: quantiles over a wide random distribution
+// stay within the bucketing's ~3.1% relative error plus the half-bucket
+// midpoint offset.
+func TestHistogramRelativeError(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(5))
+	var vals []int64
+	for i := 0; i < 50000; i++ {
+		v := int64(rng.ExpFloat64() * 10000) // long-tailed, like latency
+		vals = append(vals, v)
+		h.Record(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := vals[int(q*float64(len(vals)))-1]
+		got := h.Quantile(q)
+		if exact == 0 {
+			continue
+		}
+		if rel := math.Abs(float64(got-exact)) / float64(exact); rel > 0.05 {
+			t.Errorf("q%.3f: histogram %d vs exact %d (%.1f%% off)", q, got, exact, 100*rel)
+		}
+	}
+}
+
+// TestHistogramIndexRoundTrip: every bucket's representative value maps
+// back into the same bucket, and indexes are monotone in the value.
+func TestHistogramIndexRoundTrip(t *testing.T) {
+	last := -1
+	for _, v := range []int64{0, 1, 31, 32, 33, 63, 64, 100, 1023, 1024, 1 << 20, 1 << 40, math.MaxInt64} {
+		idx := histIndex(v)
+		if idx <= last && v != 0 {
+			t.Errorf("index not monotone at %d: %d after %d", v, idx, last)
+		}
+		last = idx
+		if idx >= histBuckets {
+			t.Fatalf("index %d out of range for %d", idx, v)
+		}
+		if back := histIndex(histValue(idx)); back != idx {
+			t.Errorf("value %d: bucket %d midpoint %d maps to bucket %d", v, idx, histValue(idx), back)
+		}
+	}
+}
+
+// TestHistogramConcurrent: concurrent Record and Quantile are race-free
+// and lose no counts.
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				h.Record(int64(w*1000 + i))
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			h.Quantile(0.99)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if h.Count() != 80000 {
+		t.Errorf("count = %d, want 80000", h.Count())
+	}
+}

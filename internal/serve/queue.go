@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"container/heap"
+	"sync"
+)
+
+// wfq is a weighted-fair queue over tenants (start-time fair queueing with
+// unit request cost): each enqueued request is stamped with a virtual
+// finish tag F = max(V, tenantLastFinish) + 1/weight, the dispatcher always
+// serves the request with the smallest tag, and V advances to the start tag
+// of the request in service. A tenant with weight w receives a w-share of
+// the worker pool whenever it is backlogged, and an idle tenant's share is
+// redistributed instead of accumulating (the max(V, ·) clamp).
+type wfq struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	virtual float64
+	tenants map[string]*tenantQueue
+	active  tenantHeap // tenants with pending requests, keyed by head tag
+	pending int
+	closed  bool
+}
+
+type tenantQueue struct {
+	name       string
+	weight     float64
+	reqs       []*request // FIFO within the tenant
+	lastFinish float64
+	heapIdx    int // -1 when not in the active heap
+}
+
+func newWFQ() *wfq {
+	q := &wfq{tenants: map[string]*tenantQueue{}}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// addTenant registers a tenant's queue. weight ≤ 0 is raised to 1.
+func (q *wfq) addTenant(name string, weight float64) {
+	if weight <= 0 {
+		weight = 1
+	}
+	q.mu.Lock()
+	q.tenants[name] = &tenantQueue{name: name, weight: weight, heapIdx: -1}
+	q.mu.Unlock()
+}
+
+// enqueue stamps r with its virtual tags and queues it. Returns false when
+// the queue is closed (shutdown raced the caller's admission check).
+func (q *wfq) enqueue(tenant string, r *request) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	tq := q.tenants[tenant]
+	start := q.virtual
+	if tq.lastFinish > start {
+		start = tq.lastFinish
+	}
+	r.start = start
+	r.finish = start + 1/tq.weight
+	tq.lastFinish = r.finish
+	tq.reqs = append(tq.reqs, r)
+	q.pending++
+	if tq.heapIdx < 0 {
+		heap.Push(&q.active, tq)
+	}
+	q.cond.Signal()
+	return true
+}
+
+// dequeue blocks until a request is available or the queue is closed and
+// drained; ok is false only in the latter case.
+func (q *wfq) dequeue() (r *request, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.active.Len() == 0 {
+		if q.closed {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+	tq := q.active[0]
+	r = tq.reqs[0]
+	tq.reqs[0] = nil
+	tq.reqs = tq.reqs[1:]
+	q.pending--
+	if r.start > q.virtual {
+		q.virtual = r.start
+	}
+	if len(tq.reqs) == 0 {
+		heap.Pop(&q.active)
+	} else {
+		heap.Fix(&q.active, 0)
+	}
+	return r, true
+}
+
+// close wakes all dequeuers; they drain remaining requests first, then
+// return ok=false.
+func (q *wfq) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// depth returns the number of queued (not yet dispatched) requests.
+func (q *wfq) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.pending
+}
+
+// tenantHeap orders active tenants by their head request's finish tag
+// (tie-broken by name for determinism).
+type tenantHeap []*tenantQueue
+
+func (h tenantHeap) Len() int { return len(h) }
+func (h tenantHeap) Less(i, j int) bool {
+	fi, fj := h[i].reqs[0].finish, h[j].reqs[0].finish
+	if fi != fj {
+		return fi < fj
+	}
+	return h[i].name < h[j].name
+}
+func (h tenantHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx, h[j].heapIdx = i, j
+}
+func (h *tenantHeap) Push(x any) {
+	tq := x.(*tenantQueue)
+	tq.heapIdx = len(*h)
+	*h = append(*h, tq)
+}
+func (h *tenantHeap) Pop() any {
+	old := *h
+	n := len(old)
+	tq := old[n-1]
+	old[n-1] = nil
+	tq.heapIdx = -1
+	*h = old[:n-1]
+	return tq
+}

@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"testing"
+)
+
+func mkReq() *request { return &request{done: make(chan struct{})} }
+
+// TestWFQWeights: with both tenants backlogged, dequeue order must track
+// the 3:1 weight ratio.
+func TestWFQWeights(t *testing.T) {
+	q := newWFQ()
+	q.addTenant("heavy", 3)
+	q.addTenant("light", 1)
+	reqOf := map[*request]string{}
+	for i := 0; i < 60; i++ {
+		r := mkReq()
+		reqOf[r] = "heavy"
+		q.enqueue("heavy", r)
+	}
+	for i := 0; i < 60; i++ {
+		r := mkReq()
+		reqOf[r] = "light"
+		q.enqueue("light", r)
+	}
+	heavy := 0
+	for i := 0; i < 40; i++ {
+		r, ok := q.dequeue()
+		if !ok {
+			t.Fatal("queue closed unexpectedly")
+		}
+		if reqOf[r] == "heavy" {
+			heavy++
+		}
+	}
+	// Exact SFQ share over the first 40 is 30 heavy / 10 light; allow ±2
+	// for tag ties at the boundary.
+	if heavy < 28 || heavy > 32 {
+		t.Errorf("heavy tenant got %d of the first 40 slots, want ~30", heavy)
+	}
+}
+
+// TestWFQIdleTenantNoCredit: a tenant idle while another is served must
+// not accumulate priority for later (virtual-time clamp).
+func TestWFQIdleTenantNoCredit(t *testing.T) {
+	q := newWFQ()
+	q.addTenant("a", 1)
+	q.addTenant("b", 1)
+	for i := 0; i < 50; i++ {
+		q.enqueue("a", mkReq())
+	}
+	for i := 0; i < 50; i++ {
+		q.dequeue()
+	}
+	// b was idle throughout; now both enqueue. b must not win 50 slots in
+	// a row — its start tag clamps to the current virtual time.
+	aReq, bReq := map[*request]bool{}, map[*request]bool{}
+	for i := 0; i < 20; i++ {
+		ra, rb := mkReq(), mkReq()
+		aReq[ra], bReq[rb] = true, true
+		q.enqueue("a", ra)
+		q.enqueue("b", rb)
+	}
+	bFirst := 0
+	for i := 0; i < 10; i++ {
+		r, _ := q.dequeue()
+		if bReq[r] {
+			bFirst++
+		}
+	}
+	if bFirst > 7 {
+		t.Errorf("idle tenant monopolized after backlog: %d of first 10", bFirst)
+	}
+}
+
+// TestWFQFIFOWithinTenant: one tenant's requests dequeue in enqueue order.
+func TestWFQFIFOWithinTenant(t *testing.T) {
+	q := newWFQ()
+	q.addTenant("a", 1)
+	var rs []*request
+	for i := 0; i < 10; i++ {
+		r := mkReq()
+		rs = append(rs, r)
+		q.enqueue("a", r)
+	}
+	for i := 0; i < 10; i++ {
+		got, _ := q.dequeue()
+		if got != rs[i] {
+			t.Fatalf("position %d out of order", i)
+		}
+	}
+}
+
+// TestWFQCloseDrains: close lets queued requests drain, then dequeue
+// reports done; enqueue after close is refused.
+func TestWFQCloseDrains(t *testing.T) {
+	q := newWFQ()
+	q.addTenant("a", 1)
+	q.enqueue("a", mkReq())
+	q.close()
+	if _, ok := q.dequeue(); !ok {
+		t.Fatal("queued request dropped at close")
+	}
+	if _, ok := q.dequeue(); ok {
+		t.Fatal("dequeue returned a request from an empty closed queue")
+	}
+	if q.enqueue("a", mkReq()) {
+		t.Fatal("enqueue accepted after close")
+	}
+}

@@ -1,0 +1,447 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mto/internal/block"
+	"mto/internal/core"
+	"mto/internal/predicate"
+	"mto/internal/relation"
+	"mto/internal/reorgd"
+	"mto/internal/value"
+	"mto/internal/workload"
+)
+
+// serveScenario builds one tenant over a single-table dataset with a
+// d-range-partitioned layout (trained on 8 d-range templates) plus 5
+// shifted v-range templates the layout serves poorly — the same regime as
+// the reorgd tests, so a daemon fed the shifted queries reliably installs
+// a partial reorganization. Some templates carry aggregates and a GROUP BY
+// so cache copies and reordering are exercised.
+func serveScenario(t testing.TB, name string, seed int64, withReorg bool) (TenantConfig, []*workload.Query) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ds := relation.NewDataset()
+	tab := relation.NewTable(relation.MustSchema("fact",
+		relation.Column{Name: "fid", Type: value.KindInt, Unique: true},
+		relation.Column{Name: "v", Type: value.KindInt},
+		relation.Column{Name: "d", Type: value.KindInt},
+	))
+	for i := 0; i < 20000; i++ {
+		tab.MustAppendRow(value.Int(int64(i)), value.Int(int64(rng.Intn(1000))), value.Int(int64(rng.Intn(500))))
+	}
+	ds.MustAddTable(tab)
+
+	train := workload.NewWorkload()
+	for k := int64(0); k < 8; k++ {
+		q := workload.NewQuery("d"+string(rune('0'+k)), workload.TableRef{Table: "fact"})
+		q.Filter("fact", predicate.NewComparison("d", predicate.Ge, value.Int(k*62)))
+		q.Filter("fact", predicate.NewComparison("d", predicate.Lt, value.Int((k+1)*62)))
+		q.Aggregate(workload.AggCount, "fact", "")
+		train.Add(q)
+	}
+	var shift []*workload.Query
+	for k := int64(0); k < 5; k++ {
+		q := workload.NewQuery("v"+string(rune('0'+k)), workload.TableRef{Table: "fact"})
+		q.Filter("fact", predicate.NewComparison("d", predicate.Lt, value.Int(250)))
+		q.Filter("fact", predicate.NewComparison("v", predicate.Ge, value.Int(k*200)))
+		q.Filter("fact", predicate.NewComparison("v", predicate.Lt, value.Int((k+1)*200)))
+		q.Aggregate(workload.AggSum, "fact", "v")
+		q.Aggregate(workload.AggCount, "fact", "")
+		if k == 0 {
+			q.GroupByCol("fact", "d")
+		}
+		shift = append(shift, q)
+	}
+
+	opt, err := core.Optimize(ds, train, core.Options{BlockSize: 500, JoinInduction: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	design, err := opt.BuildDesign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := block.NewStore(block.DefaultCostModel())
+	if _, err := design.Install(store, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	cfg := TenantConfig{
+		Name:      name,
+		Dataset:   ds,
+		Design:    design,
+		Store:     store,
+		Optimizer: opt,
+		Templates: append(append([]*workload.Query{}, train.Queries...), shift...),
+	}
+	if withReorg {
+		// Interval is huge: tests drive cycles deterministically through
+		// StepTenant, never the background ticker.
+		cfg.Reorg = &reorgd.Config{Budget: 30, Window: 64, MinCycleQueries: 16,
+			TopK: 1, Q: 300, W: 100, Interval: time.Hour}
+	}
+	return cfg, shift
+}
+
+func startServer(t testing.TB, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return s
+}
+
+// TestServeIdentity: every served response — first execution (cache miss)
+// and repeat (cache hit) — must be byte-identical to a direct engine
+// execution of the same query at the same generation, across two tenants.
+func TestServeIdentity(t *testing.T) {
+	cfgA, _ := serveScenario(t, "alpha", 4, false)
+	cfgB, _ := serveScenario(t, "beta", 9, false)
+	s := startServer(t, Config{Tenants: []TenantConfig{cfgA, cfgB}, Workers: 4})
+
+	ctx := context.Background()
+	for _, tc := range []TenantConfig{cfgA, cfgB} {
+		for _, q := range tc.Templates {
+			first, err := s.SubmitID(ctx, tc.Name, q.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if first.Cached {
+				t.Fatalf("%s/%s: first submission was a cache hit", tc.Name, q.ID)
+			}
+			second, err := s.SubmitID(ctx, tc.Name, q.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !second.Cached {
+				t.Fatalf("%s/%s: repeat submission missed the cache", tc.Name, q.ID)
+			}
+			direct, gen, err := s.ExecuteDirect(tc.Name, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gen != first.Gen || gen != second.Gen {
+				t.Fatalf("%s/%s: generation moved during test", tc.Name, q.ID)
+			}
+			if !reflect.DeepEqual(first.Result, direct) {
+				t.Errorf("%s/%s: miss result differs from direct:\n%+v\n%+v", tc.Name, q.ID, first.Result, direct)
+			}
+			if !reflect.DeepEqual(second.Result, direct) {
+				t.Errorf("%s/%s: cached result differs from direct:\n%+v\n%+v", tc.Name, q.ID, second.Result, direct)
+			}
+		}
+	}
+	st := s.Stats()
+	if st.Cache.Hits == 0 || st.Cache.Misses == 0 {
+		t.Errorf("cache counters not exercised: %+v", st.Cache)
+	}
+	if st.Errors != 0 {
+		t.Errorf("unexpected errors: %d", st.Errors)
+	}
+}
+
+// TestServePermutedQueryHit: a query that is a syntactic permutation of a
+// cached one (conjuncts and aggregates declared in a different order,
+// different ID) must hit the cache and still be byte-identical to its own
+// direct execution — the Normalize + ReorderAggregates contract end to end.
+func TestServePermutedQueryHit(t *testing.T) {
+	cfg, shift := serveScenario(t, "alpha", 4, false)
+	s := startServer(t, Config{Tenants: []TenantConfig{cfg}, Workers: 2})
+	ctx := context.Background()
+
+	orig := shift[1] // v1: flat sum + count, no group-by
+	if _, err := s.Submit(ctx, "alpha", orig); err != nil {
+		t.Fatal(err)
+	}
+
+	perm := workload.NewQuery("permuted-twin", workload.TableRef{Table: "fact"})
+	perm.Filter("fact", predicate.NewComparison("v", predicate.Lt, value.Int(400)))
+	perm.Filter("fact", predicate.NewComparison("v", predicate.Ge, value.Int(200)))
+	perm.Filter("fact", predicate.NewComparison("d", predicate.Lt, value.Int(250)))
+	perm.Aggregate(workload.AggCount, "fact", "") // declaration order swapped
+	perm.Aggregate(workload.AggSum, "fact", "v")
+
+	resp, err := s.Submit(ctx, "alpha", perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Cached {
+		t.Fatal("permuted twin missed the cache")
+	}
+	direct, gen, err := s.ExecuteDirect("alpha", perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != resp.Gen {
+		t.Fatal("generation moved during test")
+	}
+	if !reflect.DeepEqual(resp.Result, direct) {
+		t.Errorf("cached permuted result differs from direct:\n%+v\n%+v", resp.Result, direct)
+	}
+	if resp.Result.Query != "permuted-twin" {
+		t.Errorf("cached result kept the original query ID: %q", resp.Result.Query)
+	}
+}
+
+// TestCacheInvalidationAcrossSwap drives the tenant's reorg daemon through
+// the server while serving the shifted workload: a cached entry is served
+// before the reorg, the generation swap invalidates it, and the post-swap
+// execution is byte-identical to fresh direct execution under the new
+// layout (with the layout-invariant fields unchanged from before the
+// swap). Concurrent submitters race the swap; -race is part of the
+// assertion.
+func TestCacheInvalidationAcrossSwap(t *testing.T) {
+	cfg, shift := serveScenario(t, "alpha", 4, true)
+	s := startServer(t, Config{Tenants: []TenantConfig{cfg}, Workers: 4})
+	ctx := context.Background()
+
+	probe := shift[2]
+	pre, err := s.Submit(ctx, "alpha", probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preHit, err := s.Submit(ctx, "alpha", probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !preHit.Cached || !reflect.DeepEqual(pre.Result, preHit.Result) {
+		t.Fatal("probe not cached before the swap")
+	}
+
+	// Serve the shifted pool (daemon observes every execution, hits
+	// included) and step cycles until one installs, with concurrent
+	// submitters racing the install.
+	swapped := false
+	for cycle := 0; cycle < 8 && !swapped; cycle++ {
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < 8; i++ {
+					if _, err := s.Submit(ctx, "alpha", shift[(w+i)%len(shift)]); err != nil {
+						t.Error(err)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		cs, err := s.StepTenant("alpha")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cs.Action == "reorg" {
+			swapped = true
+		}
+	}
+	if !swapped {
+		t.Fatal("daemon never installed a reorganization")
+	}
+	if got := s.Generation("alpha"); got != pre.Gen+1 {
+		t.Fatalf("generation = %d after swap, want %d", got, pre.Gen+1)
+	}
+
+	post, err := s.Submit(ctx, "alpha", probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post.Cached {
+		t.Fatal("probe still served from cache after the generation swap")
+	}
+	if post.Gen != pre.Gen+1 {
+		t.Fatalf("post-swap response gen = %d, want %d", post.Gen, pre.Gen+1)
+	}
+	direct, gen, err := s.ExecuteDirect("alpha", probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != post.Gen {
+		t.Fatal("generation moved between post-swap submit and direct execution")
+	}
+	if !reflect.DeepEqual(post.Result, direct) {
+		t.Errorf("post-swap result differs from direct execution:\n%+v\n%+v", post.Result, direct)
+	}
+	// Layout-invariant payload is unchanged across the swap; physical
+	// accounting (blocks read) may differ — that is the point of the reorg.
+	if !reflect.DeepEqual(pre.Result.SurvivingRows, post.Result.SurvivingRows) {
+		t.Errorf("surviving rows changed across swap: %v vs %v", pre.Result.SurvivingRows, post.Result.SurvivingRows)
+	}
+	if !reflect.DeepEqual(pre.Result.Aggregates, post.Result.Aggregates) {
+		t.Errorf("aggregates changed across swap:\n%+v\n%+v", pre.Result.Aggregates, post.Result.Aggregates)
+	}
+
+	// The hit must come back under the new generation.
+	postHit, err := s.Submit(ctx, "alpha", probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !postHit.Cached || !reflect.DeepEqual(postHit.Result, direct) {
+		t.Error("post-swap repeat not served identically from cache")
+	}
+}
+
+// TestGracefulShutdown: with submissions in flight, Shutdown must let
+// every accepted query complete successfully, reject new submissions with
+// ErrShuttingDown, and leak no goroutines.
+func TestGracefulShutdown(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	cfg, shift := serveScenario(t, "alpha", 4, true)
+	s, err := New(Config{Tenants: []TenantConfig{cfg}, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+
+	// Senders submit until each observes the drain rejection (capped), so
+	// the shutdown is guaranteed to race in-flight submissions regardless
+	// of how fast queries execute.
+	ctx := context.Background()
+	var accepted, completed, shutdownRejected atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				resp, err := s.Submit(ctx, "alpha", shift[(w+i)%len(shift)])
+				switch {
+				case err == nil:
+					accepted.Add(1)
+					if resp.Result == nil {
+						t.Error("accepted query completed without a result")
+					} else {
+						completed.Add(1)
+					}
+				case errors.Is(err, ErrShuttingDown):
+					shutdownRejected.Add(1)
+					return
+				default:
+					t.Errorf("unexpected submit error: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Drain once queries are flowing, concurrently with the senders.
+	for accepted.Load() < 20 {
+		time.Sleep(time.Millisecond)
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(sctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	wg.Wait()
+
+	if accepted.Load() == 0 {
+		t.Error("no query was accepted before the drain")
+	}
+	if completed.Load() != accepted.Load() {
+		t.Errorf("accepted %d but completed %d", accepted.Load(), completed.Load())
+	}
+	if shutdownRejected.Load() == 0 {
+		t.Error("no submission observed the drain rejection")
+	}
+	if _, err := s.Submit(ctx, "alpha", shift[0]); !errors.Is(err, ErrShuttingDown) {
+		t.Errorf("post-shutdown submit: %v, want ErrShuttingDown", err)
+	}
+
+	// All workers and daemon loops must be gone.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline {
+		buf := make([]byte, 1<<16)
+		t.Errorf("goroutines leaked: %d > baseline %d\n%s", n, baseline, buf[:runtime.Stack(buf, true)])
+	}
+}
+
+// TestAdmissionControl: an exhausted token bucket rejects with
+// ErrRateLimited; a refilled one admits again.
+func TestAdmissionControl(t *testing.T) {
+	cfg, shift := serveScenario(t, "alpha", 4, false)
+	s := startServer(t, Config{Tenants: []TenantConfig{cfg}, Workers: 2, Rate: 0.001, Burst: 2})
+	ctx := context.Background()
+	admitted, limited := 0, 0
+	for i := 0; i < 5; i++ {
+		_, err := s.Submit(ctx, "alpha", shift[0])
+		switch {
+		case err == nil:
+			admitted++
+		case errors.Is(err, ErrRateLimited):
+			limited++
+		default:
+			t.Fatal(err)
+		}
+	}
+	if admitted != 2 || limited != 3 {
+		t.Errorf("admitted %d, limited %d; want 2 and 3 (burst 2, negligible refill)", admitted, limited)
+	}
+	st := s.Stats()
+	if st.RejectedRate != int64(limited) {
+		t.Errorf("RejectedRate = %d, want %d", st.RejectedRate, limited)
+	}
+}
+
+// TestUnknownTenantAndQuery covers the lookup error paths.
+func TestUnknownTenantAndQuery(t *testing.T) {
+	cfg, _ := serveScenario(t, "alpha", 4, false)
+	s := startServer(t, Config{Tenants: []TenantConfig{cfg}, Workers: 1})
+	if _, err := s.SubmitID(context.Background(), "nope", "d0"); !errors.Is(err, ErrUnknownTenant) {
+		t.Errorf("unknown tenant: %v", err)
+	}
+	if _, err := s.SubmitID(context.Background(), "alpha", "nope"); !errors.Is(err, ErrUnknownQuery) {
+		t.Errorf("unknown query: %v", err)
+	}
+}
+
+// TestRunLoad drives the in-process load generator with identity sampling:
+// every verified pair must be identical, the cache must get hits, and the
+// issue count must match.
+func TestRunLoad(t *testing.T) {
+	cfgA, shiftA := serveScenario(t, "alpha", 4, false)
+	cfgB, shiftB := serveScenario(t, "beta", 9, false)
+	s := startServer(t, Config{Tenants: []TenantConfig{cfgA, cfgB}, Workers: 4})
+
+	ls, err := RunLoad(context.Background(), s, LoadConfig{
+		Streams:      map[string][]*workload.Query{"alpha": shiftA, "beta": shiftB},
+		Total:        400,
+		Concurrency:  8,
+		Seed:         7,
+		VerifyEveryN: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.Queries != 400 || ls.Errors != 0 || ls.Rejected != 0 {
+		t.Fatalf("load stats off: %+v", ls)
+	}
+	if ls.Cached == 0 {
+		t.Error("no cache hits under repeated template load")
+	}
+	if ls.Verified == 0 || ls.Identical != ls.Verified || len(ls.Mismatches) > 0 {
+		t.Errorf("identity sampling failed: verified=%d identical=%d mismatches=%v",
+			ls.Verified, ls.Identical, ls.Mismatches)
+	}
+	if ls.Latency.Count != ls.Queries {
+		t.Errorf("latency count %d != queries %d", ls.Latency.Count, ls.Queries)
+	}
+}

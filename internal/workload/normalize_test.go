@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"testing"
+
+	"mto/internal/predicate"
+	"mto/internal/value"
+)
+
+// baseQuery builds a two-table join query with a conjunction, an IN list,
+// aggregates, and a GROUP BY — one of each normalizable feature.
+func baseQuery() *Query {
+	q := NewQuery("q1",
+		TableRef{Table: "lineorder", Alias: "lo"},
+		TableRef{Table: "ddate", Alias: "d"})
+	q.AddJoin("lo", "lo_orderdate", "d", "d_datekey")
+	q.Filter("lo", predicate.NewComparison("lo_discount", predicate.Ge, value.Int(1)))
+	q.Filter("lo", predicate.NewComparison("lo_discount", predicate.Le, value.Int(3)))
+	q.Filter("d", predicate.NewIn("d_year", value.Int(1993), value.Int(1994)))
+	q.Aggregate(AggSum, "lo", "lo_revenue")
+	q.Aggregate(AggCount, "lo", "")
+	q.GroupByCol("lo", "lo_discount")
+	return q
+}
+
+// TestNormalizeRoundTrip: every syntactic permutation that cannot change
+// the result must normalize to the same key, stable across calls.
+func TestNormalizeRoundTrip(t *testing.T) {
+	q := baseQuery()
+	key := q.Normalize()
+	if key != q.Normalize() {
+		t.Fatal("Normalize is not deterministic across calls")
+	}
+
+	// Conjunct order within an alias's filter.
+	p := NewQuery("q-other",
+		TableRef{Table: "lineorder", Alias: "lo"},
+		TableRef{Table: "ddate", Alias: "d"})
+	p.AddJoin("lo", "lo_orderdate", "d", "d_datekey")
+	p.Filter("d", predicate.NewIn("d_year", value.Int(1994), value.Int(1993), value.Int(1994))) // IN literals permuted + duplicated
+	p.Filter("lo", predicate.NewComparison("lo_discount", predicate.Le, value.Int(3)))          // conjuncts swapped
+	p.Filter("lo", predicate.NewComparison("lo_discount", predicate.Ge, value.Int(1)))
+	p.Aggregate(AggCount, "lo", "") // aggregates permuted
+	p.Aggregate(AggSum, "lo", "lo_revenue")
+	p.GroupByCol("lo", "lo_discount")
+	p.Weight = 7 // weight excluded
+	if got := p.Normalize(); got != key {
+		t.Errorf("permuted query normalizes differently:\n  %s\n  %s", key, got)
+	}
+
+	// Nested Or children permuted inside a conjunct.
+	or1 := predicate.NewOr(
+		predicate.NewComparison("v", predicate.Lt, value.Int(10)),
+		predicate.NewLike("s", "foo%"))
+	or2 := predicate.NewOr(
+		predicate.NewLike("s", "foo%"),
+		predicate.NewComparison("v", predicate.Lt, value.Int(10)))
+	a := NewQuery("a", TableRef{Table: "t"}).Filter("t", or1)
+	b := NewQuery("b", TableRef{Table: "t"}).Filter("t", or2)
+	if a.Normalize() != b.Normalize() {
+		t.Errorf("permuted OR children normalize differently:\n  %s\n  %s", a.Normalize(), b.Normalize())
+	}
+}
+
+// TestNormalizeCollisions: every semantic difference must produce a
+// distinct key — a collision would let the result cache serve the wrong
+// payload.
+func TestNormalizeCollisions(t *testing.T) {
+	key := baseQuery().Normalize()
+	mutations := map[string]func(q *Query){
+		"literal":      func(q *Query) { q.Filters["lo"] = predicate.NewComparison("lo_discount", predicate.Ge, value.Int(2)) },
+		"operator":     func(q *Query) { q.Filters["lo"] = predicate.NewComparison("lo_discount", predicate.Gt, value.Int(1)) },
+		"in-list":      func(q *Query) { q.Filters["d"] = predicate.NewIn("d_year", value.Int(1993)) },
+		"not-in":       func(q *Query) { q.Filters["d"] = predicate.NewNotIn("d_year", value.Int(1993), value.Int(1994)) },
+		"join-type":    func(q *Query) { q.Joins[0].Type = LeftOuterJoin },
+		"join-column":  func(q *Query) { q.Joins[0].RightColumn = "d_something" },
+		"table":        func(q *Query) { q.Tables[1].Table = "supplier" },
+		"alias":        func(q *Query) { q.Tables[0].Alias = "lx" },
+		"drop-filter":  func(q *Query) { delete(q.Filters, "d") },
+		"agg-op":       func(q *Query) { q.Aggregates[0].Op = AggAvg },
+		"agg-column":   func(q *Query) { q.Aggregates[0].Column = "lo_extendedprice" },
+		"drop-agg":     func(q *Query) { q.Aggregates = q.Aggregates[:1] },
+		"group-column": func(q *Query) { q.GroupBy.Column = "lo_quantity" },
+		"drop-group":   func(q *Query) { q.GroupBy = GroupBy{} },
+	}
+	for name, mutate := range mutations {
+		q := baseQuery()
+		mutate(q)
+		if got := q.Normalize(); got == key {
+			t.Errorf("%s: semantically different query collides: %s", name, got)
+		}
+	}
+
+	// Float literals with distinct values but close renderings stay distinct.
+	f1 := NewQuery("f", TableRef{Table: "t"}).Filter("t", predicate.NewComparison("x", predicate.Lt, value.Float(0.1)))
+	f2 := NewQuery("f", TableRef{Table: "t"}).Filter("t", predicate.NewComparison("x", predicate.Lt, value.Float(0.1000000000000001)))
+	if f1.Normalize() == f2.Normalize() {
+		t.Error("distinct float literals collide")
+	}
+}
+
+// TestSimplePredicatesCanonicalDedup: conjuncts that are permutations of
+// each other (different call sites, same meaning) must collapse into one
+// candidate cut.
+func TestSimplePredicatesCanonicalDedup(t *testing.T) {
+	or1 := predicate.NewOr(
+		predicate.NewComparison("v", predicate.Lt, value.Int(10)),
+		predicate.NewComparison("v", predicate.Gt, value.Int(90)))
+	or2 := predicate.NewOr(
+		predicate.NewComparison("v", predicate.Gt, value.Int(90)),
+		predicate.NewComparison("v", predicate.Lt, value.Int(10)))
+	w := NewWorkload(
+		NewQuery("a", TableRef{Table: "t"}).Filter("t", or1),
+		NewQuery("b", TableRef{Table: "t"}).Filter("t", or2),
+	)
+	preds := SimplePredicates(w)
+	if got := len(preds["t"]); got != 1 {
+		t.Fatalf("permuted OR duplicates not deduplicated: %d candidates: %v", got, preds["t"])
+	}
+}

@@ -486,7 +486,10 @@ func SimplePredicates(w *Workload) map[string][]predicate.Predicate {
 				continue
 			}
 			for _, conj := range SplitConjuncts(f) {
-				key := conj.String()
+				// Canonical, not String: call sites build semantically equal
+				// conjuncts in different child/literal orders, and those must
+				// collapse into one candidate cut.
+				key := predicate.Canonical(conj)
 				if seen[table] == nil {
 					seen[table] = map[string]bool{}
 				}
